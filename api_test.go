@@ -1,0 +1,173 @@
+package resin_test
+
+// End-to-end tests of the public API surface (the root resin package),
+// written the way a downstream user would write them.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"resin"
+)
+
+type apiPolicy struct {
+	Allowed string `json:"allowed"`
+}
+
+func (p *apiPolicy) ExportCheck(ctx *resin.Context) error {
+	if u, _ := ctx.GetString("user"); u == p.Allowed {
+		return nil
+	}
+	return errors.New("not " + p.Allowed)
+}
+
+func init() {
+	resin.RegisterPolicyClass("apitest.Policy", &apiPolicy{})
+}
+
+func TestPublicAPITable3Mapping(t *testing.T) {
+	rt := resin.NewRuntime()
+	p := &apiPolicy{Allowed: "alice"}
+
+	// policy_add / policy_get / policy_remove
+	data := rt.PolicyAdd(resin.NewString("secret"), p)
+	if got := rt.PolicyGet(data); len(got) != 1 || got[0] != resin.Policy(p) {
+		t.Fatalf("PolicyGet = %v", got)
+	}
+	clean := rt.PolicyRemove(data, p)
+	if len(rt.PolicyGet(clean)) != 0 {
+		t.Fatal("PolicyRemove failed")
+	}
+
+	// export_check via the default filter
+	ch := resin.NewChannel(rt, resin.KindHTTP, resin.ExportCheckFilter{})
+	ch.Context().Set("user", "alice")
+	if err := ch.Write(data); err != nil {
+		t.Fatalf("alice write: %v", err)
+	}
+	ch2 := resin.NewChannel(rt, resin.KindHTTP, resin.ExportCheckFilter{})
+	ch2.Context().Set("user", "bob")
+	err := ch2.Write(data)
+	ae, ok := resin.IsAssertionError(err)
+	if !ok || ae.Policy != resin.Policy(p) {
+		t.Fatalf("bob write: %v", err)
+	}
+}
+
+func TestPublicAPITrackingOps(t *testing.T) {
+	p := &apiPolicy{Allowed: "x"}
+	s := resin.Concat(
+		resin.NewStringPolicy("abc", p),
+		resin.NewString("-"),
+		resin.Format("%d", resin.NewInt(42)),
+	)
+	if s.Raw() != "abc-42" {
+		t.Fatalf("raw = %q", s.Raw())
+	}
+	if !s.Slice(0, 3).IsTainted() || s.Slice(3, 6).IsTainted() {
+		t.Error("span layout wrong")
+	}
+	joined := resin.Join([]resin.String{resin.NewString("a"), resin.NewString("b")}, resin.NewString(","))
+	if joined.Raw() != "a,b" {
+		t.Errorf("join = %q", joined.Raw())
+	}
+	sum, err := resin.Checksum(resin.NewStringPolicy("ab", p))
+	if err != nil || !sum.Policies().Contains(p) {
+		t.Errorf("checksum: %v %s", err, sum.Policies())
+	}
+	merged, err := resin.MergePolicies(resin.NewPolicySet(p), resin.NewPolicySet())
+	if err != nil || !merged.Contains(p) {
+		t.Errorf("merge: %v %s", err, merged)
+	}
+}
+
+func TestPublicAPISerialization(t *testing.T) {
+	p := &apiPolicy{Allowed: "alice"}
+	enc, err := resin.EncodePolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := resin.DecodePolicy(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(*apiPolicy).Allowed != "alice" {
+		t.Error("round trip lost fields")
+	}
+	s := resin.NewStringPolicy("data", p)
+	ann, err := resin.EncodeSpans(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := resin.DecodeSpans("data", ann)
+	if err != nil || !back.IsTainted() {
+		t.Errorf("span round trip: %v", err)
+	}
+}
+
+func TestPublicAPIBuffering(t *testing.T) {
+	rt := resin.NewRuntime()
+	ch := resin.NewChannel(rt, resin.KindHTTP, resin.ExportCheckFilter{})
+	ch.BeginBuffer()
+	ch.Write(resin.NewString("draft"))
+	ch.DiscardBuffer()
+	ch.Write(resin.NewString("final"))
+	if ch.RawOutput() != "final" {
+		t.Errorf("output = %q", ch.RawOutput())
+	}
+}
+
+func TestPublicAPIUntrackedBaseline(t *testing.T) {
+	rt := resin.NewUntrackedRuntime()
+	p := &apiPolicy{Allowed: "nobody"}
+	data := rt.PolicyAdd(resin.NewString("x"), p)
+	if data.IsTainted() {
+		t.Error("untracked PolicyAdd should be a no-op")
+	}
+	ch := resin.NewChannel(rt, resin.KindEmail, resin.ExportCheckFilter{})
+	if err := ch.Write(resin.NewStringPolicy("x", p)); err != nil {
+		t.Error("untracked channel should skip filters")
+	}
+}
+
+func TestPublicAPIUtilityFilters(t *testing.T) {
+	rt := resin.NewRuntime()
+	p := &apiPolicy{Allowed: "nobody"}
+
+	strip := resin.NewChannel(rt, resin.KindPipe,
+		&resin.StripPolicyFilter{Pred: func(q resin.Policy) bool { return q == resin.Policy(p) }},
+		resin.ExportCheckFilter{})
+	if err := strip.Write(resin.NewStringPolicy("x", p)); err != nil {
+		t.Errorf("stripped policy should pass: %v", err)
+	}
+
+	taint := resin.NewChannel(rt, resin.KindSocket, &resin.TaintReadFilter{Policies: []resin.Policy{p}})
+	got, err := taint.Read(resin.NewString("incoming"))
+	if err != nil || !got.IsTainted() {
+		t.Errorf("taint read: %v", err)
+	}
+
+	seq := resin.NewChannel(rt, resin.KindHTTP, &resin.RejectSequenceFilter{Sequence: "\r\n"})
+	if err := seq.Write(resin.NewString("a\r\nb")); err == nil {
+		t.Error("sequence filter should fire")
+	}
+
+	called := false
+	fn := resin.NewChannel(rt, resin.KindSQL, resin.FuncFilterFunc(
+		func(ch *resin.Channel, args []any) ([]any, error) {
+			called = true
+			return args, nil
+		}))
+	if _, err := fn.Call([]any{1}); err != nil || !called {
+		t.Error("func filter adapter failed")
+	}
+}
+
+func TestPublicAPIDescribeOutput(t *testing.T) {
+	p := &apiPolicy{Allowed: "a"}
+	s := resin.NewStringPolicy("xy", p)
+	if !strings.Contains(s.Describe(), "apitest.Policy") {
+		t.Errorf("Describe = %q", s.Describe())
+	}
+}

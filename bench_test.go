@@ -1,0 +1,263 @@
+package resin_test
+
+// Benchmarks regenerating the RESIN paper's evaluation:
+//
+//   BenchmarkTable5_*     — the microbenchmark of Table 5 (one benchmark
+//                           per operation × configuration).
+//   BenchmarkSec71_*      — the §7.1 application experiment: HotCRP paper
+//                           page generation, unmodified vs RESIN.
+//   BenchmarkTable4_*     — the attack scenarios behind Table 4, runnable
+//                           as benchmarks to measure assertion-checking
+//                           cost on the attack paths.
+//   BenchmarkAblation_*   — design-choice ablations from DESIGN.md:
+//                           character-level vs whole-string tracking,
+//                           span coalescing, SQL policy-column scaling,
+//                           union vs custom merge.
+//
+// Run: go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"resin/internal/apps/hotcrp"
+	"resin/internal/core"
+	"resin/internal/microbench"
+	"resin/internal/seceval"
+	"resin/internal/sqldb"
+)
+
+// ---- Table 5 ----
+
+func BenchmarkTable5(b *testing.B) {
+	for _, op := range microbench.Ops() {
+		for _, mode := range []microbench.Mode{
+			microbench.Unmodified, microbench.NoPolicy, microbench.EmptyPolicy,
+		} {
+			op, mode := op, mode
+			name := strings.ReplaceAll(op.Name, " ", "_")
+			name = strings.ReplaceAll(name, ",", "")
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				op.Bench(b, mode)
+			})
+		}
+	}
+}
+
+// ---- §7.1: HotCRP page generation ----
+
+func BenchmarkSec71_HotCRPPageUnmodified(b *testing.B) {
+	_, render := hotcrp.NewBenchInstance(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := render(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec71_HotCRPPageResin(b *testing.B) {
+	_, render := hotcrp.NewBenchInstance(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := render(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 4: attack scenarios as benchmarks ----
+
+func BenchmarkTable4_AttackSuiteBlocked(b *testing.B) {
+	_, scenarios, _ := seceval.Catalog()
+	for i := 0; i < b.N; i++ {
+		for _, sc := range scenarios {
+			if ok, _ := sc.Attack(true); ok && sc.Kind != "depth" {
+				b.Fatalf("%s: attack succeeded with assertions on", sc.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkTable4_PasswordAssertionPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		leaked, blockErr := hotcrp.AttackPasswordPreview(true)
+		if leaked || blockErr == nil {
+			b.Fatal("assertion must block")
+		}
+	}
+}
+
+// ---- Ablations ----
+
+type ablationPolicy struct{ ID int }
+
+func (p *ablationPolicy) ExportCheck(ctx *core.Context) error { return nil }
+
+func init() {
+	// The SQL ablation persists this policy into policy columns, so the
+	// class must be registered for serialization.
+	core.RegisterPolicyClass("bench.AblationPolicy", &ablationPolicy{})
+}
+
+// BenchmarkAblation_CharacterLevelConcat measures the cost of span-based
+// (character-level) concatenation...
+func BenchmarkAblation_CharacterLevelConcat(b *testing.B) {
+	l := core.NewStringPolicy("left operand!", &ablationPolicy{ID: 1})
+	r := core.NewStringPolicy("right operand", &ablationPolicy{ID: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.Concat(l, r)
+		if s.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// ...versus the whole-string alternative, which must merge the two policy
+// sets on every concat (what RESIN's character-level design avoids: "RESIN
+// uses character-level tracking to avoid having to merge policies when
+// individual data elements are propagated verbatim").
+func BenchmarkAblation_WholeStringConcat(b *testing.B) {
+	p1 := core.NewPolicySet(&ablationPolicy{ID: 1})
+	p2 := core.NewPolicySet(&ablationPolicy{ID: 2})
+	l, r := "left operand!", "right operand"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, err := core.MergePolicies(p1, p2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.NewString(l + r).WithPolicy(merged.Policies()...)
+		if s.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAblation_SpanCoalescing measures repeated same-policy appends:
+// with coalescing the span list stays at one entry; the benchmark reports
+// the resulting span count as a metric.
+func BenchmarkAblation_SpanCoalescing(b *testing.B) {
+	p := &ablationPolicy{ID: 1}
+	chunk := core.NewStringPolicy("0123456789abcdef", p)
+	b.ResetTimer()
+	var spans int
+	for i := 0; i < b.N; i++ {
+		var bld core.Builder
+		for j := 0; j < 64; j++ {
+			bld.Append(chunk)
+		}
+		spans = bld.String().SpanCount()
+		if spans != 1 {
+			b.Fatalf("span count = %d, want 1 (coalescing broken)", spans)
+		}
+	}
+	b.ReportMetric(float64(spans), "spans")
+}
+
+// BenchmarkAblation_SQLPolicyColumns measures how the SQL filter's
+// rewriting cost scales with column count (the paper: "RESIN's overhead
+// is related to the size of the query, and the number of columns that
+// have policies").
+func BenchmarkAblation_SQLPolicyColumns(b *testing.B) {
+	for _, ncols := range []int{2, 5, 10, 20} {
+		b.Run(fmt.Sprintf("cols=%d", ncols), func(b *testing.B) {
+			rt := core.NewRuntime()
+			db := sqldb.Open(rt)
+			cols := make([]string, ncols)
+			names := make([]string, ncols)
+			for i := range cols {
+				cols[i] = fmt.Sprintf("c%d TEXT", i)
+				names[i] = fmt.Sprintf("c%d", i)
+			}
+			db.MustExec("CREATE TABLE t (" + strings.Join(cols, ", ") + ")")
+			p := &ablationPolicy{ID: 7}
+			var qb core.Builder
+			qb.AppendRaw("INSERT INTO t (" + strings.Join(names, ", ") + ") VALUES (")
+			for i := 0; i < ncols; i++ {
+				if i > 0 {
+					qb.AppendRaw(", ")
+				}
+				qb.AppendRaw("'")
+				qb.Append(core.NewStringPolicy("v", p))
+				qb.AppendRaw("'")
+			}
+			qb.AppendRaw(")")
+			q := qb.String()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_MergeStrategies compares the default union merge with
+// a custom Merger callback (§3.4.2).
+func BenchmarkAblation_MergeStrategies(b *testing.B) {
+	b.Run("default-union", func(b *testing.B) {
+		x := core.NewIntPolicy(1, &ablationPolicy{ID: 1})
+		y := core.NewIntPolicy(2, &ablationPolicy{ID: 2})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := x.Add(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("custom-merger", func(b *testing.B) {
+		x := core.NewIntPolicy(1, &mergerPolicy{})
+		y := core.NewIntPolicy(2, &mergerPolicy{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := x.Add(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type mergerPolicy struct{}
+
+func (p *mergerPolicy) ExportCheck(ctx *core.Context) error { return nil }
+func (p *mergerPolicy) Merge(other *core.PolicySet) ([]core.Policy, error) {
+	if other.Any(func(q core.Policy) bool { _, ok := q.(*mergerPolicy); return ok }) {
+		return []core.Policy{p}, nil
+	}
+	return nil, nil
+}
+
+// BenchmarkAblation_TaintedStructureCheck measures the strategy-2 scan on
+// a realistic query with and without tainted literals.
+func BenchmarkAblation_TaintedStructureCheck(b *testing.B) {
+	rt := core.NewRuntime()
+	db := sqldb.Open(rt)
+	db.Filter().RejectTaintedStructure(true)
+	db.MustExec("CREATE TABLE t (a TEXT, n INT)")
+	db.MustExec("INSERT INTO t (a, n) VALUES ('x', 1)")
+	p := &ablationPolicy{ID: 9}
+	clean := core.NewString("SELECT a, n FROM t WHERE a = 'x' ORDER BY n LIMIT 1")
+	tainted := core.Concat(
+		core.NewString("SELECT a, n FROM t WHERE a = '"),
+		core.NewStringPolicy("x", p),
+		core.NewString("' ORDER BY n LIMIT 1"),
+	)
+	b.Run("untainted-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(clean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tainted-literal-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(tainted); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

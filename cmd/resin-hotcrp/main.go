@@ -1,0 +1,76 @@
+// Command resin-hotcrp regenerates the §7.1 application-performance
+// experiment of the RESIN paper: the time to generate a HotCRP paper page
+// — session recall, SQL queries, title/abstract/author-list rendering with
+// two data flow assertions — with and without RESIN.
+//
+// Usage:
+//
+//	resin-hotcrp [-n trials]
+//
+// The paper measured 66 ms unmodified vs 88 ms under RESIN (15.2 vs 11.4
+// requests/second, 33% CPU overhead) averaged over 2000 trials on a
+// 2.3 GHz Xeon running the PHP interpreter against MySQL. This
+// reproduction renders the same page shape over in-memory substrates, so
+// absolute times are far smaller; the comparable quantity is the relative
+// overhead and the workload headroom analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"resin/internal/apps/hotcrp"
+)
+
+func measure(withResin bool, trials int) (time.Duration, error) {
+	_, render := hotcrp.NewBenchInstance(withResin)
+	// Warm up.
+	for i := 0; i < 50; i++ {
+		if err := render(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		if err := render(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(trials), nil
+}
+
+func main() {
+	trials := flag.Int("n", 2000, "trials per configuration (paper: 2000)")
+	flag.Parse()
+
+	base, err := measure(false, *trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resin-hotcrp:", err)
+		os.Exit(1)
+	}
+	resin, err := measure(true, *trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resin-hotcrp:", err)
+		os.Exit(1)
+	}
+
+	overhead := float64(resin-base) / float64(base) * 100
+	fmt.Printf("§7.1 — HotCRP paper-page generation (%d trials)\n\n", *trials)
+	fmt.Printf("  unmodified: %10v/page  (%8.1f requests/sec)\n", base, 1/base.Seconds())
+	fmt.Printf("  RESIN:      %10v/page  (%8.1f requests/sec)\n", resin, 1/resin.Seconds())
+	fmt.Printf("  overhead:   %.0f%%\n\n", overhead)
+	fmt.Println("Paper: 66 ms vs 88 ms per page (15.2 vs 11.4 req/s), 33% CPU overhead.")
+	fmt.Println("Shape to check: RESIN pays a page-generation overhead dominated by the")
+	fmt.Println("SQL policy translation, while the page content is identical and the")
+	fmt.Println("author-list assertion fires and is absorbed by output buffering.")
+
+	// The paper's headroom analysis: 390 user actions in the 30 minutes
+	// before the SOSP'07 deadline; even at 10 page requests per action
+	// that averages 2.2 requests/second.
+	deadlineRate := 390.0 * 10 / (30 * 60)
+	fmt.Printf("\nDeadline-load headroom (paper's analysis): %.1f req/s needed;\n", deadlineRate)
+	fmt.Printf("this build sustains %.1f req/s with RESIN → utilization %.2f%%.\n",
+		1/resin.Seconds(), deadlineRate*resin.Seconds()*100)
+}

@@ -1,0 +1,33 @@
+// Command resin-seceval regenerates Table 4 of the RESIN paper: it runs
+// every catalogued attack against the unmodified applications (the attack
+// must succeed) and against the applications with their RESIN assertions
+// installed (the attack must be blocked), measures each assertion's size,
+// and prints the table.
+//
+// Usage:
+//
+//	resin-seceval
+//
+// The exit status is non-zero if any scenario fails to reproduce or any
+// legitimate flow is broken by an assertion.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"resin/internal/seceval"
+)
+
+func main() {
+	rep, err := seceval.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resin-seceval:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.RenderTable())
+	if !rep.AllOK() {
+		fmt.Fprintln(os.Stderr, "resin-seceval: reproduction FAILED (see table above)")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Package resin is a Go implementation of RESIN, the data-flow assertion
+// runtime of "Improving Application Security with Data Flow Assertions"
+// (Yip, Wang, Zeldovich, Kaashoek — SOSP 2009).
+//
+// RESIN lets programmers make their plan for correct data flow explicit.
+// A data flow assertion is written once — as a policy object attached to
+// the sensitive data — and the runtime checks it on every path the data
+// can take out of the application, including paths the programmer never
+// anticipated.
+//
+// # The three mechanisms
+//
+//   - Policy objects (Policy) encapsulate assertion code and metadata for
+//     a piece of data. Example: a PasswordPolicy carrying the account
+//     holder's email address, whose ExportCheck allows the password to
+//     leave only via email to that address.
+//
+//   - Data tracking (String, Int) propagates policy objects with the data
+//     as the application copies, concatenates, slices and reassembles it.
+//     Tracking is character-level: concatenating "foo" (policy p1) and
+//     "bar" (policy p2) yields a string whose first three bytes carry only
+//     p1 and whose last three carry only p2.
+//
+//   - Filter objects (WriteFilter, ReadFilter, FuncFilter) define data
+//     flow boundaries (Channel). The default boundary surrounds the whole
+//     runtime — sockets, pipes, files, HTTP output, email, SQL, and code
+//     import — and its default filter invokes ExportCheck on every policy
+//     of the in-transit data.
+//
+// # A complete assertion
+//
+// The paper's running example — "user u's password may leave the system
+// only via email to u's email address, or to the program chair" — looks
+// like this (compare Figure 2 of the paper):
+//
+//	type PasswordPolicy struct {
+//		Email string `json:"email"`
+//	}
+//
+//	func (p *PasswordPolicy) ExportCheck(ctx *resin.Context) error {
+//		if ctx.Type() == "email" {
+//			if to, _ := ctx.GetString("email"); to == p.Email {
+//				return nil
+//			}
+//		}
+//		if ctx.Type() == "http" && ctx.GetBool("privChair") {
+//			return nil
+//		}
+//		return errors.New("unauthorized disclosure")
+//	}
+//
+//	password = rt.PolicyAdd(password, &PasswordPolicy{Email: "u@foo.com"})
+//
+// From then on every channel the password can traverse — the HTTP
+// response, an email body, a file, a SQL column — checks the assertion;
+// the email-preview logic bug that leaked HotCRP passwords becomes an
+// AssertionError instead of a disclosure.
+//
+// # Substrates
+//
+// The repository also implements the substrates the paper's evaluation
+// runs on: an in-memory filesystem with persistent policies in extended
+// attributes (internal/vfs), a SQL database whose RESIN filter rewrites
+// queries to persist policies in shadow columns (internal/sqldb), an HTTP
+// server simulation (internal/httpd), a mailer (internal/mail), a script
+// interpreter with a guarded code-import channel (internal/script), and
+// the six applications of Table 4 (internal/apps).
+package resin

@@ -1,0 +1,81 @@
+// Quickstart: the paper's running example (Figure 2) in ~60 lines.
+//
+// A password may leave the system only via email to its owner, or over
+// HTTP to the program chair. We attach one policy object to the password;
+// the runtime tracks it through formatting and copying; every output
+// boundary checks it.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"resin"
+)
+
+// PasswordPolicy is the policy object of Figure 2.
+type PasswordPolicy struct {
+	Email string `json:"email"`
+}
+
+// ExportCheck allows email to the owner, or HTTP to the program chair.
+func (p *PasswordPolicy) ExportCheck(ctx *resin.Context) error {
+	if ctx.Type() == resin.KindEmail {
+		if to, _ := ctx.GetString("email"); to == p.Email {
+			return nil
+		}
+	}
+	if ctx.Type() == resin.KindHTTP && ctx.GetBool("privChair") {
+		return nil
+	}
+	return errors.New("unauthorized disclosure")
+}
+
+func main() {
+	rt := resin.NewRuntime()
+
+	// policy_add($password, new PasswordPolicy('u@foo.com'))
+	password := rt.PolicyAdd(resin.NewString("hunter2"),
+		&PasswordPolicy{Email: "u@foo.com"})
+
+	// The policy rides along as the application formats the reminder.
+	message := resin.Format("Dear user,\nYour password is: %s\n", password)
+
+	// Boundary 1: email to the owner — allowed.
+	toOwner := resin.NewChannel(rt, resin.KindEmail, resin.ExportCheckFilter{})
+	toOwner.Context().Set("email", "u@foo.com")
+	fmt.Println("email to owner:      ", describe(toOwner.Write(message)))
+
+	// Boundary 2: email to someone else — vetoed.
+	toOther := resin.NewChannel(rt, resin.KindEmail, resin.ExportCheckFilter{})
+	toOther.Context().Set("email", "attacker@evil.com")
+	fmt.Println("email to attacker:   ", describe(toOther.Write(message)))
+
+	// Boundary 3: HTTP to a regular user — vetoed (this is the HotCRP
+	// email-preview bug being stopped).
+	httpUser := resin.NewChannel(rt, resin.KindHTTP, resin.ExportCheckFilter{})
+	fmt.Println("HTTP to regular user:", describe(httpUser.Write(message)))
+
+	// Boundary 4: HTTP to the program chair — allowed.
+	httpChair := resin.NewChannel(rt, resin.KindHTTP, resin.ExportCheckFilter{})
+	httpChair.Context().Set("privChair", true)
+	fmt.Println("HTTP to chair:       ", describe(httpChair.Write(message)))
+
+	// Character-level tracking: only the password bytes carry the policy,
+	// so slicing the boilerplate back out of the message yields data that
+	// can flow anywhere.
+	greeting := message.Slice(0, 10)
+	fmt.Println("greeting slice:      ", describe(httpUser.Write(greeting)))
+}
+
+func describe(err error) string {
+	if err == nil {
+		return "delivered"
+	}
+	if ae, ok := resin.IsAssertionError(err); ok {
+		return "BLOCKED (" + ae.Err.Error() + ")"
+	}
+	return "error: " + err.Error()
+}

@@ -1,0 +1,63 @@
+// Script injection example: Figure 6 of the paper — the CodeApproval
+// policy and the interpreter filter that together implement Data Flow
+// Assertion 3: "the interpreter may not interpret any user-supplied code."
+//
+// Run: go run ./examples/script-injection
+package main
+
+import (
+	"fmt"
+
+	"resin/internal/core"
+	"resin/internal/script"
+	"resin/internal/vfs"
+)
+
+func main() {
+	rt := core.NewRuntime()
+	fs := vfs.New(rt)
+	in := script.New(rt, fs)
+	out := core.NewChannel(rt, core.KindHTTP, core.ExportCheckFilter{})
+
+	// Install the application: developer-shipped code is approved
+	// (Figure 6's make_file_executable writes a persistent CodeApproval
+	// policy into the file's extended attributes).
+	fs.MkdirAll("/app", nil)
+	fs.MkdirAll("/uploads", nil)
+	fs.WriteFile("/app/theme.rsl", core.NewString(`
+		func banner(name) { return "== " . name . " =="; }
+		echo banner("ocean theme");
+	`), nil)
+	if err := script.MakeFileExecutable(fs, "/app/theme.rsl"); err != nil {
+		panic(err)
+	}
+
+	// The adversary uploads a file containing code (every upload path in
+	// the paper's five CVEs reduces to this).
+	fs.WriteFile("/uploads/avatar.png", core.NewString(`echo "0wned by mallory";`), nil)
+
+	// The global configuration replaces the interpreter's default import
+	// filter with the approval-requiring one (§5.2).
+	in.RequireApprovedCode()
+
+	fmt.Println("running installed theme:")
+	if err := in.RunFile("/app/theme.rsl", out, nil); err != nil {
+		fmt.Println("  error:", err)
+	} else {
+		fmt.Println("  output:", out.RawOutput())
+	}
+
+	fmt.Println("running uploaded 'image':")
+	err := in.RunFile("/uploads/avatar.png", out, nil)
+	fmt.Println("  error:", err)
+
+	fmt.Println("including the upload from approved code:")
+	fs.WriteFile("/app/main.rsl", core.NewString(`include "/uploads/avatar.png";`), nil)
+	script.MakeFileExecutable(fs, "/app/main.rsl")
+	err = in.RunFile("/app/main.rsl", out, nil)
+	fmt.Println("  error:", err)
+
+	fmt.Println("\nEvery character of interpreted code must carry the CodeApproval")
+	fmt.Println("policy; uploads never do, so no include/eval/direct-request path")
+	fmt.Println("can execute them.")
+}

@@ -1,0 +1,77 @@
+// SQL injection / XSS example: the two defense strategies of §5.3,
+// side by side, against the same attacks.
+//
+// Run: go run ./examples/sql-xss
+package main
+
+import (
+	"fmt"
+
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/sanitize"
+	"resin/internal/sqldb"
+)
+
+func main() {
+	rt := core.NewRuntime()
+
+	fmt.Println("== SQL injection (§5.3) ==")
+	db := sqldb.Open(rt)
+	db.MustExec("CREATE TABLE users (name TEXT, role TEXT)")
+	db.MustExec("INSERT INTO users (name, role) VALUES ('alice', 'admin'), ('bob', 'user')")
+
+	// User input arrives tainted (as the HTTP layer would mark it).
+	evil := sanitize.Taint(core.NewString("x' OR role = 'admin"), "form:name")
+
+	// Strategy 2: reject untrusted characters in the query structure.
+	db.Filter().RejectTaintedStructure(true)
+
+	inj := core.Concat(core.NewString("SELECT name FROM users WHERE name = '"), evil, core.NewString("'"))
+	_, err := db.Query(inj)
+	fmt.Println("unsanitized injection:", errString(err))
+
+	ok := core.Concat(core.NewString("SELECT name, role FROM users WHERE name = "), sanitize.SQLQuote(evil))
+	res, err := db.Query(ok)
+	fmt.Printf("properly quoted:       rows=%d err=%v\n", res.Len(), err)
+
+	// Strategy 1 additionally demands the sanitized marker everywhere.
+	db.Filter().RequireSanitizedMarkers(true)
+	benign := sanitize.Taint(core.NewString("bob"), "form:name")
+	raw := core.Concat(core.NewString("SELECT name FROM users WHERE name = '"), benign, core.NewString("'"))
+	_, err = db.Query(raw)
+	fmt.Println("benign but unmarked:  ", errString(err), "(strategy 1 catches the missing sanitizer call itself)")
+
+	fmt.Println()
+	fmt.Println("== Cross-site scripting (§5.3) ==")
+	srv := httpd.NewServer(rt)
+	srv.AddBodyFilter(&httpd.XSSFilter{RequireSanitizedMarkers: true})
+	srv.Handle("/greet", func(req *httpd.Request, resp *httpd.Response) error {
+		// Correct path: escape before rendering.
+		return resp.Write(core.Format("<p>hello, %s</p>", sanitize.HTMLEscape(req.Param("name"))))
+	})
+	srv.Handle("/greet-raw", func(req *httpd.Request, resp *httpd.Response) error {
+		// Vulnerable path: forgot the escape.
+		return resp.Write(core.Format("<p>hello, %s</p>", req.Param("name")))
+	})
+
+	payload := map[string]string{"name": "<script>steal()</script>"}
+	resp, err := srv.Do("GET", "/greet", payload, nil)
+	fmt.Println("escaped handler:  ", errString(err), "body:", resp.RawBody())
+	_, err = srv.Do("GET", "/greet-raw", payload, nil)
+	fmt.Println("vulnerable handler:", errString(err))
+
+	fmt.Println()
+	fmt.Println("One assertion covers every handler — including ones added later by")
+	fmt.Println("programmers who never heard of the sanitization rules.")
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ALLOWED"
+	}
+	if ae, ok := core.IsAssertionError(err); ok {
+		return "BLOCKED: " + ae.Err.Error()
+	}
+	return "error: " + err.Error()
+}

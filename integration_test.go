@@ -1,0 +1,212 @@
+package resin_test
+
+// Integration tests across substrates: the layered-defense stories the
+// paper tells in §5.3 and §3.4.1, exercised end to end through the public
+// API and the substrates together.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"resin"
+	"resin/internal/apps/forum"
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/sanitize"
+	"resin/internal/sqldb"
+	"resin/internal/vfs"
+	"resin/internal/whois"
+)
+
+// integrationPasswordPolicy mimics the HotCRP password policy.
+type integrationPasswordPolicy struct {
+	Email string `json:"email"`
+}
+
+func (p *integrationPasswordPolicy) ExportCheck(ctx *resin.Context) error {
+	if ctx.Type() == resin.KindEmail {
+		if to, _ := ctx.GetString("email"); to == p.Email {
+			return nil
+		}
+	}
+	return errors.New("password disclosure")
+}
+
+func init() {
+	resin.RegisterPolicyClass("integration.PasswordPolicy", &integrationPasswordPolicy{})
+}
+
+// TestLayeredDefenses is the closing example of §5.3: "even if an
+// application has a SQL injection vulnerability, and an adversary manages
+// to execute the query SELECT user, password FROM userdb, the policy
+// object for each password will still be de-serialized from the database,
+// and will prevent password disclosure."
+func TestLayeredDefenses(t *testing.T) {
+	rt := resin.NewRuntime()
+	db := sqldb.Open(rt)
+	db.MustExec("CREATE TABLE userdb (user TEXT, password TEXT)")
+
+	// Store a password with its policy (persisted in the policy column).
+	pw := rt.PolicyAdd(resin.NewString("s3cret!"), &integrationPasswordPolicy{Email: "victim@x"})
+	ins := resin.Concat(
+		resin.NewString("INSERT INTO userdb (user, password) VALUES ('victim', "),
+		sanitize.SQLQuote(pw), resin.NewString(")"))
+	if _, err := db.Query(ins); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1 would be the injection assertion; assume the app forgot it
+	// (no strategies enabled) and the adversary reshapes a query.
+	evil := sanitize.Taint(resin.NewString("x' OR user = 'victim"), "form")
+	q := resin.Concat(resin.NewString("SELECT user, password FROM userdb WHERE user = '"),
+		evil, resin.NewString("'"))
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("the injection itself succeeds (that's the point): %v", err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("attack rows = %d", res.Len())
+	}
+	leaked := res.Get(0, "password").Str
+
+	// Layer 2: the password's own policy came back from the database and
+	// still stops the disclosure at the HTTP boundary.
+	out := resin.NewChannel(rt, resin.KindHTTP, resin.ExportCheckFilter{})
+	err = out.Write(leaked)
+	ae, ok := resin.IsAssertionError(err)
+	if !ok {
+		t.Fatalf("leak not blocked: %v", err)
+	}
+	if _, isPw := ae.Policy.(*integrationPasswordPolicy); !isPw {
+		t.Errorf("blocked by %T, want the password policy", ae.Policy)
+	}
+	// The username column flows freely — character-level separation.
+	if err := out.Write(res.Get(0, "user").Str); err != nil {
+		t.Errorf("username should be exportable: %v", err)
+	}
+}
+
+// TestPolicyChainAcrossAllSubstrates walks one secret through every
+// storage substrate in sequence: DB → file → static web serving.
+func TestPolicyChainAcrossAllSubstrates(t *testing.T) {
+	rt := resin.NewRuntime()
+	db := sqldb.Open(rt)
+	fs := vfs.New(rt)
+	fs.MkdirAll("/www", nil)
+
+	db.MustExec("CREATE TABLE cfg (k TEXT, v TEXT)")
+	secret := rt.PolicyAdd(resin.NewString("api-key-123"), &integrationPasswordPolicy{Email: "ops@x"})
+	if _, err := db.Query(resin.Concat(
+		resin.NewString("INSERT INTO cfg (k, v) VALUES ('key', "),
+		sanitize.SQLQuote(secret), resin.NewString(")"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A backup job copies the DB value into a file in the web root.
+	res, err := db.QueryRaw("SELECT v FROM cfg WHERE k = 'key'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/www/backup.txt", res.Get(0, "v").Str, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The web server refuses to serve the backup: the policy survived
+	// DB → runtime → file → runtime → HTTP.
+	srv := httpd.NewServer(rt)
+	srv.ServeStatic(fs, "/www")
+	resp, err := srv.Do("GET", "/backup.txt", nil, nil)
+	if err == nil {
+		t.Fatal("backup file must be blocked")
+	}
+	if strings.Contains(resp.RawBody(), "api-key") {
+		t.Fatal("secret leaked")
+	}
+}
+
+// TestForumUnderConcurrentLoad hammers one forum instance from parallel
+// sessions: posts, reads, searches, and attacks all at once. Assertions
+// must hold and no data race may occur (run with -race).
+func TestForumUnderConcurrentLoad(t *testing.T) {
+	ws := whois.NewServer()
+	app := forum.New(core.NewRuntime(), ws, true)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%d", n)
+			sess := app.Server.NewSession(user)
+			for j := 0; j < 20; j++ {
+				if _, err := app.Server.Do("GET", "/post", map[string]string{
+					"forum": "1", "subject": fmt.Sprintf("s-%d-%d", n, j), "body": "hello",
+				}, sess); err != nil {
+					errCh <- fmt.Errorf("post: %w", err)
+					return
+				}
+				if _, err := app.Server.Do("GET", "/topic", map[string]string{"forum": "1"}, sess); err != nil {
+					errCh <- fmt.Errorf("topic: %w", err)
+					return
+				}
+				// Attack attempts interleaved: must always be blocked.
+				resp, err := app.Server.Do("GET", "/printview", map[string]string{"msg": "2"}, sess)
+				if err == nil || strings.Contains(resp.RawBody(), "root123") {
+					errCh <- errors.New("staff secret leaked under concurrency")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestAssertionAdditionIsIncremental verifies the paper's deployment
+// claim: assertions can be added one at a time to a running system
+// without disturbing existing ones.
+func TestAssertionAdditionIsIncremental(t *testing.T) {
+	rt := resin.NewRuntime()
+	srv := httpd.NewServer(rt)
+	srv.Handle("/page", func(req *httpd.Request, resp *httpd.Response) error {
+		return resp.Write(resin.Concat(resin.NewString("<p>"), req.Param("q"), resin.NewString("</p>")))
+	})
+
+	// Before the XSS assertion: the vulnerable handler leaks.
+	resp, err := srv.Do("GET", "/page", map[string]string{"q": "<script>x</script>"}, nil)
+	if err != nil || !strings.Contains(resp.RawBody(), "<script>") {
+		t.Fatalf("baseline: %v %q", err, resp.RawBody())
+	}
+
+	// Add the assertion at runtime; no handler changes.
+	srv.AddBodyFilter(&httpd.XSSFilter{RejectTaintedStructure: true})
+	if _, err := srv.Do("GET", "/page", map[string]string{"q": "<script>x</script>"}, nil); err == nil {
+		t.Fatal("assertion must now block")
+	}
+	// Benign traffic unaffected.
+	resp, err = srv.Do("GET", "/page", map[string]string{"q": "plain text"}, nil)
+	if err != nil || resp.RawBody() != "<p>plain text</p>" {
+		t.Errorf("benign: %v %q", err, resp.RawBody())
+	}
+
+	// Add a second, independent assertion (response splitting is already
+	// built in; add a custom one) — the first keeps working.
+	srv.AddBodyFilter(resin.WriteFilterFunc(func(ch *resin.Channel, d resin.String, off int64) (resin.String, error) {
+		if d.Contains("forbidden-word") {
+			return d, errors.New("editorial policy")
+		}
+		return d, nil
+	}))
+	if _, err := srv.Do("GET", "/page", map[string]string{"q": "forbidden-word"}, nil); err == nil {
+		t.Fatal("second assertion must fire")
+	}
+	if _, err := srv.Do("GET", "/page", map[string]string{"q": "<img src=x>"}, nil); err == nil {
+		t.Fatal("first assertion must still fire")
+	}
+}

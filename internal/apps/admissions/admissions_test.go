@@ -1,0 +1,76 @@
+package admissions
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkAttack(t *testing.T, name string, fn func(bool) (bool, error)) {
+	t.Helper()
+	hit, _ := fn(false)
+	if !hit {
+		t.Errorf("%s: vulnerability must exist without the assertion", name)
+	}
+	hit, blockErr := fn(true)
+	if hit {
+		t.Errorf("%s: assertion failed to stop the attack", name)
+	}
+	if blockErr == nil {
+		t.Errorf("%s: attack should be blocked by an assertion error", name)
+	}
+}
+
+func TestInjectionAttacks(t *testing.T) {
+	checkAttack(t, "search", AttackSearchInjection)
+	checkAttack(t, "setscore", AttackScoreInjection)
+	checkAttack(t, "comment", AttackCommentInjection)
+}
+
+func TestLegitimateSearchUnbroken(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		ok, err := LegitimateSearch(on)
+		if err != nil || !ok {
+			t.Errorf("assertions=%v: ok=%v err=%v", on, ok, err)
+		}
+	}
+}
+
+func TestScoresUntouchedAfterBlockedAttack(t *testing.T) {
+	a := newInstance(true)
+	s := a.Server.NewSession("intern")
+	a.Server.Do("GET", "/committee/setscore",
+		map[string]string{"score": "100", "id": "1 OR 1=1"}, s)
+	if a.Score(1) != 91 || a.Score(2) != 84 || a.Score(3) != 88 {
+		t.Error("blocked attack must not modify any row")
+	}
+}
+
+func TestViewMissingApplicant(t *testing.T) {
+	a := newInstance(true)
+	s := a.Server.NewSession("m")
+	resp, err := a.Server.Do("GET", "/committee/view", map[string]string{"name": "ghost"}, s)
+	if err == nil || resp.Status != 404 {
+		t.Errorf("missing applicant: %v %d", err, resp.Status)
+	}
+}
+
+func TestApostropheNameThroughSanitizedPath(t *testing.T) {
+	// The correctly-quoted path handles hostile-looking names fine even
+	// with the assertion on: quoting keeps the taint inside the literal.
+	a := newInstance(true)
+	a.DB.MustExec("INSERT INTO applicants (id, name, gpa, score, comment) VALUES (4, 'mary o''brien', '4.5', 80, 'solid')")
+	s := a.Server.NewSession("m")
+	resp, err := a.Server.Do("GET", "/committee/view", map[string]string{"name": "mary o'brien"}, s)
+	if err != nil {
+		t.Fatalf("apostrophe name through quoted path: %v", err)
+	}
+	if !strings.Contains(resp.RawBody(), "solid") {
+		t.Errorf("body = %q", resp.RawBody())
+	}
+}
+
+func TestAssertionSourceEmbedded(t *testing.T) {
+	if !strings.Contains(AssertionSource, "BEGIN ASSERTION: admissions-sql-injection") {
+		t.Error("assertion marker missing")
+	}
+}

@@ -1,0 +1,139 @@
+// Package admissions re-implements the MIT EECS graduate admissions
+// system slice the RESIN paper evaluates. The original programmers were
+// careful about SQL injection in the applicant-facing pages, but the
+// assertion revealed three previously-unknown injection vulnerabilities
+// in the admission committee's internal user interface (Table 4: 3
+// discovered, 3 prevented, with a 9-LoC assertion).
+//
+// The assertion is §5.3 strategy 2: the SQL filter tokenizes the final
+// query and rejects untrusted characters in the query's structure. No
+// sanitizer changes are needed, which is why the assertion is so short.
+package admissions
+
+import (
+	"fmt"
+
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/sanitize"
+	"resin/internal/sqldb"
+)
+
+// App is one admissions-system instance.
+type App struct {
+	RT     *core.Runtime
+	DB     *sqldb.DB
+	Server *httpd.Server
+
+	assertions bool
+}
+
+// New builds the admissions system: applicant records plus the internal
+// committee UI handlers, three of which build queries by concatenation.
+func New(rt *core.Runtime, withAssertions bool) *App {
+	a := &App{
+		RT:         rt,
+		DB:         sqldb.Open(rt),
+		Server:     httpd.NewServer(rt),
+		assertions: withAssertions,
+	}
+	a.DB.MustExec("CREATE TABLE applicants (id INT, name TEXT, gpa TEXT, score INT, comment TEXT)")
+	a.DB.MustExec("INSERT INTO applicants (id, name, gpa, score, comment) VALUES " +
+		"(1, 'alice chen', '4.9', 91, 'strong systems background'), " +
+		"(2, 'bob iyer', '4.7', 84, 'great letters'), " +
+		"(3, 'carol novak', '4.8', 88, 'TOP SECRET: borderline case')")
+	if withAssertions {
+		a.enableInjectionAssertion()
+	}
+	a.Server.Handle("/committee/search", a.handleSearch)
+	a.Server.Handle("/committee/setscore", a.handleSetScore)
+	a.Server.Handle("/committee/comment", a.handleComment)
+	a.Server.Handle("/committee/view", a.handleView)
+	return a
+}
+
+// handleSearch is discovered bug #1: the name is concatenated into the
+// quoted literal without escaping, so a quote in the input reshapes the
+// WHERE clause.
+func (a *App) handleSearch(req *httpd.Request, resp *httpd.Response) error {
+	q := core.Concat(
+		core.NewString("SELECT name, gpa, score FROM applicants WHERE name = '"),
+		req.Param("name"), // BUG: unescaped
+		core.NewString("'"),
+	)
+	res, err := a.DB.Query(q)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < res.Len(); i++ {
+		out := core.Format("%s gpa=%s score=%d\n",
+			sanitize.HTMLEscape(res.Get(i, "name").Str),
+			sanitize.HTMLEscape(res.Get(i, "gpa").Str),
+			res.Get(i, "score").Int)
+		if werr := resp.Write(out); werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// handleSetScore is discovered bug #2: the id is concatenated raw, so
+// "1 OR 1=1" rewrites every applicant's score.
+func (a *App) handleSetScore(req *httpd.Request, resp *httpd.Response) error {
+	q := core.Concat(
+		core.NewString("UPDATE applicants SET score = "),
+		req.Param("score"), // BUG: unescaped (numbers "don't need quoting")
+		core.NewString(" WHERE id = "),
+		req.Param("id"), // BUG: unescaped
+	)
+	res, err := a.DB.Query(q)
+	if err != nil {
+		return err
+	}
+	return resp.WriteRaw(fmt.Sprintf("updated %d", res.Affected))
+}
+
+// handleComment is discovered bug #3: the comment text is concatenated
+// into an UPDATE without escaping, so a crafted comment appends extra SET
+// clauses.
+func (a *App) handleComment(req *httpd.Request, resp *httpd.Response) error {
+	q := core.Concat(
+		core.NewString("UPDATE applicants SET comment = '"),
+		req.Param("text"), // BUG: unescaped
+		core.NewString("' WHERE id = "),
+		req.Param("id"), // BUG: unescaped
+	)
+	res, err := a.DB.Query(q)
+	if err != nil {
+		return err
+	}
+	return resp.WriteRaw(fmt.Sprintf("updated %d", res.Affected))
+}
+
+// handleView is a correctly written page (quoting via the sanitizer), for
+// checking that the assertion does not break legitimate queries.
+func (a *App) handleView(req *httpd.Request, resp *httpd.Response) error {
+	q := core.Format("SELECT name, score, comment FROM applicants WHERE name = %s",
+		sanitize.SQLQuote(req.Param("name")))
+	res, err := a.DB.Query(q)
+	if err != nil {
+		return err
+	}
+	if res.Len() == 0 {
+		resp.Status = 404
+		return fmt.Errorf("admissions: no applicant %q", req.ParamRaw("name"))
+	}
+	return resp.Write(core.Format("%s score=%d comment=%s",
+		sanitize.HTMLEscape(res.Get(0, "name").Str),
+		res.Get(0, "score").Int,
+		sanitize.HTMLEscape(res.Get(0, "comment").Str)))
+}
+
+// Score returns an applicant's current score (test helper).
+func (a *App) Score(id int) int64 {
+	res, err := a.DB.Query(core.Format("SELECT score FROM applicants WHERE id = %d", int64(id)))
+	if err != nil || res.Len() == 0 {
+		return -1
+	}
+	return res.Get(0, "score").Int.Value()
+}

@@ -1,0 +1,26 @@
+package admissions
+
+// The RESIN SQL injection assertion for the admissions system (Table 4:
+// 9 LoC in the paper). Strategy 2 of §5.3: untrusted characters may not
+// land in the structure of any query — keywords, identifiers, operators,
+// whitespace, comments. Inputs are already tainted by the HTTP substrate;
+// nothing else changes.
+
+import (
+	_ "embed"
+)
+
+// AssertionSource is this file's source, embedded for LoC accounting.
+//
+//go:embed assertions.go
+var AssertionSource string
+
+// BEGIN ASSERTION: admissions-sql-injection
+
+// enableInjectionAssertion turns on the tainted-structure check in the
+// database's RESIN SQL filter.
+func (a *App) enableInjectionAssertion() {
+	a.DB.Filter().RejectTaintedStructure(true)
+}
+
+// END ASSERTION

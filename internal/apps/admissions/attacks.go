@@ -1,0 +1,80 @@
+package admissions
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+func newInstance(withAssertions bool) *App {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	return New(rt, withAssertions)
+}
+
+func blockedBy(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := core.IsAssertionError(err); ok {
+		return err
+	}
+	return nil
+}
+
+// AttackSearchInjection dumps every applicant through the search page:
+// the classic quote breakout.
+func AttackSearchInjection(withAssertions bool) (leaked bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("committee-intern")
+	resp, err := a.Server.Do("GET", "/committee/search",
+		map[string]string{"name": "x' OR name != '"}, s)
+	leaked = strings.Contains(resp.RawBody(), "TOP SECRET") ||
+		strings.Count(resp.RawBody(), "gpa=") >= 3
+	return leaked, blockedBy(err)
+}
+
+// AttackScoreInjection rewrites every applicant's score through the
+// unquoted id parameter.
+func AttackScoreInjection(withAssertions bool) (tampered bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("committee-intern")
+	_, err := a.Server.Do("GET", "/committee/setscore",
+		map[string]string{"score": "100", "id": "1 OR 1=1"}, s)
+	tampered = a.Score(2) == 100 && a.Score(3) == 100
+	return tampered, blockedBy(err)
+}
+
+// AttackCommentInjection appends an extra SET clause through the comment
+// text, silently boosting the attacker's preferred applicant.
+func AttackCommentInjection(withAssertions bool) (tampered bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("committee-intern")
+	_, err := a.Server.Do("GET", "/committee/comment",
+		map[string]string{"text": "fine', score = 99 WHERE id = 2 -- ", "id": "1"}, s)
+	tampered = a.Score(2) == 99
+	return tampered, blockedBy(err)
+}
+
+// LegitimateSearch checks that ordinary committee searches still work —
+// including names with apostrophes through the correctly-quoted view page.
+func LegitimateSearch(withAssertions bool) (ok bool, err error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("committee-member")
+	resp, err := a.Server.Do("GET", "/committee/search",
+		map[string]string{"name": "alice chen"}, s)
+	if err != nil {
+		return false, err
+	}
+	if !strings.Contains(resp.RawBody(), "alice chen") {
+		return false, nil
+	}
+	resp, err = a.Server.Do("GET", "/committee/view",
+		map[string]string{"name": "bob iyer"}, s)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(resp.RawBody(), "great letters"), nil
+}

@@ -1,0 +1,103 @@
+package filemgr
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+func newInstance(v Variant, withAssertions bool) *App {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	return New(rt, v, withAssertions)
+}
+
+// AttackFileThingieTraversal mounts the File Thingie directory traversal:
+// the upload name passes the manager's own validation but escapes the
+// home via an embedded "..", overwriting the server configuration.
+func AttackFileThingieTraversal(withAssertions bool) (escaped bool, blockErr error) {
+	a := newInstance(FileThingie, withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	a.AddUser("mallory")
+	_, err := a.Server.Do("GET", "/upload", map[string]string{
+		"name":    "photos/../../../../config/app.conf",
+		"content": "admin_password=owned",
+	}, mallory)
+	conf, rerr := a.FS.ReadFile("/srv/config/app.conf", nil)
+	if rerr != nil {
+		return false, err
+	}
+	escaped = strings.Contains(conf.Raw(), "owned")
+	return escaped, err
+}
+
+// AttackPHPNavigatorTraversal mounts the PHP Navigator traversal: the
+// move destination is unvalidated, so a home file can be moved over a file
+// outside the home (here, planting a config into the server directory).
+func AttackPHPNavigatorTraversal(withAssertions bool) (escaped bool, blockErr error) {
+	a := newInstance(PHPNavigator, withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	a.AddUser("mallory")
+	// Stage a payload inside the home (legitimate).
+	if _, err := a.Server.Do("GET", "/upload", map[string]string{
+		"name": "payload.conf", "content": "admin_password=owned",
+	}, mallory); err != nil {
+		return false, err
+	}
+	_, err := a.Server.Do("GET", "/move", map[string]string{
+		"src": "payload.conf",
+		"dst": "../../../config/evil.conf",
+	}, mallory)
+	escaped = a.FS.Exists("/srv/config/evil.conf")
+	return escaped, err
+}
+
+// AttackCrossHomeWrite has mallory write into bob's home through the
+// traversal; the per-home filter is what blocks it.
+func AttackCrossHomeWrite(withAssertions bool) (escaped bool, blockErr error) {
+	a := newInstance(FileThingie, withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	a.AddUser("mallory")
+	_, err := a.Server.Do("GET", "/upload", map[string]string{
+		"name":    "x/../../bob/planted.txt",
+		"content": "gotcha",
+	}, mallory)
+	escaped = a.FS.Exists(home("bob") + "/planted.txt")
+	return escaped, err
+}
+
+// LegitimateUpload checks that ordinary uploads inside the home still
+// work with the assertion installed.
+func LegitimateUpload(v Variant, withAssertions bool) (ok bool, err error) {
+	a := newInstance(v, withAssertions)
+	alice := a.Server.NewSession("alice")
+	if _, err = a.Server.Do("GET", "/upload", map[string]string{
+		"name": "notes/todo.txt", "content": "ship it",
+	}, alice); err != nil {
+		return false, err
+	}
+	resp, err := a.Server.Do("GET", "/view", map[string]string{"name": "notes/todo.txt"}, alice)
+	if err != nil {
+		return false, err
+	}
+	return resp.RawBody() == "ship it", nil
+}
+
+// LegitimateMove checks that in-home moves still work.
+func LegitimateMove(withAssertions bool) (ok bool, err error) {
+	a := newInstance(PHPNavigator, withAssertions)
+	alice := a.Server.NewSession("alice")
+	if _, err = a.Server.Do("GET", "/upload", map[string]string{
+		"name": "a.txt", "content": "x",
+	}, alice); err != nil {
+		return false, err
+	}
+	if _, err = a.Server.Do("GET", "/move", map[string]string{
+		"src": "a.txt", "dst": "b.txt",
+	}, alice); err != nil {
+		return false, err
+	}
+	return a.FS.Exists(home("alice")+"/b.txt") && !a.FS.Exists(home("alice")+"/a.txt"), nil
+}

@@ -1,0 +1,430 @@
+// Package forum re-implements the phpBB slice the RESIN paper evaluates:
+// forums with per-forum read ACLs and messages rendered through many
+// paths. It contains the Table 4 vulnerabilities:
+//
+//   - missing read access checks (1 previously known + 3 newly discovered,
+//     all prevented by one 23-LoC assertion): a printer-friendly view that
+//     forgot its check, the §6.3 reply-quote path, and two third-party
+//     plugins ("latest posts" and search) written without knowledge of the
+//     access rules;
+//
+//   - cross-site scripting (4 previously known, prevented by one 22-LoC
+//     assertion): raw signature rendering, the §6.3 whois path, a search
+//     page echoing the query, and a post view rendering subjects raw.
+package forum
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/sanitize"
+	"resin/internal/sqldb"
+	"resin/internal/whois"
+)
+
+// Forum is a seeded forum board.
+type Forum struct {
+	ID      int
+	Name    string
+	Readers []string // user names; "*" = everyone
+}
+
+// Message is a seeded post.
+type Message struct {
+	ID      int
+	Forum   int
+	Author  string
+	Subject string
+	Body    string
+}
+
+// App is one forum instance.
+type App struct {
+	RT     *core.Runtime
+	DB     *sqldb.DB
+	Server *httpd.Server
+	Whois  *whois.Client
+
+	mu     sync.Mutex
+	nextID int
+
+	assertions bool
+}
+
+// New builds a forum over rt: schema, seed data, and handlers (including
+// the vulnerable plugins). whoisSrv is the external whois service the
+// /whois page queries.
+func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
+	a := &App{
+		RT:         rt,
+		DB:         sqldb.Open(rt),
+		Server:     httpd.NewServer(rt),
+		Whois:      whois.NewClient(rt, whoisSrv),
+		assertions: withAssertions,
+	}
+	a.DB.MustExec("CREATE TABLE users (name TEXT, signature TEXT)")
+	a.DB.MustExec("CREATE TABLE forums (id INT, name TEXT, readers TEXT)")
+	a.DB.MustExec("CREATE TABLE messages (id INT, forum INT, author TEXT, subject TEXT, body TEXT)")
+
+	if withAssertions {
+		a.enableXSSAssertion()
+	}
+
+	for _, f := range []Forum{
+		{ID: 1, Name: "general", Readers: []string{"*"}},
+		{ID: 2, Name: "staff", Readers: []string{"admin", "mod"}},
+	} {
+		a.AddForum(f)
+	}
+	a.seedMessage(Message{Forum: 1, Author: "admin", Subject: "welcome", Body: "welcome to the board"})
+	a.seedMessage(Message{Forum: 2, Author: "admin", Subject: "ops",
+		Body: "the staff backup password is root123"})
+
+	a.Server.Handle("/register", a.handleRegister)
+	a.Server.Handle("/setsig", a.handleSetSig)
+	a.Server.Handle("/post", a.handlePost)
+	a.Server.Handle("/topic", a.handleTopic)
+	a.Server.Handle("/viewpost", a.handleViewPost)
+	a.Server.Handle("/reply", a.handleReply)
+	a.Server.Handle("/printview", a.handlePrintView)
+	a.Server.Handle("/profile", a.handleProfile)
+	a.Server.Handle("/whois", a.handleWhois)
+	a.Server.Handle("/plugin/latest", a.pluginLatest)
+	a.Server.Handle("/plugin/search", a.pluginSearch)
+	return a
+}
+
+// AddForum stores a forum definition.
+func (a *App) AddForum(f Forum) {
+	q := core.Format("INSERT INTO forums (id, name, readers) VALUES (%d, %s, %s)",
+		int64(f.ID), sanitize.SQLQuote(core.NewString(f.Name)),
+		sanitize.SQLQuote(core.NewString(strings.Join(f.Readers, ","))))
+	if _, err := a.DB.Query(q); err != nil {
+		panic(fmt.Sprintf("forum: seed forum: %v", err))
+	}
+}
+
+// forumReaders returns a forum's reader list.
+func (a *App) forumReaders(id int) ([]string, error) {
+	res, err := a.DB.Query(core.Format("SELECT readers FROM forums WHERE id = %d", int64(id)))
+	if err != nil {
+		return nil, err
+	}
+	if res.Len() == 0 {
+		return nil, fmt.Errorf("forum: no forum %d", id)
+	}
+	return strings.Split(res.Get(0, "readers").Str.Raw(), ","), nil
+}
+
+func mayRead(readers []string, user string) bool {
+	for _, r := range readers {
+		if r == "*" || r == user {
+			return true
+		}
+	}
+	return false
+}
+
+// storeMessage inserts a message; with assertions on, subject and body are
+// annotated with a MessagePolicy carrying the forum's reader list, which
+// the SQL filter persists (so every later fetch gets the policy back, no
+// matter which code path fetches it).
+func (a *App) storeMessage(m Message, subject, body core.String) (int, error) {
+	a.mu.Lock()
+	a.nextID++
+	id := a.nextID
+	a.mu.Unlock()
+	if a.assertions {
+		readers, err := a.forumReaders(m.Forum)
+		if err != nil {
+			return 0, err
+		}
+		mp := &MessagePolicy{Readers: readers}
+		subject = a.RT.PolicyAdd(subject, mp)
+		body = a.RT.PolicyAdd(body, mp)
+	}
+	q := core.Format("INSERT INTO messages (id, forum, author, subject, body) VALUES (%d, %d, %s, %s, %s)",
+		int64(id), int64(m.Forum), sanitize.SQLQuote(core.NewString(m.Author)),
+		sanitize.SQLQuote(subject), sanitize.SQLQuote(body))
+	if _, err := a.DB.Query(q); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (a *App) seedMessage(m Message) {
+	if _, err := a.storeMessage(m, core.NewString(m.Subject), core.NewString(m.Body)); err != nil {
+		panic(fmt.Sprintf("forum: seed message: %v", err))
+	}
+}
+
+// fetchMessage returns (forum, author, subject, body) for a message id.
+func (a *App) fetchMessage(id int) (int, string, core.String, core.String, error) {
+	res, err := a.DB.Query(core.Format(
+		"SELECT forum, author, subject, body FROM messages WHERE id = %d", int64(id)))
+	if err != nil {
+		return 0, "", core.String{}, core.String{}, err
+	}
+	if res.Len() == 0 {
+		return 0, "", core.String{}, core.String{}, fmt.Errorf("forum: no message %d", id)
+	}
+	return int(res.Get(0, "forum").Int.Value()), res.Get(0, "author").Str.Raw(),
+		res.Get(0, "subject").Str, res.Get(0, "body").Str, nil
+}
+
+func annotate(req *httpd.Request, resp *httpd.Response) string {
+	user := ""
+	if req.Session != nil {
+		user = req.Session.User
+	}
+	resp.Channel().Context().Set("user", user)
+	return user
+}
+
+func intParam(req *httpd.Request, name string) (int, error) {
+	return strconv.Atoi(req.ParamRaw(name))
+}
+
+// handleRegister creates an account.
+func (a *App) handleRegister(req *httpd.Request, resp *httpd.Response) error {
+	name := req.Param("name")
+	q := core.Format("INSERT INTO users (name, signature) VALUES (%s, '')",
+		sanitize.SQLQuote(name))
+	if _, err := a.DB.Query(q); err != nil {
+		return err
+	}
+	return resp.WriteRaw("registered")
+}
+
+// handleSetSig stores the session user's signature (tainted input,
+// persisted with its taint).
+func (a *App) handleSetSig(req *httpd.Request, resp *httpd.Response) error {
+	user := annotate(req, resp)
+	q := core.Format("UPDATE users SET signature = %s WHERE name = %s",
+		sanitize.SQLQuote(req.Param("sig")), sanitize.SQLQuote(core.NewString(user)))
+	if _, err := a.DB.Query(q); err != nil {
+		return err
+	}
+	return resp.WriteRaw("saved")
+}
+
+// handlePost stores a new message after a CORRECT access check.
+func (a *App) handlePost(req *httpd.Request, resp *httpd.Response) error {
+	user := annotate(req, resp)
+	forumID, err := intParam(req, "forum")
+	if err != nil {
+		resp.Status = 400
+		return err
+	}
+	readers, err := a.forumReaders(forumID)
+	if err != nil {
+		resp.Status = 404
+		return err
+	}
+	if !mayRead(readers, user) {
+		resp.Status = 403
+		return fmt.Errorf("forum: %s may not post to forum %d", user, forumID)
+	}
+	id, err := a.storeMessage(Message{Forum: forumID, Author: user},
+		req.Param("subject"), req.Param("body"))
+	if err != nil {
+		return err
+	}
+	return resp.WriteRaw("posted #" + strconv.Itoa(id))
+}
+
+// handleTopic lists a forum's messages after a CORRECT access check,
+// escaping everything it renders.
+func (a *App) handleTopic(req *httpd.Request, resp *httpd.Response) error {
+	user := annotate(req, resp)
+	forumID, err := intParam(req, "forum")
+	if err != nil {
+		resp.Status = 400
+		return err
+	}
+	readers, err := a.forumReaders(forumID)
+	if err != nil {
+		resp.Status = 404
+		return err
+	}
+	if !mayRead(readers, user) {
+		resp.Status = 403
+		return fmt.Errorf("forum: %s may not read forum %d", user, forumID)
+	}
+	res, err := a.DB.Query(core.Format(
+		"SELECT subject, body, author FROM messages WHERE forum = %d ORDER BY id", int64(forumID)))
+	if err != nil {
+		return err
+	}
+	resp.WriteRaw("<html><body>")
+	for i := 0; i < res.Len(); i++ {
+		out := core.Format("<div><h2>%s</h2><p>%s</p><i>by %s</i></div>\n",
+			sanitize.HTMLEscape(res.Get(i, "subject").Str),
+			sanitize.HTMLEscape(res.Get(i, "body").Str),
+			sanitize.HTMLEscape(res.Get(i, "author").Str))
+		if werr := resp.Write(out); werr != nil {
+			return werr
+		}
+	}
+	resp.WriteRaw("</body></html>")
+	return nil
+}
+
+// handleViewPost shows one message with a CORRECT access check — but it
+// renders the subject unescaped (known XSS #4).
+func (a *App) handleViewPost(req *httpd.Request, resp *httpd.Response) error {
+	user := annotate(req, resp)
+	id, err := intParam(req, "msg")
+	if err != nil {
+		resp.Status = 400
+		return err
+	}
+	forumID, author, subject, body, err := a.fetchMessage(id)
+	if err != nil {
+		resp.Status = 404
+		return err
+	}
+	readers, err := a.forumReaders(forumID)
+	if err != nil {
+		return err
+	}
+	if !mayRead(readers, user) {
+		resp.Status = 403
+		return fmt.Errorf("forum: %s may not read message %d", user, id)
+	}
+	// BUG (XSS): subject is rendered without escaping.
+	if werr := resp.Write(core.Format("<h2>%s</h2>", subject)); werr != nil {
+		return werr
+	}
+	return resp.Write(core.Format("<p>%s</p><i>by %s</i>",
+		sanitize.HTMLEscape(body), sanitize.HTMLEscape(core.NewString(author))))
+}
+
+// handleReply is the §6.3 reply-quote bug: it quotes the original message
+// into the reply form WITHOUT checking that the replier may read it.
+func (a *App) handleReply(req *httpd.Request, resp *httpd.Response) error {
+	annotate(req, resp)
+	id, err := intParam(req, "msg")
+	if err != nil {
+		resp.Status = 400
+		return err
+	}
+	_, author, subject, body, err := a.fetchMessage(id)
+	if err != nil {
+		resp.Status = 404
+		return err
+	}
+	// BUG: no access check on the quoted original.
+	quoted := core.Format("<form><textarea>[quote=%s] %s [/quote]</textarea></form>",
+		sanitize.HTMLEscape(core.NewString(author)), sanitize.HTMLEscape(body))
+	if werr := resp.Write(core.Format("<h2>Re: %s</h2>", sanitize.HTMLEscape(subject))); werr != nil {
+		return werr
+	}
+	return resp.Write(quoted)
+}
+
+// handlePrintView is the previously-known CVE-style bug: the
+// printer-friendly view forgot the access check entirely.
+func (a *App) handlePrintView(req *httpd.Request, resp *httpd.Response) error {
+	annotate(req, resp)
+	id, err := intParam(req, "msg")
+	if err != nil {
+		resp.Status = 400
+		return err
+	}
+	_, author, subject, body, err := a.fetchMessage(id)
+	if err != nil {
+		resp.Status = 404
+		return err
+	}
+	// BUG: no access check at all.
+	return resp.Write(core.Format("<pre>%s\n%s\n-- %s</pre>",
+		sanitize.HTMLEscape(subject), sanitize.HTMLEscape(body),
+		sanitize.HTMLEscape(core.NewString(author))))
+}
+
+// handleProfile renders a user's profile — with the signature unescaped
+// (known XSS #1).
+func (a *App) handleProfile(req *httpd.Request, resp *httpd.Response) error {
+	annotate(req, resp)
+	res, err := a.DB.Query(core.Format("SELECT signature FROM users WHERE name = %s",
+		sanitize.SQLQuote(req.Param("user"))))
+	if err != nil {
+		return err
+	}
+	if res.Len() == 0 {
+		resp.Status = 404
+		return fmt.Errorf("forum: no user %q", req.ParamRaw("user"))
+	}
+	// BUG (XSS): signature rendered raw.
+	return resp.Write(core.Format("<div class=\"sig\">%s</div>", res.Get(0, "signature").Str))
+}
+
+// handleWhois is the §6.3 unusual XSS path: the whois response is
+// incorporated into HTML without sanitization.
+func (a *App) handleWhois(req *httpd.Request, resp *httpd.Response) error {
+	annotate(req, resp)
+	rec, err := a.Whois.Lookup(req.ParamRaw("ip"))
+	if err != nil {
+		resp.Status = 404
+		return err
+	}
+	// BUG (XSS): whois data rendered raw.
+	return resp.Write(core.Format("<pre>%s</pre>", rec))
+}
+
+// pluginLatest is a third-party plugin (discovered bug): it shows recent
+// posts across ALL forums, with no per-forum access checks. The plugin
+// author did escape the output — the bug is access control, not XSS.
+func (a *App) pluginLatest(req *httpd.Request, resp *httpd.Response) error {
+	annotate(req, resp)
+	res, err := a.DB.Query(core.NewString(
+		"SELECT subject, body FROM messages ORDER BY id DESC LIMIT 5"))
+	if err != nil {
+		return err
+	}
+	resp.WriteRaw("<ul>")
+	for i := 0; i < res.Len(); i++ {
+		// BUG: no access check on which forum each message belongs to.
+		out := core.Format("<li>%s: %s</li>",
+			sanitize.HTMLEscape(res.Get(i, "subject").Str),
+			sanitize.HTMLEscape(res.Get(i, "body").Str))
+		if werr := resp.Write(out); werr != nil {
+			return werr
+		}
+	}
+	resp.WriteRaw("</ul>")
+	return nil
+}
+
+// pluginSearch is another third-party plugin with two bugs: it searches
+// all forums regardless of access (discovered), and it echoes the query
+// unescaped (known XSS #3).
+func (a *App) pluginSearch(req *httpd.Request, resp *httpd.Response) error {
+	annotate(req, resp)
+	q := req.Param("q")
+	// BUG (XSS): query echoed raw.
+	if werr := resp.Write(core.Format("<h2>Results for %s</h2>", q)); werr != nil {
+		return werr
+	}
+	res, err := a.DB.Query(core.Format(
+		"SELECT subject, body FROM messages WHERE body LIKE %s ORDER BY id",
+		sanitize.SQLQuote(core.Concat(core.NewString("%"), q, core.NewString("%")))))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < res.Len(); i++ {
+		// BUG: no access check on matched messages.
+		out := core.Format("<div>%s: %s</div>",
+			sanitize.HTMLEscape(res.Get(i, "subject").Str),
+			sanitize.HTMLEscape(res.Get(i, "body").Str))
+		if werr := resp.Write(out); werr != nil {
+			return werr
+		}
+	}
+	return nil
+}

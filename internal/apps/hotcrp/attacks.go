@@ -1,0 +1,109 @@
+package hotcrp
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+// Attack scenarios for the security evaluation (Table 4). Each builds a
+// fresh instance — with the RESIN assertions installed or not — mounts the
+// attack, and reports whether the secret leaked and what error (if any)
+// blocked the flow.
+
+// newInstance builds an app for an attack run. Without assertions the
+// runtime is untracked, modelling unmodified HotCRP on the unmodified
+// interpreter.
+func newInstance(withAssertions bool) *App {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	return New(rt, withAssertions)
+}
+
+// AttackPasswordPreview mounts the §2 password disclosure (CVE-style,
+// previously known): with email preview mode on, an adversary requests a
+// password reminder for the victim's account and reads the password from
+// their own browser.
+func AttackPasswordPreview(withAssertions bool) (leaked bool, blockErr error) {
+	a := newInstance(withAssertions)
+	a.EmailPreview = true
+	attacker := a.Server.NewSession("attacker@evil.com")
+	resp, err := a.Server.Do("GET", "/remind", map[string]string{"email": "victim@conf.org"}, attacker)
+	leaked = strings.Contains(resp.RawBody(), "victim-secret-99")
+	if err != nil {
+		if _, ok := core.IsAssertionError(err); ok {
+			blockErr = err
+		}
+	}
+	return leaked, blockErr
+}
+
+// LegitimateReminder checks that the password reminder still works when
+// addressed to the account owner with preview off — the assertion must not
+// break the feature.
+func LegitimateReminder(withAssertions bool) (delivered bool, err error) {
+	a := newInstance(withAssertions)
+	sess := a.Server.NewSession("victim@conf.org")
+	if _, err = a.Server.Do("GET", "/remind", map[string]string{"email": "victim@conf.org"}, sess); err != nil {
+		return false, err
+	}
+	sent := a.Mailer.Sent()
+	return len(sent) == 1 && sent[0].To == "victim@conf.org" &&
+		strings.Contains(sent[0].Body.Raw(), "victim-secret-99"), nil
+}
+
+// ChairPreview checks that the program chair may still preview reminder
+// email in the browser (the explicit exception in Figure 2).
+func ChairPreview(withAssertions bool) (shown bool, err error) {
+	a := newInstance(withAssertions)
+	a.EmailPreview = true
+	chair := a.Server.NewSession("chair@conf.org")
+	resp, err := a.Server.Do("GET", "/remind", map[string]string{"email": "victim@conf.org"}, chair)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(resp.RawBody(), "victim-secret-99"), nil
+}
+
+// PaperPageForPC renders the anonymous paper for a PC member: title and
+// abstract must appear; the author list must render as "Anonymous".
+func PaperPageForPC(withAssertions bool) (body string, err error) {
+	a := newInstance(withAssertions)
+	pc := a.Server.NewSession("pc@conf.org")
+	resp, err := a.Server.Do("GET", "/paper", map[string]string{"id": "1"}, pc)
+	if err != nil {
+		return "", err
+	}
+	return resp.RawBody(), nil
+}
+
+// PaperPageForAuthor renders the anonymous paper for one of its authors:
+// the real author list must appear.
+func PaperPageForAuthor(withAssertions bool) (body string, err error) {
+	a := newInstance(withAssertions)
+	au := a.Server.NewSession("author@uni.edu")
+	resp, err := a.Server.Do("GET", "/paper", map[string]string{"id": "1"}, au)
+	if err != nil {
+		return "", err
+	}
+	return resp.RawBody(), nil
+}
+
+// AttackOutsiderPaperAccess has a logged-in non-PC outsider request a
+// paper page; the PaperPolicy assertion must deny the title/abstract.
+// (No known CVE — the paper lists this assertion with zero prevented
+// vulnerabilities; it is defense in depth.)
+func AttackOutsiderPaperAccess(withAssertions bool) (leaked bool, blockErr error) {
+	a := newInstance(withAssertions)
+	outsider := a.Server.NewSession("rando@else.where")
+	resp, err := a.Server.Do("GET", "/paper", map[string]string{"id": "1"}, outsider)
+	leaked = strings.Contains(resp.RawBody(), "Data Flow Assertions")
+	if err != nil {
+		if _, ok := core.IsAssertionError(err); ok {
+			blockErr = err
+		}
+	}
+	return leaked, blockErr
+}

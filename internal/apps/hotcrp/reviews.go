@@ -1,0 +1,152 @@
+package hotcrp
+
+// Review support: the paper's introduction names HotCRP's "own data flow
+// rules relating to ... reviewer conflicts of interest" and "who may read
+// a paper's reviews" (§1, §2). This file adds the review store and the
+// two review assertions as an extension beyond the Table 4 rows:
+//
+//   - ReviewPolicy: review text may flow only to PC members and to the
+//     paper's own authors;
+//   - ReviewerIdentityPolicy: the reviewer's identity may flow only to PC
+//     members — authors see the text but never who wrote it (rendered
+//     with the §5.5 output-buffering pattern).
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/sanitize"
+)
+
+// ReviewPolicy guards review text.
+type ReviewPolicy struct {
+	PaperID int `json:"paper_id"`
+}
+
+// ExportCheck allows PC members, the chair, and the paper's authors.
+func (p *ReviewPolicy) ExportCheck(ctx *core.Context) error {
+	if ctx.Type() != core.KindHTTP {
+		return errors.New("reviews may leave only via HTTP")
+	}
+	if ctx.GetBool("privChair") || ctx.GetBool("pc") {
+		return nil
+	}
+	user, _ := ctx.GetString("user")
+	if paperHasAuthor(ctx, p.PaperID, user) {
+		return nil
+	}
+	return errors.New("insufficient access to review")
+}
+
+// ReviewerIdentityPolicy guards the reviewer's name.
+type ReviewerIdentityPolicy struct {
+	PaperID int `json:"paper_id"`
+}
+
+// ExportCheck allows only PC members and the chair.
+func (p *ReviewerIdentityPolicy) ExportCheck(ctx *core.Context) error {
+	if ctx.Type() == core.KindHTTP && (ctx.GetBool("privChair") || ctx.GetBool("pc")) {
+		return nil
+	}
+	return errors.New("reviewer identity is confidential")
+}
+
+func init() {
+	core.RegisterPolicyClass("hotcrp.ReviewPolicy", &ReviewPolicy{})
+	core.RegisterPolicyClass("hotcrp.ReviewerIdentityPolicy", &ReviewerIdentityPolicy{})
+}
+
+// EnableReviews creates the review store and registers the review page.
+// Call before adding reviews.
+func (a *App) EnableReviews() {
+	a.DB.MustExec("CREATE TABLE reviews (paper INT, reviewer TEXT, body TEXT)")
+	a.Server.Handle("/reviews", a.handleReviews)
+}
+
+// AddReview stores a review; with assertions on, text and reviewer carry
+// their policies into the database.
+func (a *App) AddReview(paperID int, reviewer, text string) error {
+	rv := core.NewString(reviewer)
+	tx := core.NewString(text)
+	if a.assertions {
+		rv = a.RT.PolicyAdd(rv, &ReviewerIdentityPolicy{PaperID: paperID})
+		tx = a.RT.PolicyAdd(tx, &ReviewPolicy{PaperID: paperID})
+	}
+	q := core.Format("INSERT INTO reviews (paper, reviewer, body) VALUES (%d, %s, %s)",
+		int64(paperID), sanitize.SQLQuote(rv), sanitize.SQLQuote(tx))
+	_, err := a.DB.Query(q)
+	return err
+}
+
+// handleReviews renders a paper's reviews. With assertions on, there are
+// no explicit access checks here at all: the policies decide, and the
+// reviewer identity line falls back to "Reviewer" via output buffering
+// when the identity policy objects. Without assertions, the equivalent
+// explicit checks run (the unmodified-HotCRP behaviour).
+func (a *App) handleReviews(req *httpd.Request, resp *httpd.Response) error {
+	a.annotate(req, resp)
+	id, err := strconv.Atoi(req.ParamRaw("id"))
+	if err != nil {
+		resp.Status = 400
+		return fmt.Errorf("hotcrp: bad paper id %q", req.ParamRaw("id"))
+	}
+	res, err := a.DB.Query(core.Format(
+		"SELECT reviewer, body FROM reviews WHERE paper = %d", int64(id)))
+	if err != nil {
+		return err
+	}
+	user := ""
+	if req.Session != nil {
+		user = req.Session.User
+	}
+	chair, pc := a.userInfo(user)
+	resp.WriteRaw("<html><body><h1>Reviews for #" + strconv.Itoa(id) + "</h1>\n")
+	for i := 0; i < res.Len(); i++ {
+		reviewer := res.Get(i, "reviewer").Str
+		text := res.Get(i, "body").Str
+		if a.assertions {
+			ch := resp.Channel()
+			ch.BeginBuffer()
+			if werr := resp.Write(core.Format("<h3>%s</h3>", sanitize.HTMLEscape(reviewer))); werr != nil {
+				if derr := ch.DiscardBuffer(); derr != nil {
+					return derr
+				}
+				resp.WriteRaw("<h3>Reviewer</h3>")
+			} else if rerr := ch.ReleaseBuffer(); rerr != nil {
+				return rerr
+			}
+		} else {
+			if chair || pc {
+				resp.Write(core.Format("<h3>%s</h3>", sanitize.HTMLEscape(reviewer)))
+			} else {
+				resp.WriteRaw("<h3>Reviewer</h3>")
+			}
+		}
+		if !a.assertions {
+			// Unmodified HotCRP: explicit text access check.
+			isAuthor := a.isPaperAuthor(id, user)
+			if !chair && !pc && !isAuthor {
+				resp.Status = 403
+				return fmt.Errorf("hotcrp: %s may not read reviews of #%d", user, id)
+			}
+		}
+		if werr := resp.Write(core.Format("<p>%s</p>\n", sanitize.HTMLEscape(text))); werr != nil {
+			return werr
+		}
+	}
+	resp.WriteRaw("</body></html>")
+	return nil
+}
+
+// isPaperAuthor checks authorship via the papers table.
+func (a *App) isPaperAuthor(paperID int, user string) bool {
+	if user == "" {
+		return false
+	}
+	ctx := core.NewContext(core.KindHTTP)
+	ctx.Set("db", a.DB)
+	return paperHasAuthor(ctx, paperID, user)
+}

@@ -1,0 +1,103 @@
+package hotcrp
+
+import (
+	"strings"
+	"testing"
+)
+
+func reviewApp(t *testing.T, withAssertions bool) *App {
+	t.Helper()
+	a := newInstance(withAssertions)
+	a.EnableReviews()
+	if err := a.AddReview(1, "pc@conf.org", "Strong accept. Clean design."); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddReview(1, "chair@conf.org", "Accept with revisions."); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestReviewsVisibleToPCWithIdentity(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		a := reviewApp(t, on)
+		pc := a.Server.NewSession("pc@conf.org")
+		resp, err := a.Server.Do("GET", "/reviews", map[string]string{"id": "1"}, pc)
+		if err != nil {
+			t.Fatalf("assertions=%v: %v", on, err)
+		}
+		body := resp.RawBody()
+		if !strings.Contains(body, "Strong accept") || !strings.Contains(body, "pc@conf.org") {
+			t.Errorf("assertions=%v: PC view incomplete: %q", on, body)
+		}
+	}
+}
+
+func TestReviewsTextVisibleToAuthorIdentityHidden(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		a := reviewApp(t, on)
+		author := a.Server.NewSession("author@uni.edu")
+		resp, err := a.Server.Do("GET", "/reviews", map[string]string{"id": "1"}, author)
+		if err != nil {
+			t.Fatalf("assertions=%v: %v", on, err)
+		}
+		body := resp.RawBody()
+		if !strings.Contains(body, "Strong accept") {
+			t.Errorf("assertions=%v: author should see review text: %q", on, body)
+		}
+		if strings.Contains(body, "pc@conf.org") || strings.Contains(body, "chair@conf.org") {
+			t.Errorf("assertions=%v: reviewer identity leaked to author: %q", on, body)
+		}
+		if !strings.Contains(body, "<h3>Reviewer</h3>") {
+			t.Errorf("assertions=%v: identity placeholder missing: %q", on, body)
+		}
+	}
+}
+
+func TestReviewsBlockedForOutsiders(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		a := reviewApp(t, on)
+		outsider := a.Server.NewSession("rando@else.where")
+		resp, err := a.Server.Do("GET", "/reviews", map[string]string{"id": "1"}, outsider)
+		if err == nil {
+			t.Errorf("assertions=%v: outsider should be denied", on)
+		}
+		if strings.Contains(resp.RawBody(), "Strong accept") {
+			t.Errorf("assertions=%v: review text leaked: %q", on, resp.RawBody())
+		}
+	}
+}
+
+func TestReviewPoliciesPersistThroughDB(t *testing.T) {
+	a := reviewApp(t, true)
+	res, err := a.DB.QueryRaw("SELECT reviewer, body FROM reviews WHERE paper = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Get(0, "reviewer").Str.IsTainted() || !res.Get(0, "body").Str.IsTainted() {
+		t.Error("review policies should come back from the database")
+	}
+	var idPolicy, textPolicy bool
+	for _, p := range res.Get(0, "reviewer").Str.Policies().Policies() {
+		if _, ok := p.(*ReviewerIdentityPolicy); ok {
+			idPolicy = true
+		}
+	}
+	for _, p := range res.Get(0, "body").Str.Policies().Policies() {
+		if _, ok := p.(*ReviewPolicy); ok {
+			textPolicy = true
+		}
+	}
+	if !idPolicy || !textPolicy {
+		t.Error("wrong policy classes restored")
+	}
+}
+
+func TestReviewsBadRequest(t *testing.T) {
+	a := reviewApp(t, true)
+	pc := a.Server.NewSession("pc@conf.org")
+	resp, err := a.Server.Do("GET", "/reviews", map[string]string{"id": "xx"}, pc)
+	if err == nil || resp.Status != 400 {
+		t.Errorf("bad id: %v %d", err, resp.Status)
+	}
+}

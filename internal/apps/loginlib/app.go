@@ -1,0 +1,97 @@
+// Package loginlib re-implements the myPHPscripts login session library
+// the RESIN paper evaluates (425 LoC in the original). The library stores
+// its users' passwords in a plain-text file in the same HTTP-accessible
+// directory that contains the library's PHP files (CVE-2008-5855): an
+// adversary simply requests the password file with a browser.
+//
+// The assertion (6 LoC in the paper) is nearly identical to HotCRP's
+// password assertion — the only difference is that this library never
+// emails passwords, so no flow out of the system is ever legitimate. The
+// password file keeps its policies in the file's extended attributes, and
+// the RESIN-aware web server's static path (§3.4.1) refuses to serve it.
+package loginlib
+
+import (
+	"fmt"
+	"strings"
+
+	"resin/internal/core"
+	"resin/internal/httpd"
+	"resin/internal/vfs"
+)
+
+const (
+	docroot      = "/www"
+	passwordFile = docroot + "/login/users.txt"
+)
+
+// App hosts the login library inside a small site.
+type App struct {
+	RT     *core.Runtime
+	FS     *vfs.FS
+	Server *httpd.Server
+
+	assertions bool
+}
+
+// New builds the site: the library's directory lives inside the docroot,
+// exactly the deployment mistake of the CVE.
+func New(rt *core.Runtime, withAssertions bool) *App {
+	a := &App{
+		RT:         rt,
+		FS:         vfs.New(rt),
+		Server:     httpd.NewServer(rt),
+		assertions: withAssertions,
+	}
+	must(a.FS.MkdirAll(docroot+"/login", nil))
+	must(a.FS.WriteFile(docroot+"/index.html", core.NewString("<h1>my site</h1>"), nil))
+	a.Server.Handle("/register", a.handleRegister)
+	a.Server.Handle("/login", a.handleLogin)
+	a.Server.ServeStatic(a.FS, docroot)
+	return a
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("loginlib: %v", err))
+	}
+}
+
+// handleRegister appends "user:password" to the plain-text credential
+// file — with the assertion installed, the password bytes carry their
+// policy into the file's extended attributes.
+func (a *App) handleRegister(req *httpd.Request, resp *httpd.Response) error {
+	user := req.Param("user")
+	pw := req.Param("pw")
+	if user.IsEmpty() || pw.IsEmpty() || user.Contains(":") {
+		resp.Status = 400
+		return fmt.Errorf("loginlib: bad registration")
+	}
+	if a.assertions {
+		pw = a.RT.PolicyAdd(pw, &LoginPasswordPolicy{User: user.Raw()})
+	}
+	line := core.Concat(user, core.NewString(":"), pw, core.NewString("\n"))
+	if err := a.FS.AppendFile(passwordFile, line, nil); err != nil {
+		return err
+	}
+	return resp.WriteRaw("registered")
+}
+
+// handleLogin checks credentials against the file. Note the comparison is
+// control flow: RESIN deliberately does not track it, so login keeps
+// working with the assertion installed.
+func (a *App) handleLogin(req *httpd.Request, resp *httpd.Response) error {
+	data, err := a.FS.ReadFile(passwordFile, nil)
+	if err != nil {
+		resp.Status = 403
+		return fmt.Errorf("loginlib: no users registered")
+	}
+	want := req.ParamRaw("user") + ":" + req.ParamRaw("pw")
+	for _, line := range strings.Split(data.Raw(), "\n") {
+		if line == want {
+			return resp.WriteRaw("welcome " + req.ParamRaw("user"))
+		}
+	}
+	resp.Status = 403
+	return fmt.Errorf("loginlib: bad credentials")
+}

@@ -1,0 +1,38 @@
+package loginlib
+
+// The RESIN password assertion for the myPHPscripts login library
+// (Table 4: 6 LoC in the paper). Compare hotcrp.PasswordPolicy: the only
+// difference is that this library has no legitimate password flow at all,
+// so every export is a violation (§6.3: "the assertions for password
+// disclosure in HotCRP and myPHPscripts are very similar").
+
+import (
+	_ "embed"
+	"errors"
+
+	"resin/internal/core"
+)
+
+// AssertionSource is this file's source, embedded for LoC accounting.
+//
+//go:embed assertions.go
+var AssertionSource string
+
+// BEGIN ASSERTION: myphpscripts-password-disclosure
+
+// LoginPasswordPolicy forbids a stored password from ever leaving the
+// system.
+type LoginPasswordPolicy struct {
+	User string `json:"user"`
+}
+
+// ExportCheck vetoes every boundary.
+func (p *LoginPasswordPolicy) ExportCheck(ctx *core.Context) error {
+	return errors.New("password disclosure")
+}
+
+// END ASSERTION
+
+func init() {
+	core.RegisterPolicyClass("loginlib.LoginPasswordPolicy", &LoginPasswordPolicy{})
+}

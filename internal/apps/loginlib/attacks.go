@@ -1,0 +1,58 @@
+package loginlib
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+func newInstance(withAssertions bool) *App {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	return New(rt, withAssertions)
+}
+
+// AttackFetchPasswordFile mounts CVE-2008-5855: after a user registers,
+// the adversary requests the credential file straight from the web root.
+func AttackFetchPasswordFile(withAssertions bool) (leaked bool, blockErr error) {
+	a := newInstance(withAssertions)
+	victim := a.Server.NewSession("victim")
+	if _, err := a.Server.Do("GET", "/register",
+		map[string]string{"user": "victim", "pw": "hunter2"}, victim); err != nil {
+		return false, err
+	}
+	resp, err := a.Server.Do("GET", "/login/users.txt", nil, nil)
+	leaked = strings.Contains(resp.RawBody(), "hunter2")
+	if err != nil {
+		if _, ok := core.IsAssertionError(err); ok {
+			blockErr = err
+		}
+	}
+	return leaked, blockErr
+}
+
+// LegitimateLogin checks registration + login still work with the
+// assertion installed (credential comparison is control flow, which RESIN
+// does not restrict).
+func LegitimateLogin(withAssertions bool) (ok bool, err error) {
+	a := newInstance(withAssertions)
+	sess := a.Server.NewSession("victim")
+	if _, err = a.Server.Do("GET", "/register",
+		map[string]string{"user": "victim", "pw": "hunter2"}, sess); err != nil {
+		return false, err
+	}
+	resp, err := a.Server.Do("GET", "/login",
+		map[string]string{"user": "victim", "pw": "hunter2"}, sess)
+	if err != nil {
+		return false, err
+	}
+	if !strings.Contains(resp.RawBody(), "welcome victim") {
+		return false, nil
+	}
+	// Wrong password still rejected.
+	resp, _ = a.Server.Do("GET", "/login",
+		map[string]string{"user": "victim", "pw": "wrong"}, sess)
+	return resp.Status == 403, nil
+}

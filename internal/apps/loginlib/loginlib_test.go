@@ -1,0 +1,105 @@
+package loginlib
+
+import (
+	"strings"
+	"testing"
+
+	"resin/internal/core"
+)
+
+func TestPasswordFileFetch(t *testing.T) {
+	leaked, _ := AttackFetchPasswordFile(false)
+	if !leaked {
+		t.Fatal("the password file must be fetchable without the assertion")
+	}
+	leaked, blockErr := AttackFetchPasswordFile(true)
+	if leaked {
+		t.Fatal("assertion failed to stop the disclosure")
+	}
+	if blockErr == nil {
+		t.Fatal("fetch should be blocked by an assertion error")
+	}
+	ae, _ := core.IsAssertionError(blockErr)
+	if _, ok := ae.Policy.(*LoginPasswordPolicy); !ok {
+		t.Errorf("blocking policy = %T", ae.Policy)
+	}
+}
+
+func TestLegitimateLogin(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		ok, err := LegitimateLogin(on)
+		if err != nil || !ok {
+			t.Errorf("assertions=%v: ok=%v err=%v", on, ok, err)
+		}
+	}
+}
+
+func TestOnlyPasswordBytesGuarded(t *testing.T) {
+	// Character-level tracking: the username half of each line carries no
+	// policy; only the password bytes do.
+	a := newInstance(true)
+	sess := a.Server.NewSession("victim")
+	a.Server.Do("GET", "/register", map[string]string{"user": "victim", "pw": "hunter2"}, sess)
+	data, err := a.FS.ReadFile(passwordFile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := data.Raw()
+	colon := strings.Index(raw, ":")
+	isPw := func(p core.Policy) bool {
+		_, ok := p.(*LoginPasswordPolicy)
+		return ok
+	}
+	// The username bytes carry only the input taint, not the password
+	// policy; the password bytes carry both.
+	if data.Slice(0, colon).Policies().Any(isPw) {
+		t.Error("username bytes should not carry the password policy")
+	}
+	pwPart := data.Slice(colon+1, colon+1+len("hunter2"))
+	if !pwPart.HasPolicyEverywhere(isPw) {
+		t.Error("password bytes should carry the policy")
+	}
+}
+
+func TestOtherStaticFilesStillServed(t *testing.T) {
+	a := newInstance(true)
+	resp, err := a.Server.Do("GET", "/index.html", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.RawBody(), "my site") {
+		t.Errorf("index = %q", resp.RawBody())
+	}
+}
+
+func TestBadRegistration(t *testing.T) {
+	a := newInstance(true)
+	sess := a.Server.NewSession("x")
+	for _, params := range []map[string]string{
+		{"user": "", "pw": "p"},
+		{"user": "u", "pw": ""},
+		{"user": "a:b", "pw": "p"},
+	} {
+		resp, err := a.Server.Do("GET", "/register", params, sess)
+		if err == nil || resp.Status != 400 {
+			t.Errorf("registration %v should fail", params)
+		}
+	}
+}
+
+func TestMultipleUsersAppend(t *testing.T) {
+	a := newInstance(true)
+	s := a.Server.NewSession("x")
+	a.Server.Do("GET", "/register", map[string]string{"user": "u1", "pw": "p1"}, s)
+	a.Server.Do("GET", "/register", map[string]string{"user": "u2", "pw": "p2"}, s)
+	for _, on := range []bool{true} {
+		_ = on
+		ok, err := func() (bool, error) {
+			resp, err := a.Server.Do("GET", "/login", map[string]string{"user": "u2", "pw": "p2"}, s)
+			return strings.Contains(resp.RawBody(), "welcome u2"), err
+		}()
+		if err != nil || !ok {
+			t.Errorf("second user login: ok=%v err=%v", ok, err)
+		}
+	}
+}

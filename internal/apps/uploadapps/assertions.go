@@ -1,0 +1,31 @@
+package uploadapps
+
+// The RESIN server-side script injection assertion (Table 4: 12 LoC in
+// the paper, one assertion preventing known vulnerabilities in five
+// different applications). It is Data Flow Assertion 3: "the interpreter
+// may not interpret any user-supplied code."
+
+import (
+	_ "embed"
+
+	"resin/internal/script"
+)
+
+// AssertionSource is this file's source, embedded for LoC accounting.
+//
+//go:embed assertions.go
+var AssertionSource string
+
+// BEGIN ASSERTION: script-injection
+
+// enableScriptInjectionAssertion approves the code shipped with the
+// application (make_file_executable at install time) and replaces the
+// interpreter's import filter with one requiring the CodeApproval policy
+// on every character of loaded code.
+func (a *App) enableScriptInjectionAssertion() {
+	must(script.MakeFileExecutable(a.FS, appDir+"/main.rsl"))
+	must(script.MakeFileExecutable(a.FS, appDir+"/config.rsl"))
+	a.Interp.RequireApprovedCode()
+}
+
+// END ASSERTION

@@ -1,0 +1,111 @@
+package uploadapps
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+const evilCode = `echo secret();`
+
+func newInstance(withAssertions bool) *App {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	return New(rt, withAssertions)
+}
+
+func blockedBy(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := core.IsAssertionError(err); ok {
+		return err
+	}
+	return nil
+}
+
+// AttackPhpBBAttachmentMod (CVE-2004-1404): a multi-extension file passes
+// the attachment mod's extension check, then the server's script handler
+// executes it anyway.
+func AttackPhpBBAttachmentMod(withAssertions bool) (executed bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("attacker")
+	if _, err := a.Server.Do("GET", "/attach",
+		map[string]string{"name": "evil.rsl.png", "content": evilCode}, s); err != nil {
+		return false, blockedBy(err)
+	}
+	resp, err := a.Server.Do("GET", "/run",
+		map[string]string{"script": "uploads/evil.rsl.png"}, s)
+	return strings.Contains(resp.RawBody(), adminSecret), blockedBy(err)
+}
+
+// AttackKwalbum (CVE-2008-5677): arbitrary upload, then direct execution.
+func AttackKwalbum(withAssertions bool) (executed bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("attacker")
+	if _, err := a.Server.Do("GET", "/albumupload",
+		map[string]string{"name": "shell.rsl", "content": evilCode}, s); err != nil {
+		return false, blockedBy(err)
+	}
+	resp, err := a.Server.Do("GET", "/run",
+		map[string]string{"script": "uploads/shell.rsl"}, s)
+	return strings.Contains(resp.RawBody(), adminSecret), blockedBy(err)
+}
+
+// AttackAWStatsTotals (CVE-2008-3922): the sort parameter is evaluated as
+// code.
+func AttackAWStatsTotals(withAssertions bool) (executed bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("attacker")
+	resp, err := a.Server.Do("GET", "/stats",
+		map[string]string{"sort": `x"; echo secret(); let z = "y`}, s)
+	return strings.Contains(resp.RawBody(), adminSecret), blockedBy(err)
+}
+
+// AttackPhpMyAdmin (CVE-2008-4096): the generated config script carries
+// injected code, which the themed page later includes.
+func AttackPhpMyAdmin(withAssertions bool) (executed bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("attacker")
+	if _, err := a.Server.Do("GET", "/saveconfig",
+		map[string]string{"theme": `x"; echo secret(); let z = "y`}, s); err != nil {
+		return false, blockedBy(err)
+	}
+	resp, err := a.Server.Do("GET", "/page", nil, s)
+	return strings.Contains(resp.RawBody(), adminSecret), blockedBy(err)
+}
+
+// AttackWPortfolio (CVE-2008-5220): unauthenticated upload straight into
+// the web root, then direct execution.
+func AttackWPortfolio(withAssertions bool) (executed bool, blockErr error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("attacker")
+	if _, err := a.Server.Do("GET", "/wp/upload",
+		map[string]string{"name": "backdoor.rsl", "content": evilCode}, s); err != nil {
+		return false, blockedBy(err)
+	}
+	resp, err := a.Server.Do("GET", "/run",
+		map[string]string{"script": "backdoor.rsl"}, s)
+	return strings.Contains(resp.RawBody(), adminSecret), blockedBy(err)
+}
+
+// LegitimateRun checks that installed, approved application code still
+// executes with the assertion in place.
+func LegitimateRun(withAssertions bool) (ok bool, err error) {
+	a := newInstance(withAssertions)
+	s := a.Server.NewSession("visitor")
+	resp, err := a.Server.Do("GET", "/run", map[string]string{"script": "app/main.rsl"}, s)
+	if err != nil {
+		return false, err
+	}
+	if !strings.Contains(resp.RawBody(), "welcome to the gallery") {
+		return false, nil
+	}
+	resp, err = a.Server.Do("GET", "/page", nil, s)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(resp.RawBody(), "theme: plain"), nil
+}

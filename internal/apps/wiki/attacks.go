@@ -1,0 +1,113 @@
+package wiki
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+// seeded builds a wiki with a secret page (readable only by alice) and a
+// public page writable by everyone.
+func seeded(withAssertions bool) *App {
+	rt := core.NewRuntime()
+	if !withAssertions {
+		rt = core.NewUntrackedRuntime()
+	}
+	a := New(rt, withAssertions)
+	mustCreate(a, "Secret", ACL{Read: []string{"alice"}, Write: []string{"alice"}},
+		"the launch code is 0000", "alice")
+	mustCreate(a, "Public", ACL{Read: []string{"*"}, Write: []string{"*"}},
+		"welcome to the wiki", "alice")
+	return a
+}
+
+func mustCreate(a *App, name string, acl ACL, body, author string) {
+	if err := a.CreatePage(name, acl, body, author); err != nil {
+		panic(err)
+	}
+}
+
+// AttackIncludeDirective mounts CVE-2008-6548: mallory edits the public
+// page to include the secret page, then views the public page; the
+// include path fetches the secret content without checking its ACL.
+func AttackIncludeDirective(withAssertions bool) (leaked bool, blockErr error) {
+	a := seeded(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	if _, err := a.Server.Do("GET", "/edit",
+		map[string]string{"page": "Public", "body": "see {{include:Secret}}"}, mallory); err != nil {
+		return false, err
+	}
+	resp, err := a.Server.Do("GET", "/view", map[string]string{"page": "Public"}, mallory)
+	leaked = strings.Contains(resp.RawBody(), "launch code")
+	if err != nil {
+		if _, ok := core.IsAssertionError(err); ok {
+			blockErr = err
+		}
+	}
+	return leaked, blockErr
+}
+
+// AttackRawExport mounts the second missing read check: mallory fetches
+// the secret page through the raw-export action, which forgot its ACL
+// check.
+func AttackRawExport(withAssertions bool) (leaked bool, blockErr error) {
+	a := seeded(withAssertions)
+	mallory := a.Server.NewSession("mallory")
+	resp, err := a.Server.Do("GET", "/raw", map[string]string{"page": "Secret"}, mallory)
+	leaked = strings.Contains(resp.RawBody(), "launch code")
+	if err != nil {
+		if _, ok := core.IsAssertionError(err); ok {
+			blockErr = err
+		}
+	}
+	return leaked, blockErr
+}
+
+// LegitimateRead checks that alice can still read her page through every
+// path with the assertions installed.
+func LegitimateRead(withAssertions bool) (ok bool, err error) {
+	a := seeded(withAssertions)
+	alice := a.Server.NewSession("alice")
+	resp, err := a.Server.Do("GET", "/view", map[string]string{"page": "Secret"}, alice)
+	if err != nil {
+		return false, err
+	}
+	if !strings.Contains(resp.RawBody(), "launch code") {
+		return false, nil
+	}
+	resp, err = a.Server.Do("GET", "/raw", map[string]string{"page": "Secret"}, alice)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(resp.RawBody(), "launch code"), nil
+}
+
+// LegitimateWrite checks that authorized edits still work.
+func LegitimateWrite(withAssertions bool) (ok bool, err error) {
+	a := seeded(withAssertions)
+	alice := a.Server.NewSession("alice")
+	if _, err := a.Server.Do("GET", "/edit",
+		map[string]string{"page": "Secret", "body": "updated text"}, alice); err != nil {
+		return false, err
+	}
+	body, err := a.latestBody("Secret")
+	if err != nil {
+		return false, err
+	}
+	return body.Raw() == "updated text", nil
+}
+
+// UnauthorizedDirectWrite exercises the write assertion below the
+// application layer: mallory's code path writes straight into the page's
+// revision directory, bypassing the handler's ACL check. The persistent
+// directory filter is what stands in the way.
+func UnauthorizedDirectWrite(withAssertions bool) (written bool, blockErr error) {
+	a := seeded(withAssertions)
+	ctx := core.NewContext(core.KindFile)
+	ctx.Set("user", "mallory")
+	err := a.FS.WriteFile(pageDir("Secret")+"/rev99999", core.NewString("defaced"), ctx)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Context is the context hash table attached to a filter object's channel
+// (§3.2.1). It describes the specific I/O channel or function call that
+// the filter guards — for example, the email channel's context carries the
+// recipient address and the HTTP channel's context carries the
+// authenticated user. Default filters pass the context as the argument to
+// each policy's ExportCheck.
+//
+// The well-known key "type" identifies the boundary kind ("email", "http",
+// "file", "sql", "socket", "pipe", "code"); applications add their own
+// key-value pairs ("RESIN also allows the application to add its own
+// key-value pairs to the context hash table of default filter objects").
+//
+// Context is safe for concurrent use.
+type Context struct {
+	mu     sync.RWMutex
+	values map[string]any
+}
+
+// Boundary kinds used by the default filter objects that RESIN pre-defines
+// "on all I/O channels into and out of the runtime" (§3.2.1).
+const (
+	KindSocket = "socket"
+	KindPipe   = "pipe"
+	KindFile   = "file"
+	KindHTTP   = "http"
+	KindEmail  = "email"
+	KindSQL    = "sql"
+	KindCode   = "code"
+)
+
+// NewContext builds a context for a boundary of the given kind.
+func NewContext(kind string) *Context {
+	return &Context{values: map[string]any{"type": kind}}
+}
+
+// Type returns the boundary kind (the "type" key), or "" if unset.
+func (c *Context) Type() string {
+	s, _ := c.GetString("type")
+	return s
+}
+
+// Set adds or replaces a context key.
+func (c *Context) Set(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.values == nil {
+		c.values = make(map[string]any)
+	}
+	c.values[key] = value
+}
+
+// Get returns the value for key and whether it is present.
+func (c *Context) Get(key string) (any, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.values[key]
+	return v, ok
+}
+
+// GetString returns the value for key as a string; ok is false if the key
+// is absent or not a string.
+func (c *Context) GetString(key string) (string, bool) {
+	v, ok := c.Get(key)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// GetBool returns the value for key as a bool (false if absent or not a bool).
+func (c *Context) GetBool(key string) bool {
+	v, ok := c.Get(key)
+	if !ok {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+// Delete removes a key from the context.
+func (c *Context) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.values, key)
+}
+
+// Clone returns an independent copy of the context.
+func (c *Context) Clone() *Context {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]any, len(c.values))
+	for k, v := range c.values {
+		out[k] = v
+	}
+	return &Context{values: out}
+}
+
+// String renders the context for diagnostics with keys sorted, e.g.
+// `{email: "u@foo.com", type: "email"}`.
+func (c *Context) String() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]string, 0, len(c.values))
+	for k := range c.values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %v", k, c.values[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,270 @@
+package core
+
+import "strings"
+
+// PolicySet is an immutable set of policy objects. A datum's policy set
+// holds every policy attached to it (§3.4: "a single datum may have
+// multiple policy objects, all contained in the datum's policy set").
+//
+// The zero value and the nil pointer are both the empty set. All methods
+// are safe on a nil receiver, and all mutating operations return a new set,
+// so PolicySets may be freely shared between spans and strings.
+type PolicySet struct {
+	policies []Policy
+}
+
+// EmptySet is the canonical empty policy set.
+var EmptySet = &PolicySet{}
+
+// NewPolicySet builds a set from the given policies, dropping nils and
+// duplicates (by object identity).
+func NewPolicySet(ps ...Policy) *PolicySet {
+	if len(ps) == 0 {
+		return EmptySet
+	}
+	out := make([]Policy, 0, len(ps))
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		dup := false
+		for _, q := range out {
+			if samePolicy(p, q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return EmptySet
+	}
+	return &PolicySet{policies: out}
+}
+
+// Len returns the number of policies in the set.
+func (s *PolicySet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.policies)
+}
+
+// IsEmpty reports whether the set has no policies.
+func (s *PolicySet) IsEmpty() bool { return s.Len() == 0 }
+
+// Policies returns the policies in the set as a fresh slice that the caller
+// may modify.
+func (s *PolicySet) Policies() []Policy {
+	if s.Len() == 0 {
+		return nil
+	}
+	out := make([]Policy, len(s.policies))
+	copy(out, s.policies)
+	return out
+}
+
+// Each calls fn for every policy in the set, stopping early if fn returns
+// a non-nil error, which is returned.
+func (s *PolicySet) Each(fn func(Policy) error) error {
+	if s == nil {
+		return nil
+	}
+	for _, p := range s.policies {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the set contains exactly the policy object p.
+func (s *PolicySet) Contains(p Policy) bool {
+	if s == nil {
+		return false
+	}
+	for _, q := range s.policies {
+		if samePolicy(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Any reports whether any policy in the set satisfies pred.
+func (s *PolicySet) Any(pred func(Policy) bool) bool {
+	if s == nil {
+		return false
+	}
+	for _, p := range s.policies {
+		if pred(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// All reports whether every policy in the set satisfies pred. The empty
+// set vacuously satisfies All.
+func (s *PolicySet) All(pred func(Policy) bool) bool {
+	if s == nil {
+		return true
+	}
+	for _, p := range s.policies {
+		if !pred(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a set that also contains p. If p is nil or already present
+// the receiver is returned unchanged.
+func (s *PolicySet) Add(p Policy) *PolicySet {
+	if p == nil || s.Contains(p) {
+		if s == nil {
+			return EmptySet
+		}
+		return s
+	}
+	out := make([]Policy, 0, s.Len()+1)
+	if s != nil {
+		out = append(out, s.policies...)
+	}
+	out = append(out, p)
+	return &PolicySet{policies: out}
+}
+
+// Remove returns a set without the policy object p (matched by identity).
+func (s *PolicySet) Remove(p Policy) *PolicySet {
+	if !s.Contains(p) {
+		if s == nil {
+			return EmptySet
+		}
+		return s
+	}
+	out := make([]Policy, 0, s.Len()-1)
+	for _, q := range s.policies {
+		if !samePolicy(p, q) {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		return EmptySet
+	}
+	return &PolicySet{policies: out}
+}
+
+// RemoveIf returns a set without the policies satisfying pred.
+func (s *PolicySet) RemoveIf(pred func(Policy) bool) *PolicySet {
+	if s.Len() == 0 {
+		return EmptySet
+	}
+	out := make([]Policy, 0, s.Len())
+	for _, q := range s.policies {
+		if !pred(q) {
+			out = append(out, q)
+		}
+	}
+	if len(out) == len(s.policies) {
+		return s
+	}
+	if len(out) == 0 {
+		return EmptySet
+	}
+	return &PolicySet{policies: out}
+}
+
+// Union returns the set union of s and t (by object identity).
+func (s *PolicySet) Union(t *PolicySet) *PolicySet {
+	if t.Len() == 0 {
+		if s == nil {
+			return EmptySet
+		}
+		return s
+	}
+	if s.Len() == 0 {
+		return t
+	}
+	out := s
+	for _, p := range t.policies {
+		out = out.Add(p)
+	}
+	return out
+}
+
+// Equal reports whether s and t contain the same policy objects,
+// disregarding order.
+func (s *PolicySet) Equal(t *PolicySet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	if s == nil || t == nil {
+		return true // both empty
+	}
+	for _, p := range s.policies {
+		if !t.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set for diagnostics, e.g. "{PasswordPolicy, UntrustedData}".
+func (s *PolicySet) String() string {
+	if s.Len() == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.policies {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(PolicyName(p))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MergePolicies implements the merge machinery of §3.4.2. When two data
+// elements are merged by an operation that cannot preserve character-level
+// tracking, the runtime invokes the merge method on each policy of each
+// source operand, passing in the entire policy set of the other operand.
+// The result is labelled with the union of all policies returned by all
+// merge methods; a policy with no Merge method contributes itself (the
+// default union strategy). Any Merge error aborts the operation.
+func MergePolicies(a, b *PolicySet) (*PolicySet, error) {
+	if a.Len() == 0 && b.Len() == 0 {
+		return EmptySet, nil
+	}
+	out := EmptySet
+	mergeSide := func(side, other *PolicySet) error {
+		if side == nil {
+			return nil
+		}
+		for _, p := range side.policies {
+			if m, ok := p.(Merger); ok {
+				rs, err := m.Merge(other)
+				if err != nil {
+					return &AssertionError{Policy: p, Op: "merge", Err: err}
+				}
+				for _, r := range rs {
+					out = out.Add(r)
+				}
+			} else {
+				out = out.Add(p)
+			}
+		}
+		return nil
+	}
+	if err := mergeSide(a, b); err != nil {
+		return nil, err
+	}
+	if err := mergeSide(b, a); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime is the RESIN language runtime state: it owns the default
+// data-flow boundary around the application (§3.2.1), the tracking switch
+// used by the evaluation's "unmodified interpreter" baseline, and
+// violation statistics.
+//
+// One Runtime corresponds to one interpreter instance in the paper; the
+// substrates (VFS, SQL database, HTTP server, mailer, script interpreter)
+// each take a *Runtime and register their boundary channels with it.
+type Runtime struct {
+	tracking atomic.Bool
+
+	mu       sync.Mutex
+	channels map[string]*Channel
+
+	violations atomic.Int64
+	checks     atomic.Int64
+}
+
+// NewRuntime returns a runtime with data tracking enabled.
+func NewRuntime() *Runtime {
+	rt := &Runtime{channels: make(map[string]*Channel)}
+	rt.tracking.Store(true)
+	return rt
+}
+
+// NewUntrackedRuntime returns a runtime with data tracking disabled — the
+// "unmodified PHP interpreter" baseline of §7: policies are never attached
+// and filters never run, while application code is unchanged.
+func NewUntrackedRuntime() *Runtime {
+	return &Runtime{channels: make(map[string]*Channel)}
+}
+
+// Tracking reports whether data tracking and filter interposition are
+// enabled.
+func (rt *Runtime) Tracking() bool {
+	if rt == nil {
+		return false
+	}
+	return rt.tracking.Load()
+}
+
+// SetTracking toggles data tracking at runtime (used by benchmarks to
+// compare modes over identical application code).
+func (rt *Runtime) SetTracking(on bool) { rt.tracking.Store(on) }
+
+// PolicyAdd attaches policies to data if tracking is enabled; with
+// tracking disabled it returns the data unchanged, so baseline runs carry
+// no policies anywhere. This is the paper's policy_add entry point.
+func (rt *Runtime) PolicyAdd(data String, ps ...Policy) String {
+	if !rt.Tracking() {
+		return data
+	}
+	return data.WithPolicy(ps...)
+}
+
+// PolicyAddRange attaches policies to a byte range of data under the same
+// tracking rule as PolicyAdd.
+func (rt *Runtime) PolicyAddRange(data String, start, end int, ps ...Policy) String {
+	if !rt.Tracking() {
+		return data
+	}
+	return data.WithPolicyRange(start, end, ps...)
+}
+
+// PolicyRemove removes policy objects from data (the paper's
+// policy_remove).
+func (rt *Runtime) PolicyRemove(data String, ps ...Policy) String {
+	if !rt.Tracking() {
+		return data
+	}
+	return data.WithoutPolicy(ps...)
+}
+
+// PolicyGet returns the union of policies on data (the paper's
+// policy_get).
+func (rt *Runtime) PolicyGet(data String) []Policy { return data.Policies().Policies() }
+
+// NewChannel creates a channel bound to this runtime with the default
+// export-check filter installed — the default boundary of §3.2.1. Callers
+// add context entries and extra filters as needed.
+func (rt *Runtime) NewChannel(kind string) *Channel {
+	return NewChannel(rt, kind, ExportCheckFilter{})
+}
+
+// NewBareChannel creates a channel bound to this runtime with no filters;
+// substrates that install their own complete chains use this.
+func (rt *Runtime) NewBareChannel(kind string) *Channel {
+	return NewChannel(rt, kind)
+}
+
+// RegisterChannel names a channel so programs can look up boundaries they
+// did not create (the paper's applications reach channels via handles like
+// sock.__filter; named registration is the equivalent for singletons such
+// as "the interpreter's import channel").
+func (rt *Runtime) RegisterChannel(name string, ch *Channel) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.channels[name] = ch
+}
+
+// Channel returns the channel registered under name, or nil.
+func (rt *Runtime) Channel(name string) *Channel {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.channels[name]
+}
+
+// noteViolation counts an assertion failure for diagnostics.
+func (rt *Runtime) noteViolation(err error) {
+	if rt == nil {
+		return
+	}
+	if _, ok := IsAssertionError(err); ok {
+		rt.violations.Add(1)
+	}
+}
+
+// noteCheck counts a boundary check (microbenchmark instrumentation).
+func (rt *Runtime) noteCheck() {
+	if rt != nil {
+		rt.checks.Add(1)
+	}
+}
+
+// Violations returns the number of assertion failures observed.
+func (rt *Runtime) Violations() int64 { return rt.violations.Load() }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Persistent policies (§3.4.1): RESIN serializes policy objects when data
+// leaves the runtime for files or database cells, and re-instantiates them
+// when the data is read back, so assertions survive across program
+// executions and can even be checked by other RESIN-aware programs (the
+// web server's static file path).
+//
+// "RESIN only serializes the class name and data fields of a policy
+// object" — so a policy class must be registered under a stable name, and
+// its data fields round-trip through encoding/json. Deserialized policies
+// are fresh objects whose class code is whatever the current program
+// defines, which is what lets programmers evolve export_check behaviour
+// without migrating stored policies.
+
+type classRegistry struct {
+	mu     sync.RWMutex
+	byName map[string]reflect.Type
+	byType map[reflect.Type]string
+}
+
+func newClassRegistry() *classRegistry {
+	return &classRegistry{
+		byName: make(map[string]reflect.Type),
+		byType: make(map[reflect.Type]string),
+	}
+}
+
+func (r *classRegistry) register(name string, prototype any) {
+	t := reflect.TypeOf(prototype)
+	if t == nil {
+		panic("resin: register class: nil prototype")
+	}
+	if t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		panic(fmt.Sprintf("resin: register class %q: prototype must be a pointer to struct, got %T", name, prototype))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byName[name]; ok && old != t {
+		panic(fmt.Sprintf("resin: class name %q already registered for %v", name, old))
+	}
+	r.byName[name] = t
+	r.byType[t] = name
+}
+
+func (r *classRegistry) nameOf(v any) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name, ok := r.byType[reflect.TypeOf(v)]
+	return name, ok
+}
+
+func (r *classRegistry) instantiate(name string) (any, bool) {
+	r.mu.RLock()
+	t, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return reflect.New(t.Elem()).Interface(), true
+}
+
+var (
+	policyClasses = newClassRegistry()
+	filterClasses = newClassRegistry()
+)
+
+// RegisterPolicyClass registers a policy class for persistent
+// serialization under a stable name. The prototype must be a pointer to a
+// struct; its exported fields are the serialized "data fields".
+// Registration typically happens in an init function of the package
+// defining the policy.
+func RegisterPolicyClass(name string, prototype Policy) {
+	policyClasses.register(name, prototype)
+}
+
+// RegisteredPolicyName returns the class name p was registered under.
+func RegisteredPolicyName(p Policy) (string, bool) { return policyClasses.nameOf(p) }
+
+// RegisterFilterClass registers a filter class for persistent filter
+// objects (§3.2.3), which are stored in file/directory extended attributes.
+func RegisterFilterClass(name string, prototype Filter) {
+	filterClasses.register(name, prototype)
+}
+
+// RegisteredFilterName returns the class name f was registered under.
+func RegisteredFilterName(f Filter) (string, bool) { return filterClasses.nameOf(f) }
+
+// wireObject is the serialized form of a policy or filter object: the
+// class name plus the JSON encoding of the object's data fields.
+type wireObject struct {
+	Class  string          `json:"class"`
+	Fields json.RawMessage `json:"fields"`
+}
+
+func encodeObject(reg *classRegistry, what string, v any) ([]byte, error) {
+	name, ok := reg.nameOf(v)
+	if !ok {
+		return nil, fmt.Errorf("resin: cannot serialize unregistered %s class %T", what, v)
+	}
+	fields, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("resin: serialize %s %s: %w", what, name, err)
+	}
+	return json.Marshal(wireObject{Class: name, Fields: fields})
+}
+
+func decodeObject(reg *classRegistry, what string, data []byte) (any, error) {
+	var w wireObject
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("resin: decode %s: %w", what, err)
+	}
+	v, ok := reg.instantiate(w.Class)
+	if !ok {
+		return nil, fmt.Errorf("resin: decode %s: unknown class %q", what, w.Class)
+	}
+	if len(w.Fields) > 0 {
+		if err := json.Unmarshal(w.Fields, v); err != nil {
+			return nil, fmt.Errorf("resin: decode %s %s fields: %w", what, w.Class, err)
+		}
+	}
+	return v, nil
+}
+
+// EncodePolicy serializes a policy object as {"class": ..., "fields": ...}.
+func EncodePolicy(p Policy) ([]byte, error) { return encodeObject(policyClasses, "policy", p) }
+
+// DecodePolicy re-instantiates a policy object serialized by EncodePolicy.
+func DecodePolicy(data []byte) (Policy, error) {
+	v, err := decodeObject(policyClasses, "policy", data)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := v.(Policy)
+	if !ok {
+		return nil, fmt.Errorf("resin: decoded class %T is not a Policy", v)
+	}
+	return p, nil
+}
+
+// EncodeFilter serializes a persistent filter object (§3.2.3).
+func EncodeFilter(f Filter) ([]byte, error) { return encodeObject(filterClasses, "filter", f) }
+
+// DecodeFilter re-instantiates a persistent filter object.
+func DecodeFilter(data []byte) (Filter, error) {
+	return decodeObject(filterClasses, "filter", data)
+}
+
+// wireSpan is the serialized form of one policy span of a tracked string.
+type wireSpan struct {
+	Start    int               `json:"start"`
+	End      int               `json:"end"`
+	Policies []json.RawMessage `json:"policies"`
+}
+
+// EncodeSpans serializes the policy annotation of a tracked string — the
+// metadata the default file filter writes into a file's extended
+// attributes and the SQL filter writes into policy columns. Returns nil
+// for an untainted string. Policies that are not registered for
+// serialization are skipped with an error so that confidentiality
+// policies are never silently dropped.
+func EncodeSpans(t String) ([]byte, error) {
+	if !t.IsTainted() {
+		return nil, nil
+	}
+	var ws []wireSpan
+	err := t.EachTaintedSpan(func(start, end int, ps *PolicySet) error {
+		w := wireSpan{Start: start, End: end}
+		if err := ps.Each(func(p Policy) error {
+			enc, err := EncodePolicy(p)
+			if err != nil {
+				return err
+			}
+			w.Policies = append(w.Policies, enc)
+			return nil
+		}); err != nil {
+			return err
+		}
+		ws = append(ws, w)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(ws)
+}
+
+// DecodeSpans attaches the policy annotation serialized by EncodeSpans to
+// the raw string data, re-instantiating every policy object. A nil/empty
+// annotation yields an untainted string.
+func DecodeSpans(raw string, annotation []byte) (String, error) {
+	t := NewString(raw)
+	if len(annotation) == 0 {
+		return t, nil
+	}
+	var ws []wireSpan
+	if err := json.Unmarshal(annotation, &ws); err != nil {
+		return String{}, fmt.Errorf("resin: decode spans: %w", err)
+	}
+	for _, w := range ws {
+		ps := make([]Policy, 0, len(w.Policies))
+		for _, enc := range w.Policies {
+			p, err := DecodePolicy(enc)
+			if err != nil {
+				return String{}, err
+			}
+			ps = append(ps, p)
+		}
+		t = t.WithPolicyRange(w.Start, w.End, ps...)
+	}
+	return t, nil
+}

@@ -1,0 +1,655 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Test policy types.
+
+type allowPolicy struct{ Name string }
+
+func (p *allowPolicy) ExportCheck(ctx *Context) error { return nil }
+
+type denyPolicy struct{ Reason string }
+
+func (p *denyPolicy) ExportCheck(ctx *Context) error { return errors.New(p.Reason) }
+
+// intersectPolicy models the paper's AuthenticData: the merge result keeps
+// the policy only if the other operand also carries a policy of the same
+// class (intersection strategy).
+type intersectPolicy struct{ Tag string }
+
+func (p *intersectPolicy) ExportCheck(ctx *Context) error { return nil }
+
+func (p *intersectPolicy) Merge(other *PolicySet) ([]Policy, error) {
+	keep := other.Any(func(q Policy) bool {
+		_, ok := q.(*intersectPolicy)
+		return ok
+	})
+	if keep {
+		return []Policy{p}, nil
+	}
+	return nil, nil
+}
+
+// refusePolicy vetoes any merge.
+type refusePolicy struct{}
+
+func (p *refusePolicy) ExportCheck(ctx *Context) error { return nil }
+func (p *refusePolicy) Merge(other *PolicySet) ([]Policy, error) {
+	return nil, errors.New("refuses to merge")
+}
+
+func mustInv(t *testing.T, s String) {
+	t.Helper()
+	if err := s.invariantErr(); err != nil {
+		t.Fatalf("invariant violated: %v on %s", err, s.Describe())
+	}
+}
+
+func TestNewStringUntainted(t *testing.T) {
+	s := NewString("hello")
+	mustInv(t, s)
+	if s.IsTainted() {
+		t.Error("fresh string should be untainted")
+	}
+	if s.Raw() != "hello" || s.Len() != 5 {
+		t.Errorf("raw=%q len=%d", s.Raw(), s.Len())
+	}
+	if got := s.Policies(); !got.IsEmpty() {
+		t.Errorf("policies = %s, want empty", got)
+	}
+}
+
+func TestWithPolicyWholeString(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewStringPolicy("secret", p)
+	mustInv(t, s)
+	if !s.IsTainted() {
+		t.Fatal("should be tainted")
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !s.PoliciesAt(i).Contains(p) {
+			t.Fatalf("byte %d missing policy", i)
+		}
+	}
+	if s.SpanCount() != 1 {
+		t.Errorf("span count = %d, want 1", s.SpanCount())
+	}
+}
+
+func TestWithPolicyRangeClipping(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("abcdef").WithPolicyRange(-3, 100, p)
+	mustInv(t, s)
+	if !s.HasPolicyEverywhere(func(Policy) bool { return true }) {
+		t.Error("clipped range should cover all bytes")
+	}
+	s2 := NewString("abcdef").WithPolicyRange(4, 2, p)
+	if s2.IsTainted() {
+		t.Error("inverted range should attach nothing")
+	}
+	s3 := NewString("").WithPolicy(p)
+	if s3.IsTainted() {
+		t.Error("empty string cannot carry policies")
+	}
+}
+
+func TestConcatPreservesPerCharacterPolicies(t *testing.T) {
+	// The paper's example: "foo" with p1 concatenated with "bar" with p2.
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	foo := NewStringPolicy("foo", p1)
+	bar := NewStringPolicy("bar", p2)
+	foobar := Concat(foo, bar)
+	mustInv(t, foobar)
+	if foobar.Raw() != "foobar" {
+		t.Fatalf("raw = %q", foobar.Raw())
+	}
+	for i := 0; i < 3; i++ {
+		ps := foobar.PoliciesAt(i)
+		if !ps.Contains(p1) || ps.Contains(p2) {
+			t.Errorf("byte %d: got %s, want exactly {p1}", i, ps)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		ps := foobar.PoliciesAt(i)
+		if !ps.Contains(p2) || ps.Contains(p1) {
+			t.Errorf("byte %d: got %s, want exactly {p2}", i, ps)
+		}
+	}
+	// "If the programmer then takes the first three characters of the
+	// combined string, the resulting substring will only have policy p1."
+	sub := foobar.Slice(0, 3)
+	mustInv(t, sub)
+	if got := sub.Policies(); !got.Contains(p1) || got.Contains(p2) || got.Len() != 1 {
+		t.Errorf("substring policies = %s, want exactly {p1}", got)
+	}
+}
+
+func TestConcatCoalescesEqualSets(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	a := NewStringPolicy("aa", p)
+	b := NewStringPolicy("bb", p)
+	c := Concat(a, b)
+	mustInv(t, c)
+	if c.SpanCount() != 1 {
+		t.Errorf("span count = %d, want 1 (adjacent equal sets must coalesce)", c.SpanCount())
+	}
+}
+
+func TestSliceEdges(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("abcdef").WithPolicyRange(2, 4, p)
+	cases := []struct {
+		i, j    int
+		raw     string
+		tainted bool
+	}{
+		{0, 6, "abcdef", true},
+		{0, 2, "ab", false},
+		{2, 4, "cd", true},
+		{3, 6, "def", true},
+		{4, 6, "ef", false},
+		{-5, 100, "abcdef", true},
+		{5, 2, "", false},
+	}
+	for _, c := range cases {
+		got := s.Slice(c.i, c.j)
+		mustInv(t, got)
+		if got.Raw() != c.raw || got.IsTainted() != c.tainted {
+			t.Errorf("Slice(%d,%d) = %q tainted=%v, want %q tainted=%v",
+				c.i, c.j, got.Raw(), got.IsTainted(), c.raw, c.tainted)
+		}
+	}
+}
+
+func TestWithoutPolicy(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	s := NewStringPolicy("data", p1, p2).WithoutPolicy(p1)
+	mustInv(t, s)
+	if s.Policies().Contains(p1) {
+		t.Error("p1 should be removed")
+	}
+	if !s.Policies().Contains(p2) {
+		t.Error("p2 should remain")
+	}
+	s2 := s.WithoutPolicy(p2)
+	mustInv(t, s2)
+	if s2.IsTainted() {
+		t.Error("all policies removed, should be untainted")
+	}
+}
+
+func TestWithoutPolicyIf(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	d := &denyPolicy{Reason: "no"}
+	s := NewStringPolicy("data", p1, d).WithoutPolicyIf(func(p Policy) bool {
+		_, ok := p.(*denyPolicy)
+		return ok
+	})
+	mustInv(t, s)
+	if s.Policies().Len() != 1 || !s.Policies().Contains(p1) {
+		t.Errorf("got %s, want exactly {p1}", s.Policies())
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	a := NewStringPolicy("alpha", p1)
+	b := NewStringPolicy("beta", p2)
+	joined := Join([]String{a, b}, NewString(","))
+	mustInv(t, joined)
+	parts := joined.Split(",")
+	if len(parts) != 2 {
+		t.Fatalf("split into %d parts", len(parts))
+	}
+	if !parts[0].Policies().Contains(p1) || parts[0].Policies().Contains(p2) {
+		t.Errorf("part 0 policies = %s", parts[0].Policies())
+	}
+	if !parts[1].Policies().Contains(p2) || parts[1].Policies().Contains(p1) {
+		t.Errorf("part 1 policies = %s", parts[1].Policies())
+	}
+}
+
+func TestSplitEmptySeparator(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("ab").WithPolicyRange(1, 2, p)
+	parts := s.Split("")
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	if parts[0].IsTainted() || !parts[1].IsTainted() {
+		t.Error("per-byte split should keep per-byte policies")
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	s := NewString("a,b,c,d")
+	parts := s.SplitN(",", 2)
+	if len(parts) != 2 || parts[0].Raw() != "a" || parts[1].Raw() != "b,c,d" {
+		t.Errorf("SplitN = %v", parts)
+	}
+}
+
+func TestFields(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := Concat(NewString("  one "), NewStringPolicy("two", p), NewString("\tthree\n"))
+	fs := s.Fields()
+	if len(fs) != 3 {
+		t.Fatalf("fields = %d", len(fs))
+	}
+	if fs[0].Raw() != "one" || fs[1].Raw() != "twothree" && fs[1].Raw() != "two" {
+		// "two" directly abuts "\tthree"? No — "two" + "\tthree" has a tab.
+		t.Logf("fields: %q %q %q", fs[0].Raw(), fs[1].Raw(), fs[2].Raw())
+	}
+	if !fs[1].Policies().Contains(p) {
+		t.Error("field 'two' lost its policy")
+	}
+	if fs[2].IsTainted() {
+		t.Error("field 'three' should be untainted")
+	}
+}
+
+func TestReplacePropagation(t *testing.T) {
+	pOld := &allowPolicy{Name: "old"}
+	pNew := &allowPolicy{Name: "new"}
+	s := Concat(NewString("x="), NewStringPolicy("VAL", pOld), NewString(";y=VAL"))
+	out := s.ReplaceAll("VAL", NewStringPolicy("42", pNew))
+	mustInv(t, out)
+	if out.Raw() != "x=42;y=42" {
+		t.Fatalf("raw = %q", out.Raw())
+	}
+	if out.Policies().Contains(pOld) {
+		t.Error("replaced bytes should not keep the old policy")
+	}
+	// Both inserted copies carry pNew.
+	if !out.Slice(2, 4).Policies().Contains(pNew) || !out.Slice(7, 9).Policies().Contains(pNew) {
+		t.Error("inserted bytes missing new policy")
+	}
+	if out.Slice(0, 2).IsTainted() {
+		t.Error("untouched bytes gained a policy")
+	}
+}
+
+func TestTrimFamily(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("  abc  ").WithPolicyRange(2, 5, p)
+	trimmed := s.TrimSpace()
+	mustInv(t, trimmed)
+	if trimmed.Raw() != "abc" || !trimmed.HasPolicyEverywhere(func(Policy) bool { return true }) {
+		t.Errorf("TrimSpace = %s", trimmed.Describe())
+	}
+	if got := NewString("pre.body").TrimPrefix("pre."); got.Raw() != "body" {
+		t.Errorf("TrimPrefix = %q", got.Raw())
+	}
+	if got := NewString("body.suf").TrimSuffix(".suf"); got.Raw() != "body" {
+		t.Errorf("TrimSuffix = %q", got.Raw())
+	}
+	if got := NewString("abc").TrimPrefix("zz"); got.Raw() != "abc" {
+		t.Errorf("no-op TrimPrefix = %q", got.Raw())
+	}
+}
+
+func TestCaseMappingPreservesSpans(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("MiXeD").WithPolicyRange(1, 3, p)
+	up := s.ToUpper()
+	lo := s.ToLower()
+	mustInv(t, up)
+	mustInv(t, lo)
+	if up.Raw() != "MIXED" || lo.Raw() != "mixed" {
+		t.Errorf("case mapping: %q %q", up.Raw(), lo.Raw())
+	}
+	for _, v := range []String{up, lo} {
+		if !v.PoliciesAt(1).Contains(p) || !v.PoliciesAt(2).Contains(p) || v.PoliciesAt(0).Contains(p) {
+			t.Errorf("case mapping moved spans: %s", v.Describe())
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("ab").WithPolicyRange(0, 1, p).Repeat(3)
+	mustInv(t, s)
+	if s.Raw() != "ababab" {
+		t.Fatalf("raw = %q", s.Raw())
+	}
+	for i := 0; i < 6; i++ {
+		want := i%2 == 0
+		if s.PoliciesAt(i).Contains(p) != want {
+			t.Errorf("byte %d policy presence = %v, want %v", i, !want, want)
+		}
+	}
+	if !NewString("x").Repeat(0).IsEmpty() || !NewString("x").Repeat(-1).IsEmpty() {
+		t.Error("Repeat(<=0) should be empty")
+	}
+}
+
+func TestFormatPropagation(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	pw := NewStringPolicy("hunter2", p)
+	msg := Format("Your password is %s. Stay safe, %s!", pw, NewString("alice"))
+	mustInv(t, msg)
+	want := "Your password is hunter2. Stay safe, alice!"
+	if msg.Raw() != want {
+		t.Fatalf("raw = %q, want %q", msg.Raw(), want)
+	}
+	start := strings.Index(want, "hunter2")
+	for i := 0; i < msg.Len(); i++ {
+		inPw := i >= start && i < start+len("hunter2")
+		if msg.PoliciesAt(i).Contains(p) != inPw {
+			t.Errorf("byte %d (%q): policy presence mismatch", i, want[i])
+		}
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	if got := Format("%d-%d", NewInt(3), 4).Raw(); got != "3-4" {
+		t.Errorf("%%d = %q", got)
+	}
+	if got := Format("%q", NewString("a\"b")).Raw(); got != `"a\"b"` {
+		t.Errorf("%%q = %q", got)
+	}
+	if got := Format("100%%").Raw(); got != "100%" {
+		t.Errorf("%%%% = %q", got)
+	}
+	if got := Format("%x", 255).Raw(); got != "ff" {
+		t.Errorf("fallback verb = %q", got)
+	}
+	if got := Format("%s").Raw(); !strings.Contains(got, "MISSING") {
+		t.Errorf("missing arg = %q", got)
+	}
+	if got := Format("trail%").Raw(); got != "trail%" {
+		t.Errorf("trailing %% = %q", got)
+	}
+	p := &allowPolicy{Name: "p"}
+	n := NewIntPolicy(7, p)
+	out := Format("id=%d", n)
+	if !out.Slice(3, 4).Policies().Contains(p) {
+		t.Error("tracked int policies should cover rendered digits")
+	}
+}
+
+func TestToIntMerges(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	n, err := NewStringPolicy("42", p).ToInt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Value() != 42 || !n.Policies().Contains(p) {
+		t.Errorf("ToInt = %d %s", n.Value(), n.Policies())
+	}
+	if _, err := NewString("nope").ToInt(); err == nil {
+		t.Error("non-numeric ToInt should fail")
+	}
+	// Intersection policy on only one operand's characters disappears.
+	ip := &intersectPolicy{Tag: "auth"}
+	mixed := Concat(NewStringPolicy("1", ip), NewString("2"))
+	n2, err := mixed.ToInt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Policies().Contains(ip) {
+		t.Error("intersection merge should drop policy when other side lacks it")
+	}
+}
+
+func TestBuilderMatchesConcat(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	var b Builder
+	b.Append(NewStringPolicy("aa", p1))
+	b.AppendRaw("--")
+	b.Append(NewStringPolicy("bb", p2))
+	b.AppendByte('!')
+	b.AppendBytePolicies('?', NewPolicySet(p1))
+	got := b.String()
+	mustInv(t, got)
+	want := Concat(NewStringPolicy("aa", p1), NewString("--"), NewStringPolicy("bb", p2),
+		NewString("!"), NewStringPolicy("?", p1))
+	if got.Raw() != want.Raw() {
+		t.Fatalf("raw %q != %q", got.Raw(), want.Raw())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if !got.PoliciesAt(i).Equal(want.PoliciesAt(i)) {
+			t.Errorf("byte %d: %s vs %s", i, got.PoliciesAt(i), want.PoliciesAt(i))
+		}
+	}
+	if b.Len() != got.Len() {
+		t.Errorf("Builder.Len = %d, want %d", b.Len(), got.Len())
+	}
+}
+
+func TestFindPolicyAndEverywhere(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("abcdef").WithPolicyRange(2, 4, p)
+	start, end, ok := s.FindPolicy(func(Policy) bool { return true })
+	if !ok || start != 2 || end != 4 {
+		t.Errorf("FindPolicy = %d %d %v", start, end, ok)
+	}
+	if s.HasPolicyEverywhere(func(Policy) bool { return true }) {
+		t.Error("partial coverage is not everywhere")
+	}
+	if !NewString("").HasPolicyEverywhere(func(Policy) bool { return false }) {
+		t.Error("empty string is vacuously covered")
+	}
+	if _, _, ok := NewString("clean").FindPolicy(func(Policy) bool { return true }); ok {
+		t.Error("untainted string should find nothing")
+	}
+}
+
+func TestEachSpanCoversWholeString(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewString("0123456789").WithPolicyRange(2, 4, p).WithPolicyRange(7, 9, p)
+	var total int
+	prevEnd := 0
+	s.EachSpan(func(start, end int, ps *PolicySet) error {
+		if start != prevEnd {
+			t.Errorf("gap: span starts at %d, previous ended at %d", start, prevEnd)
+		}
+		prevEnd = end
+		total += end - start
+		return nil
+	})
+	if total != s.Len() {
+		t.Errorf("EachSpan covered %d bytes of %d", total, s.Len())
+	}
+	wantErr := errors.New("stop")
+	err := s.EachSpan(func(start, end int, ps *PolicySet) error { return wantErr })
+	if err != wantErr {
+		t.Errorf("EachSpan error propagation: %v", err)
+	}
+}
+
+// ---- Property-based tests against a per-byte oracle ----
+
+// oracle tracks policies naively: one policy slice per byte.
+type oracle struct {
+	s  string
+	ps [][]Policy
+}
+
+func oracleOf(t String) oracle {
+	o := oracle{s: t.Raw(), ps: make([][]Policy, t.Len())}
+	for i := 0; i < t.Len(); i++ {
+		o.ps[i] = t.PoliciesAt(i).Policies()
+	}
+	return o
+}
+
+func (o oracle) concat(b oracle) oracle {
+	return oracle{s: o.s + b.s, ps: append(append([][]Policy{}, o.ps...), b.ps...)}
+}
+
+func (o oracle) slice(i, j int) oracle {
+	if i < 0 {
+		i = 0
+	}
+	if j > len(o.s) {
+		j = len(o.s)
+	}
+	if i >= j {
+		return oracle{}
+	}
+	return oracle{s: o.s[i:j], ps: o.ps[i:j]}
+}
+
+func (o oracle) equalString(t *testing.T, s String) {
+	t.Helper()
+	if s.Raw() != o.s {
+		t.Fatalf("raw mismatch: %q vs oracle %q", s.Raw(), o.s)
+	}
+	for i := range o.ps {
+		got := s.PoliciesAt(i)
+		want := NewPolicySet(o.ps[i]...)
+		if !got.Equal(want) {
+			t.Fatalf("byte %d: got %s want %s (string %s)", i, got, want, s.Describe())
+		}
+	}
+}
+
+// TestQuickRandomOpSequences runs random operation sequences over both the
+// real String and the oracle, then compares byte-by-byte policies and
+// checks canonical-form invariants after every step.
+func TestQuickRandomOpSequences(t *testing.T) {
+	pool := []Policy{
+		&allowPolicy{Name: "A"}, &allowPolicy{Name: "B"},
+		&allowPolicy{Name: "C"}, &allowPolicy{Name: "D"},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cur := NewString("the quick brown fox")
+		oc := oracleOf(cur)
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(5) {
+			case 0: // attach policy to random range
+				p := pool[rng.Intn(len(pool))]
+				i := rng.Intn(cur.Len() + 1)
+				j := rng.Intn(cur.Len() + 1)
+				cur = cur.WithPolicyRange(i, j, p)
+				for k := i; k < j && k < len(oc.s); k++ {
+					found := false
+					for _, q := range oc.ps[k] {
+						if q == p {
+							found = true
+						}
+					}
+					if !found {
+						oc.ps[k] = append(append([]Policy{}, oc.ps[k]...), p)
+					}
+				}
+			case 1: // concat random tainted suffix
+				p := pool[rng.Intn(len(pool))]
+				suffix := NewStringPolicy(fmt.Sprintf("<%d>", step), p)
+				cur = Concat(cur, suffix)
+				oc = oc.concat(oracleOf(suffix))
+			case 2: // slice random subrange (keep it non-degenerate)
+				if cur.Len() < 2 {
+					continue
+				}
+				i := rng.Intn(cur.Len() / 2)
+				j := i + 1 + rng.Intn(cur.Len()-i-1)
+				cur = cur.Slice(i, j)
+				oc = oc.slice(i, j)
+			case 3: // remove one policy everywhere
+				p := pool[rng.Intn(len(pool))]
+				cur = cur.WithoutPolicy(p)
+				for k := range oc.ps {
+					var out []Policy
+					for _, q := range oc.ps[k] {
+						if q != p {
+							out = append(out, q)
+						}
+					}
+					oc.ps[k] = out
+				}
+			case 4: // self-concat (doubling)
+				if cur.Len() > 2000 {
+					continue
+				}
+				cur = Concat(cur, cur)
+				oc = oc.concat(oc)
+			}
+			if err := cur.invariantErr(); err != nil {
+				t.Logf("seed %d step %d: invariant: %v", seed, step, err)
+				return false
+			}
+		}
+		oc.equalString(t, cur)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConcatSliceIdentity checks s == Concat(s[:k], s[k:]) for random
+// split points, byte-for-byte including policies.
+func TestQuickConcatSliceIdentity(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	f := func(a, b string, k uint8) bool {
+		s := Concat(NewStringPolicy(a, p1), NewStringPolicy(b, p2))
+		cut := int(k) % (s.Len() + 1)
+		re := Concat(s.Slice(0, cut), s.Slice(cut, s.Len()))
+		if re.Raw() != s.Raw() {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if !re.PoliciesAt(i).Equal(s.PoliciesAt(i)) {
+				return false
+			}
+		}
+		return re.invariantErr() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitJoinIdentity checks Join(Split(s, sep), sep) == s when the
+// policy layout respects separator boundaries.
+func TestQuickSplitJoinIdentity(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	f := func(parts []string) bool {
+		elems := make([]String, 0, len(parts))
+		for i, raw := range parts {
+			raw = strings.ReplaceAll(raw, "|", "_")
+			if i%2 == 0 {
+				elems = append(elems, NewStringPolicy(raw, p))
+			} else {
+				elems = append(elems, NewString(raw))
+			}
+		}
+		if len(elems) == 0 {
+			return true
+		}
+		joined := Join(elems, NewString("|"))
+		split := joined.Split("|")
+		if len(split) != len(elems) {
+			return false
+		}
+		for i := range elems {
+			if split[i].Raw() != elems[i].Raw() {
+				return false
+			}
+			for k := 0; k < split[i].Len(); k++ {
+				if !split[i].PoliciesAt(k).Equal(elems[i].PoliciesAt(k)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

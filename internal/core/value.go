@@ -1,0 +1,99 @@
+package core
+
+import "strconv"
+
+// Int is a tracked integer. Integers cannot carry byte-level spans, so a
+// single policy set covers the whole value; arithmetic between tracked
+// integers is a merging operation (§3.4.2) that invokes the policies'
+// merge methods.
+//
+// Int values are immutable. The zero value is 0 with no policies.
+type Int struct {
+	v  int64
+	ps *PolicySet
+}
+
+// NewInt wraps a plain integer with no policies.
+func NewInt(v int64) Int { return Int{v: v} }
+
+// NewIntPolicy wraps an integer with policies attached.
+func NewIntPolicy(v int64, ps ...Policy) Int {
+	return Int{v: v, ps: NewPolicySet(ps...)}
+}
+
+// Value returns the underlying integer value.
+func (n Int) Value() int64 { return n.v }
+
+// Policies returns the policy set attached to the value.
+func (n Int) Policies() *PolicySet {
+	if n.ps == nil {
+		return EmptySet
+	}
+	return n.ps
+}
+
+// IsTainted reports whether the value carries any policy.
+func (n Int) IsTainted() bool { return n.ps.Len() > 0 }
+
+// WithPolicy returns a copy with the given policies added.
+func (n Int) WithPolicy(ps ...Policy) Int {
+	out := n.Policies()
+	for _, p := range ps {
+		out = out.Add(p)
+	}
+	return Int{v: n.v, ps: out}
+}
+
+// WithoutPolicy returns a copy with the given policy objects removed.
+func (n Int) WithoutPolicy(ps ...Policy) Int {
+	out := n.Policies()
+	for _, p := range ps {
+		out = out.Remove(p)
+	}
+	return Int{v: n.v, ps: out}
+}
+
+// Add returns n+m with the operands' policies merged.
+func (n Int) Add(m Int) (Int, error) { return n.binop(m, n.v+m.v) }
+
+// Sub returns n-m with the operands' policies merged.
+func (n Int) Sub(m Int) (Int, error) { return n.binop(m, n.v-m.v) }
+
+// Mul returns n*m with the operands' policies merged.
+func (n Int) Mul(m Int) (Int, error) { return n.binop(m, n.v*m.v) }
+
+// Div returns n/m with the operands' policies merged. Division by zero
+// panics, as for plain Go integers.
+func (n Int) Div(m Int) (Int, error) { return n.binop(m, n.v/m.v) }
+
+func (n Int) binop(m Int, result int64) (Int, error) {
+	ps, err := MergePolicies(n.Policies(), m.Policies())
+	if err != nil {
+		return Int{}, err
+	}
+	return Int{v: result, ps: ps}, nil
+}
+
+// ToString renders the integer as a tracked decimal string whose every
+// byte carries the integer's policy set.
+func (n Int) ToString() String {
+	return NewString(strconv.FormatInt(n.v, 10)).withSet(n.Policies())
+}
+
+// Checksum computes a simple additive checksum of a tracked string,
+// merging the policies of every byte into the result — the paper's
+// motivating example of an unavoidable merge (§3.4.2: "string characters
+// with different policies are converted to integer values and added up to
+// compute a checksum").
+func Checksum(t String) (Int, error) {
+	acc := Int{}
+	var err error
+	for i := 0; i < t.Len(); i++ {
+		c, ps := t.ByteAt(i)
+		acc, err = acc.Add(Int{v: int64(c), ps: ps})
+		if err != nil {
+			return Int{}, err
+		}
+	}
+	return acc, nil
+}

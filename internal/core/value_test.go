@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntBasics(t *testing.T) {
+	n := NewInt(5)
+	if n.Value() != 5 || n.IsTainted() || !n.Policies().IsEmpty() {
+		t.Error("fresh int wrong")
+	}
+	p := &allowPolicy{Name: "p"}
+	m := n.WithPolicy(p)
+	if !m.IsTainted() || !m.Policies().Contains(p) {
+		t.Error("WithPolicy failed")
+	}
+	if m.WithoutPolicy(p).IsTainted() {
+		t.Error("WithoutPolicy failed")
+	}
+	if n.IsTainted() {
+		t.Error("WithPolicy must not mutate receiver")
+	}
+}
+
+func TestIntArithmeticMergesUnion(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	a := NewIntPolicy(10, p1)
+	b := NewIntPolicy(4, p2)
+	for _, tc := range []struct {
+		name string
+		f    func() (Int, error)
+		want int64
+	}{
+		{"add", func() (Int, error) { return a.Add(b) }, 14},
+		{"sub", func() (Int, error) { return a.Sub(b) }, 6},
+		{"mul", func() (Int, error) { return a.Mul(b) }, 40},
+		{"div", func() (Int, error) { return a.Div(b) }, 2},
+	} {
+		got, err := tc.f()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Value() != tc.want {
+			t.Errorf("%s = %d, want %d", tc.name, got.Value(), tc.want)
+		}
+		if !got.Policies().Contains(p1) || !got.Policies().Contains(p2) {
+			t.Errorf("%s: policies = %s", tc.name, got.Policies())
+		}
+	}
+}
+
+func TestIntArithmeticIntersection(t *testing.T) {
+	auth := &intersectPolicy{Tag: "authentic"}
+	a := NewIntPolicy(1, auth)
+	b := NewInt(2)
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Policies().Contains(auth) {
+		t.Error("intersection policy should not survive merge with unlabelled data")
+	}
+	both, err := a.Add(NewIntPolicy(2, &intersectPolicy{Tag: "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Policies().Len() != 2 {
+		t.Errorf("both authentic: %s", both.Policies())
+	}
+}
+
+func TestIntMergeRefusalAborts(t *testing.T) {
+	r := &refusePolicy{}
+	if _, err := NewIntPolicy(1, r).Add(NewIntPolicy(2, &allowPolicy{Name: "x"})); err == nil {
+		t.Fatal("merge refusal must abort arithmetic")
+	}
+}
+
+func TestIntToString(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	s := NewIntPolicy(-123, p).ToString()
+	if s.Raw() != "-123" {
+		t.Errorf("raw = %q", s.Raw())
+	}
+	if !s.HasPolicyEverywhere(func(q Policy) bool { return q == p }) {
+		t.Error("every digit should carry the policy")
+	}
+	if NewInt(7).ToString().IsTainted() {
+		t.Error("untainted int renders untainted string")
+	}
+}
+
+func TestChecksumMergesAllBytePolicies(t *testing.T) {
+	p1 := &allowPolicy{Name: "p1"}
+	p2 := &allowPolicy{Name: "p2"}
+	s := Concat(NewStringPolicy("ab", p1), NewStringPolicy("cd", p2))
+	sum, err := Checksum(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64('a' + 'b' + 'c' + 'd')
+	if sum.Value() != want {
+		t.Errorf("checksum = %d, want %d", sum.Value(), want)
+	}
+	if !sum.Policies().Contains(p1) || !sum.Policies().Contains(p2) {
+		t.Errorf("checksum policies = %s", sum.Policies())
+	}
+}
+
+func TestChecksumRefusal(t *testing.T) {
+	s := Concat(NewStringPolicy("a", &refusePolicy{}), NewStringPolicy("b", &allowPolicy{Name: "x"}))
+	if _, err := Checksum(s); err == nil {
+		t.Fatal("checksum over refusing policy must fail")
+	}
+}
+
+func TestQuickIntAddCommutesValue(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	f := func(a, b int32) bool {
+		x := NewIntPolicy(int64(a), p)
+		y := NewInt(int64(b))
+		s1, err1 := x.Add(y)
+		s2, err2 := y.Add(x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s1.Value() == s2.Value() && s1.Policies().Equal(s2.Policies())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickToStringRoundTrip(t *testing.T) {
+	p := &allowPolicy{Name: "p"}
+	f := func(v int32) bool {
+		n := NewIntPolicy(int64(v), p)
+		back, err := n.ToString().ToInt()
+		if err != nil {
+			return false
+		}
+		return back.Value() == int64(v) && back.Policies().Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package httpd is the web-server substrate of the RESIN reproduction: an
+// in-process request/response model with RESIN boundaries at the edges.
+//
+// Requests enter through an input boundary that taints every parameter
+// with an UntrustedData policy (the moment data enters the runtime).
+// Responses leave through an HTML output channel whose filter chain runs
+// the default export check, the HTTP response-splitting defense, and
+// (when the application enables it) the cross-site scripting assertions
+// of §5.3. The server is also "RESIN-aware" in the sense of §3.4.1: when
+// it serves a static file, the file's persistent policies are
+// de-serialized and checked against the HTTP boundary, so a password
+// accidentally stored in a world-readable file cannot be fetched with a
+// browser.
+//
+// The transport is simulated in-process — requests are Go calls — because
+// every assertion the paper evaluates happens at the channel boundary, not
+// on the wire.
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+	"resin/internal/vfs"
+)
+
+// Session is per-user server-side state (the paper's applications recall
+// session state while generating pages).
+type Session struct {
+	ID   string
+	User string
+	mu   sync.Mutex
+	data map[string]any
+}
+
+// Set stores a session value.
+func (s *Session) Set(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		s.data = make(map[string]any)
+	}
+	s.data[key] = v
+}
+
+// Get returns a session value.
+func (s *Session) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Request is one in-flight HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Session *Session
+	rt      *core.Runtime
+	params  map[string]core.String
+	input   *core.Channel
+}
+
+// Param returns a request parameter as tracked (tainted) data; absent
+// parameters return the empty string.
+func (r *Request) Param(name string) core.String { return r.params[name] }
+
+// ParamRaw returns the raw text of a parameter.
+func (r *Request) ParamRaw(name string) string { return r.params[name].Raw() }
+
+// HasParam reports whether the parameter was supplied.
+func (r *Request) HasParam(name string) bool {
+	_, ok := r.params[name]
+	return ok
+}
+
+// ParamNames returns the sorted names of supplied parameters.
+func (r *Request) ParamNames() []string {
+	out := make([]string, 0, len(r.params))
+	for k := range r.params {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Response accumulates one response: headers flow through a
+// splitting-guarded channel, the body through the HTML output channel.
+type Response struct {
+	Status   int
+	body     *core.Channel
+	headerCh *core.Channel
+	mu       sync.Mutex
+	headers  map[string]string
+}
+
+// Body returns the tracked response body released so far.
+func (r *Response) Body() core.String { return r.body.Output() }
+
+// RawBody returns the raw text of the response body.
+func (r *Response) RawBody() string { return r.body.RawOutput() }
+
+// Channel returns the body output channel; applications annotate its
+// context (e.g. Figure 5's client_sock.__filter.context['user'] = u) and
+// use its output-buffering API (§5.5).
+func (r *Response) Channel() *core.Channel { return r.body }
+
+// Write sends tracked data through the HTML output boundary.
+func (r *Response) Write(data core.String) error { return r.body.Write(data) }
+
+// WriteRaw sends untracked text through the boundary.
+func (r *Response) WriteRaw(s string) error { return r.body.WriteRaw(s) }
+
+// SetHeader sets a response header; the value crosses the header channel,
+// which rejects CR/LF sequences derived from untrusted input (the HTTP
+// response-splitting defense of §3.2/§5.4).
+func (r *Response) SetHeader(name string, value core.String) error {
+	if err := r.headerCh.Write(value); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.headers[name] = value.Raw()
+	return nil
+}
+
+// Header returns a previously set header value.
+func (r *Response) Header(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.headers[name]
+}
+
+// Handler handles one request.
+type Handler func(req *Request, resp *Response) error
+
+// Server routes requests to handlers over a RESIN runtime.
+type Server struct {
+	rt *core.Runtime
+
+	mu       sync.Mutex
+	routes   map[string]Handler
+	sessions map[string]*Session
+	nextSID  int
+
+	staticFS   *vfs.FS
+	staticRoot string
+
+	// configureBody is applied to each response body channel; the server
+	// installs the default filters and applications may add more.
+	bodyFilters []core.Filter
+}
+
+// NewServer returns a server bound to rt with the default boundary
+// filters: export check plus the response-splitting guard on headers.
+func NewServer(rt *core.Runtime) *Server {
+	return &Server{
+		rt:       rt,
+		routes:   make(map[string]Handler),
+		sessions: make(map[string]*Session),
+		bodyFilters: []core.Filter{
+			core.ExportCheckFilter{},
+		},
+	}
+}
+
+// Runtime returns the server's runtime.
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// Handle registers a handler for a path.
+func (s *Server) Handle(path string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes[path] = h
+}
+
+// AddBodyFilter appends a filter to every future response body channel —
+// how an application attaches the XSS assertion (§5.3) to its HTML output.
+func (s *Server) AddBodyFilter(f core.Filter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bodyFilters = append(s.bodyFilters, f)
+}
+
+// ServeStatic exposes fs under docroot for GET requests that match no
+// route — like Apache serving files next to the application. The serving
+// path honours persistent policies (§3.4.1).
+func (s *Server) ServeStatic(fs *vfs.FS, docroot string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.staticFS = fs
+	s.staticRoot = docroot
+}
+
+// NewSession creates a server-side session for user.
+func (s *Server) NewSession(user string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSID++
+	sess := &Session{ID: fmt.Sprintf("sid%04d", s.nextSID), User: user}
+	s.sessions[sess.ID] = sess
+	return sess
+}
+
+// ErrNotFound is returned by Do when no route or static file matches.
+var ErrNotFound = errors.New("httpd: not found")
+
+// Do runs one request through the server: parameters are tainted at the
+// input boundary, the matched handler runs, and (resp, err) capture
+// whatever the handler produced — including assertion errors from the
+// output boundary. sess may be nil for anonymous requests.
+func (s *Server) Do(method, path string, params map[string]string, sess *Session) (*Response, error) {
+	req := &Request{
+		Method:  method,
+		Path:    path,
+		Session: sess,
+		rt:      s.rt,
+		params:  make(map[string]core.String, len(params)),
+		input:   core.NewChannel(s.rt, core.KindHTTP),
+	}
+	req.input.Context().Set("op", "request-input")
+	// Input boundary: every parameter enters through the request's input
+	// channel, whose read filter taints it (§5.3: "annotates untrusted
+	// input data with an UntrustedData policy"). The filter is installed
+	// per parameter so the taint records which parameter it came from.
+	for name, raw := range params {
+		req.input.SetFilters(&core.TaintReadFilter{
+			Policies: []core.Policy{&sanitize.UntrustedData{Source: "http:" + name}},
+		})
+		data, err := req.input.Read(core.NewString(raw))
+		if err != nil {
+			return nil, fmt.Errorf("httpd: input boundary: %w", err)
+		}
+		req.params[name] = data
+	}
+
+	resp := s.newResponse(sess)
+	s.mu.Lock()
+	h, ok := s.routes[path]
+	staticFS, staticRoot := s.staticFS, s.staticRoot
+	s.mu.Unlock()
+	if ok {
+		err := h(req, resp)
+		return resp, err
+	}
+	if staticFS != nil && method == "GET" {
+		err := s.serveStatic(staticFS, staticRoot, path, resp)
+		return resp, err
+	}
+	resp.Status = 404
+	return resp, ErrNotFound
+}
+
+func (s *Server) newResponse(sess *Session) *Response {
+	s.mu.Lock()
+	filters := append([]core.Filter(nil), s.bodyFilters...)
+	s.mu.Unlock()
+	body := core.NewChannel(s.rt, core.KindHTTP, filters...)
+	if sess != nil {
+		body.Context().Set("user", sess.User)
+		body.Context().Set("session", sess.ID)
+	}
+	headerCh := core.NewChannel(s.rt, core.KindHTTP,
+		&core.RejectSequenceFilter{Sequence: "\r\n", TaintedOnly: true, IsTainted: sanitize.IsUntrusted},
+		core.ExportCheckFilter{},
+	)
+	if sess != nil {
+		headerCh.Context().Set("user", sess.User)
+	}
+	return &Response{Status: 200, body: body, headerCh: headerCh, headers: make(map[string]string)}
+}
+
+// serveStatic reads a file through the VFS (de-serializing its persistent
+// policies) and writes it to the HTTP boundary, where export checks run.
+// This is the mod_php change of §4: 49 lines that made Apache invoke
+// policy objects for all static files it serves.
+func (s *Server) serveStatic(fs *vfs.FS, docroot, reqPath string, resp *Response) error {
+	full := vfs.Resolve(docroot + "/" + reqPath)
+	if !strings.HasPrefix(full, vfs.Resolve(docroot)) {
+		resp.Status = 404
+		return ErrNotFound
+	}
+	info, err := fs.Stat(full)
+	if err != nil || info.IsDir {
+		resp.Status = 404
+		return ErrNotFound
+	}
+	ctx := core.NewContext(core.KindFile)
+	if u, ok := resp.body.Context().GetString("user"); ok {
+		ctx.Set("user", u)
+	}
+	data, err := fs.ReadFile(full, ctx)
+	if err != nil {
+		resp.Status = 403
+		return err
+	}
+	if err := resp.Write(data); err != nil {
+		resp.Status = 403
+		return err
+	}
+	return nil
+}

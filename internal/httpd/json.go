@@ -1,0 +1,189 @@
+package httpd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// §5.4 of the paper: "much like in SQL injection, an adversary may be
+// able to craft an input string that changes the structure of the JSON's
+// JavaScript data structure, or worse yet, include client-side code as
+// part of the data structure. Web applications can use RESIN's data
+// tracking mechanisms to avoid these pitfalls as they would for SQL
+// injection."
+//
+// Two pieces implement that here: EncodeJSON, a tracked JSON encoder
+// whose escaping keeps untrusted bytes confined to string values while
+// propagating their policies; and JSONFilter, the output-channel
+// assertion that rejects untrusted bytes in structural positions of the
+// final JSON text, whatever code path produced it.
+
+// EncodeJSON renders a value as tracked JSON. Supported values: nil,
+// bool, int/int64, string, core.String (policies propagate into the
+// escaped string value), []any, and map[string]any (keys emitted in
+// sorted order for determinism).
+func EncodeJSON(v any) (core.String, error) {
+	var b core.Builder
+	if err := encodeJSON(&b, v); err != nil {
+		return core.String{}, err
+	}
+	return b.String(), nil
+}
+
+func encodeJSON(b *core.Builder, v any) error {
+	switch x := v.(type) {
+	case nil:
+		b.AppendRaw("null")
+	case bool:
+		if x {
+			b.AppendRaw("true")
+		} else {
+			b.AppendRaw("false")
+		}
+	case int:
+		b.AppendRaw(strconv.Itoa(x))
+	case int64:
+		b.AppendRaw(strconv.FormatInt(x, 10))
+	case core.Int:
+		b.Append(x.ToString())
+	case string:
+		encodeJSONString(b, core.NewString(x))
+	case core.String:
+		encodeJSONString(b, x)
+	case []any:
+		b.AppendRaw("[")
+		for i, e := range x {
+			if i > 0 {
+				b.AppendRaw(",")
+			}
+			if err := encodeJSON(b, e); err != nil {
+				return err
+			}
+		}
+		b.AppendRaw("]")
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.AppendRaw("{")
+		for i, k := range keys {
+			if i > 0 {
+				b.AppendRaw(",")
+			}
+			encodeJSONString(b, core.NewString(k))
+			b.AppendRaw(":")
+			if err := encodeJSON(b, x[k]); err != nil {
+				return err
+			}
+		}
+		b.AppendRaw("}")
+	default:
+		return fmt.Errorf("httpd: EncodeJSON: unsupported type %T", v)
+	}
+	return nil
+}
+
+// encodeJSONString emits a JSON string literal; the delimiting quotes are
+// application output, escaped content bytes inherit the source policies.
+func encodeJSONString(b *core.Builder, s core.String) {
+	b.AppendRaw(`"`)
+	for i := 0; i < s.Len(); i++ {
+		c, ps := s.ByteAt(i)
+		switch {
+		case c == '"' || c == '\\':
+			b.AppendBytePolicies('\\', ps)
+			b.AppendBytePolicies(c, ps)
+		case c == '\n':
+			b.AppendBytePolicies('\\', ps)
+			b.AppendBytePolicies('n', ps)
+		case c == '\r':
+			b.AppendBytePolicies('\\', ps)
+			b.AppendBytePolicies('r', ps)
+		case c == '\t':
+			b.AppendBytePolicies('\\', ps)
+			b.AppendBytePolicies('t', ps)
+		case c == '<' || c == '>': // keep </script> out of inline JSON
+			for _, e := range []byte(fmt.Sprintf(`\u%04x`, c)) {
+				b.AppendBytePolicies(e, ps)
+			}
+		case c < 0x20:
+			for _, e := range []byte(fmt.Sprintf(`\u%04x`, c)) {
+				b.AppendBytePolicies(e, ps)
+			}
+		default:
+			b.AppendBytePolicies(c, ps)
+		}
+	}
+	b.AppendRaw(`"`)
+}
+
+// JSONError reports a rejected JSON structure flow.
+type JSONError struct {
+	Offset int
+	Detail string
+}
+
+func (e *JSONError) Error() string {
+	return fmt.Sprintf("httpd: JSON assertion rejected output at byte %d: %s", e.Offset, e.Detail)
+}
+
+// JSONFilter is the JSON analogue of the strategy-2 SQL defense: attached
+// to a JSON output channel, it rejects untrusted bytes that land in the
+// structure of the document — anything outside a string value, plus
+// quotes and backslashes inside string values (which would let the value
+// escape into structure).
+type JSONFilter struct{}
+
+// FilterWrite scans one chunk of outgoing JSON.
+func (f *JSONFilter) FilterWrite(ch *core.Channel, data core.String, off int64) (core.String, error) {
+	if err := scanTaintedJSONStructure(data); err != nil {
+		return data, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: err}
+	}
+	return data, nil
+}
+
+func scanTaintedJSONStructure(data core.String) error {
+	raw := data.Raw()
+	tainted := func(i int) bool {
+		return data.PoliciesAt(i).Any(sanitize.IsUntrusted)
+	}
+	inString := false
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if inString {
+			switch c {
+			case '\\':
+				// The escape pair is fine whoever wrote it — an escaped
+				// quote cannot terminate the string.
+				i++
+			case '"':
+				if tainted(i) {
+					return &JSONError{Offset: i, Detail: "untrusted quote terminates a JSON string"}
+				}
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			if tainted(i) {
+				return &JSONError{Offset: i, Detail: "untrusted quote opens a JSON string"}
+			}
+			inString = true
+		case '{', '}', '[', ']', ':', ',':
+			if tainted(i) {
+				return &JSONError{Offset: i, Detail: fmt.Sprintf("untrusted %q in JSON structure", string(c))}
+			}
+		default:
+			// Bare values (numbers, true/false/null) and whitespace may
+			// be tainted; they cannot change the structure.
+		}
+	}
+	return nil
+}

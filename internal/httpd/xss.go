@@ -1,0 +1,136 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// XSSFilter is the cross-site scripting assertion of §5.3, attached to the
+// HTML output channel. Both of the paper's strategies are available:
+//
+//   - RequireSanitizedMarkers (strategy 1): reject output containing
+//     characters with UntrustedData but not HTMLSanitized — the data never
+//     went through the HTML escaping function.
+//
+//   - RejectTaintedStructure (strategy 2): scan the HTML and reject
+//     untrusted characters in structural positions — a tainted '<' or '>'
+//     (tag injection) or any tainted byte inside a <script> element (the
+//     "JavaScript portions of the HTML" the paper checks).
+type XSSFilter struct {
+	RequireSanitizedMarkers bool
+	RejectTaintedStructure  bool
+}
+
+// XSSError reports a rejected cross-site scripting flow.
+type XSSError struct {
+	Strategy string
+	Detail   string
+	Offset   int
+}
+
+func (e *XSSError) Error() string {
+	return fmt.Sprintf("httpd: XSS assertion (%s) rejected output at byte %d: %s",
+		e.Strategy, e.Offset, e.Detail)
+}
+
+// FilterWrite checks one chunk of outgoing HTML.
+func (f *XSSFilter) FilterWrite(ch *core.Channel, data core.String, off int64) (core.String, error) {
+	if f.RequireSanitizedMarkers {
+		if start, _, found := sanitize.UnsanitizedHTML(data); found {
+			return data, &core.AssertionError{
+				Context: ch.Context(), Op: "export_check",
+				Err: &XSSError{Strategy: "sanitized-markers", Offset: start,
+					Detail: "untrusted data reached HTML output without passing the HTML sanitizer"},
+			}
+		}
+	}
+	if f.RejectTaintedStructure {
+		if err := scanTaintedHTMLStructure(data); err != nil {
+			return data, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: err}
+		}
+	}
+	return data, nil
+}
+
+// scanTaintedHTMLStructure walks the HTML byte-by-byte with a small state
+// machine. Untrusted bytes are rejected when they are tag delimiters or
+// appear inside a script element.
+func scanTaintedHTMLStructure(data core.String) error {
+	raw := data.Raw()
+	const (
+		stText = iota
+		stTag
+		stScript
+	)
+	state := stText
+	tainted := func(i int) bool {
+		return data.PoliciesAt(i).Any(sanitize.IsUntrusted)
+	}
+	i := 0
+	for i < len(raw) {
+		c := raw[i]
+		switch state {
+		case stText:
+			if c == '<' {
+				if tainted(i) {
+					return &XSSError{Strategy: "tainted-structure", Offset: i,
+						Detail: "untrusted '<' opens an HTML tag"}
+				}
+				if hasFoldPrefix(raw[i:], "<script") {
+					state = stScript
+					// Skip to the end of the opening tag.
+					j := strings.IndexByte(raw[i:], '>')
+					if j < 0 {
+						i = len(raw)
+						continue
+					}
+					i += j + 1
+					continue
+				}
+				state = stTag
+			} else if c == '>' && tainted(i) {
+				return &XSSError{Strategy: "tainted-structure", Offset: i,
+					Detail: "untrusted '>' closes an HTML tag"}
+			}
+			i++
+		case stTag:
+			if (c == '<' || c == '>') && tainted(i) {
+				return &XSSError{Strategy: "tainted-structure", Offset: i,
+					Detail: "untrusted tag delimiter inside HTML tag"}
+			}
+			if c == '>' {
+				state = stText
+			}
+			i++
+		case stScript:
+			if hasFoldPrefix(raw[i:], "</script") {
+				state = stText
+				j := strings.IndexByte(raw[i:], '>')
+				if j < 0 {
+					i = len(raw)
+					continue
+				}
+				i += j + 1
+				continue
+			}
+			if tainted(i) {
+				return &XSSError{Strategy: "tainted-structure", Offset: i,
+					Detail: "untrusted byte inside <script> element"}
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// hasFoldPrefix reports whether s begins with prefix, ASCII
+// case-insensitively.
+func hasFoldPrefix(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	return strings.EqualFold(s[:len(prefix)], prefix)
+}

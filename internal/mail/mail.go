@@ -1,0 +1,90 @@
+// Package mail is the email substrate of the RESIN reproduction: a mailer
+// whose outgoing messages cross a sendmail-pipe boundary annotated with
+// the recipient address (Figure 1 of the paper: "RESIN annotates each
+// filter object connected to an outgoing email channel with the email's
+// recipient address").
+//
+// The HotCRP password assertion relies on exactly this context: the
+// PasswordPolicy's export check allows the flow only when the channel's
+// type is "email" and its recipient matches the account holder.
+package mail
+
+import (
+	"sync"
+
+	"resin/internal/core"
+)
+
+// Email is one delivered message.
+type Email struct {
+	To      string
+	Subject string
+	Body    core.String
+}
+
+// Mailer delivers email through RESIN email boundaries. Deliveries are
+// captured in memory for inspection by tests and harnesses.
+type Mailer struct {
+	rt *core.Runtime
+
+	mu   sync.Mutex
+	sent []Email
+	// extraFilters are appended to every outgoing email channel.
+	extraFilters []core.Filter
+}
+
+// NewMailer returns a mailer bound to rt.
+func NewMailer(rt *core.Runtime) *Mailer {
+	return &Mailer{rt: rt}
+}
+
+// AddFilter appends a filter to every future outgoing email channel.
+func (m *Mailer) AddFilter(f core.Filter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.extraFilters = append(m.extraFilters, f)
+}
+
+// Channel builds the boundary channel for a message to the given
+// recipient: kind "email", context {"email": to}, default export-check
+// filter plus any extra filters.
+func (m *Mailer) Channel(to string) *core.Channel {
+	m.mu.Lock()
+	extra := append([]core.Filter(nil), m.extraFilters...)
+	m.mu.Unlock()
+	filters := append([]core.Filter{core.ExportCheckFilter{}}, extra...)
+	ch := core.NewChannel(m.rt, core.KindEmail, filters...)
+	ch.Context().Set("email", to)
+	return ch
+}
+
+// Send delivers a message: subject and body cross the email boundary for
+// the recipient; if any assertion vetoes the flow, nothing is delivered
+// and the error is returned.
+func (m *Mailer) Send(to, subject string, body core.String) error {
+	ch := m.Channel(to)
+	if err := ch.Write(core.NewString(subject)); err != nil {
+		return err
+	}
+	if err := ch.Write(body); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent = append(m.sent, Email{To: to, Subject: subject, Body: body})
+	return nil
+}
+
+// Sent returns a copy of the delivered messages.
+func (m *Mailer) Sent() []Email {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Email(nil), m.sent...)
+}
+
+// Reset clears the delivery log.
+func (m *Mailer) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent = nil
+}

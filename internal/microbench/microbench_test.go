@@ -1,0 +1,104 @@
+package microbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The microbenchmark operations must run correctly in every mode — a
+// broken operation would silently benchmark garbage.
+func TestAllOpsRunInAllModes(t *testing.T) {
+	for _, op := range Ops() {
+		for _, mode := range []Mode{Unmodified, NoPolicy, EmptyPolicy} {
+			op, mode := op, mode
+			t.Run(op.Name+"/"+mode.String(), func(t *testing.T) {
+				// Run with a tiny iteration count via testing.B through a
+				// manual invocation: reuse the benchmark body with b.N=1
+				// by calling through testing.Benchmark would be slow for
+				// all 30 combos; instead run the op once.
+				res := testingBenchmarkOnce(func(b *testing.B) { op.Bench(b, mode) })
+				if res < 0 {
+					t.Fatal("benchmark body failed")
+				}
+			})
+		}
+	}
+}
+
+// testingBenchmarkOnce runs a benchmark body with the smallest possible
+// iteration budget and reports -1 on failure.
+func testingBenchmarkOnce(fn func(b *testing.B)) int {
+	ok := true
+	func() {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		b := &testing.B{N: 1}
+		fn(b)
+		if b.Failed() {
+			ok = false
+		}
+	}()
+	if !ok {
+		return -1
+	}
+	return 1
+}
+
+func TestModeString(t *testing.T) {
+	if Unmodified.String() != "unmodified" || NoPolicy.String() != "resin-no-policy" ||
+		EmptyPolicy.String() != "resin-empty-policy" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestTableHasTenOps(t *testing.T) {
+	ops := Ops()
+	if len(ops) != 10 {
+		t.Fatalf("ops = %d, want 10 (the Table 5 rows)", len(ops))
+	}
+	wantOrder := []string{
+		"Assign variable", "Function call", "String concat", "Integer addition",
+		"File open", "File read, 1KB", "File write, 1KB",
+		"SQL SELECT", "SQL INSERT", "SQL DELETE",
+	}
+	for i, w := range wantOrder {
+		if ops[i].Name != w {
+			t.Errorf("ops[%d] = %q, want %q", i, ops[i].Name, w)
+		}
+	}
+}
+
+func TestRowOverhead(t *testing.T) {
+	r := Row{Op: "x", NsPerOp: [3]float64{100, 150, 300}}
+	if got := r.Overhead(NoPolicy); got != 50 {
+		t.Errorf("overhead = %v", got)
+	}
+	if got := r.Overhead(EmptyPolicy); got != 200 {
+		t.Errorf("overhead = %v", got)
+	}
+	zero := Row{}
+	if zero.Overhead(NoPolicy) != 0 {
+		t.Error("zero baseline should report 0")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render([]Row{{Op: "String concat", NsPerOp: [3]float64{10, 20, 40}}})
+	if !strings.Contains(out, "String concat") || !strings.Contains(out, "100%") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestEmptyPolicySerializable(t *testing.T) {
+	// The empty policy must round-trip: file and SQL benches persist it.
+	s := sample(EmptyPolicy, "x")
+	if !s.IsTainted() {
+		t.Fatal("sample should be tainted in EmptyPolicy mode")
+	}
+	if sample(NoPolicy, "x").IsTainted() || sample(Unmodified, "x").IsTainted() {
+		t.Error("non-policy modes must not taint")
+	}
+}

@@ -1,0 +1,124 @@
+// Package remote implements the distributed-system extension sketched in
+// §8 of the RESIN paper: "we are interested in extending RESIN to
+// propagate policies between machines in a distributed system similar to
+// the way DStar does with information flow labels."
+//
+// A Link connects two runtimes with a pair of message endpoints. Inside
+// the link, data does not *exit* the system — both ends enforce the same
+// assertions — so the link's boundary filter serializes the policy
+// annotation along with the payload instead of running export checks,
+// exactly like the persistent-storage filters of §3.4.1. The receiving
+// runtime re-instantiates the policy objects from its own registered
+// classes; a policy class the receiver does not know is an error, never a
+// silent drop.
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"resin/internal/core"
+)
+
+// wireMsg is one serialized message on the link.
+type wireMsg struct {
+	Data       string          `json:"data"`
+	Annotation json.RawMessage `json:"annotation,omitempty"`
+}
+
+// Endpoint is one side of a link.
+type Endpoint struct {
+	rt   *core.Runtime
+	ch   *core.Channel
+	mu   sync.Mutex
+	in   []wireMsg
+	peer *Endpoint
+}
+
+// NewLink connects two runtimes and returns their endpoints. Passing the
+// same runtime twice models two components of one program; different
+// runtimes model different machines.
+func NewLink(a, b *core.Runtime) (*Endpoint, *Endpoint) {
+	ea := &Endpoint{rt: a, ch: core.NewChannel(a, core.KindSocket)}
+	eb := &Endpoint{rt: b, ch: core.NewChannel(b, core.KindSocket)}
+	ea.ch.Context().Set("remote", "resin-link")
+	eb.ch.Context().Set("remote", "resin-link")
+	ea.peer = eb
+	eb.peer = ea
+	return ea, eb
+}
+
+// Channel returns the endpoint's boundary channel, for attaching extra
+// filters (e.g. stripping policies that must not cross machines).
+func (e *Endpoint) Channel() *core.Channel { return e.ch }
+
+// Send transmits tracked data to the peer. With tracking enabled, the
+// policy annotation travels with the bytes; extra write filters installed
+// on the endpoint's channel run first and may rewrite or veto.
+func (e *Endpoint) Send(data core.String) error {
+	// Run the channel's write filters (there is no default export check:
+	// the link propagates rather than discloses). The channel captures
+	// released output; we use its filter pass and then take the result.
+	filtered := data
+	if e.rt.Tracking() {
+		for _, f := range e.ch.Filters() {
+			wf, ok := f.(core.WriteFilter)
+			if !ok {
+				continue
+			}
+			var err error
+			filtered, err = wf.FilterWrite(e.ch, filtered, 0)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	msg := wireMsg{Data: filtered.Raw()}
+	if e.rt.Tracking() {
+		ann, err := core.EncodeSpans(filtered)
+		if err != nil {
+			return fmt.Errorf("remote: cannot serialize policies: %w", err)
+		}
+		msg.Annotation = ann
+	}
+	e.peer.mu.Lock()
+	e.peer.in = append(e.peer.in, msg)
+	e.peer.mu.Unlock()
+	return nil
+}
+
+// ErrEmpty is returned by Recv when no message is queued.
+var ErrEmpty = errors.New("remote: no message queued")
+
+// Recv returns the next queued message with its policies re-instantiated
+// in the receiving runtime. Read filters installed on the endpoint's
+// channel run after re-attachment (e.g. to taint link input, or to run
+// ReadCheck policies).
+func (e *Endpoint) Recv() (core.String, error) {
+	e.mu.Lock()
+	if len(e.in) == 0 {
+		e.mu.Unlock()
+		return core.String{}, ErrEmpty
+	}
+	msg := e.in[0]
+	e.in = e.in[1:]
+	e.mu.Unlock()
+
+	if !e.rt.Tracking() {
+		return core.NewString(msg.Data), nil
+	}
+	data, err := core.DecodeSpans(msg.Data, msg.Annotation)
+	if err != nil {
+		return core.String{}, fmt.Errorf("remote: cannot restore policies: %w", err)
+	}
+	return e.ch.Read(data)
+}
+
+// Pending returns the number of queued messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.in)
+}

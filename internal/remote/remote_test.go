@@ -1,0 +1,180 @@
+package remote
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"resin/internal/core"
+)
+
+type secretPolicy struct {
+	Owner string `json:"owner"`
+}
+
+func (p *secretPolicy) ExportCheck(ctx *core.Context) error {
+	return errors.New("secret of " + p.Owner)
+}
+
+type unregisteredPolicy struct{}
+
+func (p *unregisteredPolicy) ExportCheck(ctx *core.Context) error { return nil }
+
+func init() {
+	core.RegisterPolicyClass("remotetest.SecretPolicy", &secretPolicy{})
+}
+
+func TestPoliciesCrossTheLink(t *testing.T) {
+	rtA := core.NewRuntime()
+	rtB := core.NewRuntime()
+	a, b := NewLink(rtA, rtB)
+
+	secret := core.Concat(
+		core.NewString("public-"),
+		core.NewStringPolicy("secret", &secretPolicy{Owner: "ops"}),
+	)
+	if err := a.Send(secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Raw() != "public-secret" {
+		t.Fatalf("raw = %q", got.Raw())
+	}
+	if got.Slice(0, 7).IsTainted() {
+		t.Error("untainted prefix gained policies across the link")
+	}
+	tail := got.Slice(7, got.Len())
+	ps := tail.Policies().Policies()
+	if len(ps) != 1 {
+		t.Fatalf("policies = %d", len(ps))
+	}
+	sp, ok := ps[0].(*secretPolicy)
+	if !ok || sp.Owner != "ops" {
+		t.Fatalf("restored policy = %#v", ps[0])
+	}
+	// The restored policy still guards runtime B's boundaries.
+	out := core.NewChannel(rtB, core.KindHTTP, core.ExportCheckFilter{})
+	if err := out.Write(got); err == nil {
+		t.Fatal("policy must still veto exports on the receiving machine")
+	}
+}
+
+func TestUnknownPolicyClassIsAnError(t *testing.T) {
+	rtA := core.NewRuntime()
+	rtB := core.NewRuntime()
+	a, b := NewLink(rtA, rtB)
+	if err := a.Send(core.NewStringPolicy("x", &unregisteredPolicy{})); err == nil {
+		t.Fatal("unregistered policies must not silently cross the link")
+	}
+	if b.Pending() != 0 {
+		t.Error("failed send must not enqueue")
+	}
+}
+
+func TestRecvEmpty(t *testing.T) {
+	a, _ := NewLink(core.NewRuntime(), core.NewRuntime())
+	if _, err := a.Recv(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty recv: %v", err)
+	}
+}
+
+func TestUntrackedLinkDropsAnnotations(t *testing.T) {
+	rtA := core.NewUntrackedRuntime()
+	rtB := core.NewRuntime()
+	a, b := NewLink(rtA, rtB)
+	data := core.NewString("plain").WithPolicy(&secretPolicy{Owner: "x"})
+	if err := a.Send(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsTainted() {
+		t.Error("untracked sender cannot transmit annotations")
+	}
+}
+
+func TestEndpointFiltersRun(t *testing.T) {
+	rtA := core.NewRuntime()
+	rtB := core.NewRuntime()
+	a, b := NewLink(rtA, rtB)
+	// Sender-side filter strips the secret policy before transmission —
+	// the declassification pattern of §3.2.
+	a.Channel().PushFilter(&core.StripPolicyFilter{Pred: func(p core.Policy) bool {
+		_, ok := p.(*secretPolicy)
+		return ok
+	}})
+	if err := a.Send(core.NewStringPolicy("declassified", &secretPolicy{Owner: "o"})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsTainted() {
+		t.Error("stripped policy crossed the link")
+	}
+}
+
+func TestFIFOOrderAndPending(t *testing.T) {
+	a, b := NewLink(core.NewRuntime(), core.NewRuntime())
+	for _, m := range []string{"one", "two", "three"} {
+		if err := a.Send(core.NewString(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Pending() != 3 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+	for _, want := range []string{"one", "two", "three"} {
+		got, err := b.Recv()
+		if err != nil || got.Raw() != want {
+			t.Errorf("recv = %q, %v; want %q", got.Raw(), err, want)
+		}
+	}
+}
+
+func TestConcurrentSendRecv(t *testing.T) {
+	rtA := core.NewRuntime()
+	rtB := core.NewRuntime()
+	a, b := NewLink(rtA, rtB)
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(core.NewStringPolicy("m", &secretPolicy{Owner: "o"})); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	received := 0
+	go func() {
+		defer wg.Done()
+		for received < n {
+			got, err := b.Recv()
+			if errors.Is(err, ErrEmpty) {
+				continue
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !got.IsTainted() {
+				t.Error("lost annotation under concurrency")
+				return
+			}
+			received++
+		}
+	}()
+	wg.Wait()
+	if received != n {
+		t.Errorf("received %d of %d", received, n)
+	}
+}

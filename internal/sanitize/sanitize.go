@@ -1,0 +1,168 @@
+// Package sanitize provides the taint and sanitization policy classes of
+// §5.3 of the RESIN paper, together with the sanitizing functions that
+// attach them.
+//
+// The first strategy for preventing SQL injection and cross-site scripting
+// works like this:
+//
+//  1. untrusted input is annotated with an UntrustedData policy the moment
+//     it enters the runtime;
+//  2. the application's existing sanitization functions are changed to
+//     attach a SQLSanitized (resp. HTMLSanitized) policy to freshly
+//     sanitized data;
+//  3. the SQL (resp. HTML) filter object rejects any query that contains
+//     characters carrying UntrustedData but not SQLSanitized (resp.
+//     HTMLSanitized).
+//
+// The second strategy skips the sanitized markers and instead parses the
+// final query/document, rejecting UntrustedData characters that land in
+// structural positions; it is implemented by the SQL filter in
+// internal/sqldb and the HTML checker in internal/httpd.
+package sanitize
+
+import (
+	"strings"
+
+	"resin/internal/core"
+)
+
+// UntrustedData marks data that arrived from outside the application:
+// HTTP parameters, cookies, socket reads, whois responses. Source records
+// where the data came from, for diagnostics.
+type UntrustedData struct {
+	Source string `json:"source"`
+}
+
+// ExportCheck always passes: UntrustedData by itself does not restrict
+// exports; it exists to be *found* by SQL/HTML filters.
+func (p *UntrustedData) ExportCheck(ctx *core.Context) error { return nil }
+
+// SQLSanitized marks data that passed through the SQL quoting function.
+type SQLSanitized struct{}
+
+// ExportCheck always passes.
+func (p *SQLSanitized) ExportCheck(ctx *core.Context) error { return nil }
+
+// HTMLSanitized marks data that passed through the HTML escaping function.
+type HTMLSanitized struct{}
+
+// ExportCheck always passes.
+func (p *HTMLSanitized) ExportCheck(ctx *core.Context) error { return nil }
+
+func init() {
+	core.RegisterPolicyClass("resin.UntrustedData", &UntrustedData{})
+	core.RegisterPolicyClass("resin.SQLSanitized", &SQLSanitized{})
+	core.RegisterPolicyClass("resin.HTMLSanitized", &HTMLSanitized{})
+}
+
+// IsUntrusted reports whether p is an UntrustedData policy.
+func IsUntrusted(p core.Policy) bool {
+	_, ok := p.(*UntrustedData)
+	return ok
+}
+
+// IsSQLSanitized reports whether p is a SQLSanitized policy.
+func IsSQLSanitized(p core.Policy) bool {
+	_, ok := p.(*SQLSanitized)
+	return ok
+}
+
+// IsHTMLSanitized reports whether p is an HTMLSanitized policy.
+func IsHTMLSanitized(p core.Policy) bool {
+	_, ok := p.(*HTMLSanitized)
+	return ok
+}
+
+// Taint attaches an UntrustedData policy (with the given source tag) to
+// every byte of data. Input boundaries call this.
+func Taint(data core.String, source string) core.String {
+	return data.WithPolicy(&UntrustedData{Source: source})
+}
+
+// SQLQuote is the application's SQL string-quoting function, modified per
+// §5.3 to attach a SQLSanitized policy to the freshly sanitized data. It
+// escapes single quotes, backslashes and NULs and wraps the result in
+// single quotes. Bytes copied from the input keep their original policies
+// (so UntrustedData survives — the filter checks for the *pair*), and the
+// whole result additionally carries SQLSanitized.
+func SQLQuote(data core.String) core.String {
+	var b core.Builder
+	b.AppendRaw("'")
+	for i := 0; i < data.Len(); i++ {
+		c, ps := data.ByteAt(i)
+		switch c {
+		case '\'':
+			b.AppendBytePolicies('\'', ps)
+			b.AppendBytePolicies('\'', ps)
+		case '\\':
+			b.AppendBytePolicies('\\', ps)
+			b.AppendBytePolicies('\\', ps)
+		case 0:
+			// Drop NUL bytes outright.
+		default:
+			b.AppendBytePolicies(c, ps)
+		}
+	}
+	b.AppendRaw("'")
+	return b.String().WithPolicy(&SQLSanitized{})
+}
+
+// htmlReplacer maps HTML-significant bytes to their entities.
+var htmlReplacements = map[byte]string{
+	'&':  "&amp;",
+	'<':  "&lt;",
+	'>':  "&gt;",
+	'"':  "&quot;",
+	'\'': "&#39;",
+}
+
+// HTMLEscape is the application's HTML escaping function, modified per
+// §5.3 to attach an HTMLSanitized policy. Escaped entities inherit the
+// policies of the byte they replace.
+func HTMLEscape(data core.String) core.String {
+	var b core.Builder
+	for i := 0; i < data.Len(); i++ {
+		c, ps := data.ByteAt(i)
+		if rep, ok := htmlReplacements[c]; ok {
+			for j := 0; j < len(rep); j++ {
+				b.AppendBytePolicies(rep[j], ps)
+			}
+			continue
+		}
+		b.AppendBytePolicies(c, ps)
+	}
+	return b.String().WithPolicy(&HTMLSanitized{})
+}
+
+// UnsanitizedSQL reports whether data contains a byte carrying
+// UntrustedData but not SQLSanitized, returning the first such range.
+// This is the strategy-1 check the SQL filter runs on outgoing queries.
+func UnsanitizedSQL(data core.String) (start, end int, found bool) {
+	return findUnsanitized(data, IsSQLSanitized)
+}
+
+// UnsanitizedHTML is the HTML-side strategy-1 check.
+func UnsanitizedHTML(data core.String) (start, end int, found bool) {
+	return findUnsanitized(data, IsHTMLSanitized)
+}
+
+func findUnsanitized(data core.String, sanitized func(core.Policy) bool) (int, int, bool) {
+	found := false
+	var fs, fe int
+	data.EachTaintedSpan(func(s, e int, ps *core.PolicySet) error { //nolint:errcheck
+		if found {
+			return nil
+		}
+		if ps.Any(IsUntrusted) && !ps.Any(sanitized) {
+			fs, fe, found = s, e, true
+		}
+		return nil
+	})
+	return fs, fe, found
+}
+
+// StripQuotes removes the surrounding single quotes added by SQLQuote;
+// used by tests that need to compare sanitized payloads.
+func StripQuotes(s string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(s, "'"), "'")
+}

@@ -1,0 +1,539 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+
+	"resin/internal/core"
+	"resin/internal/vfs"
+)
+
+// CodeApproval is the policy of Figure 6: an empty policy object attached
+// to every file the developer marks executable. The interpreter's import
+// filter requires it on every character of loaded code, so
+// adversary-uploaded files — which lack the policy — are never executed.
+type CodeApproval struct{}
+
+// ExportCheck always passes (Figure 6: "function export_check($context) {}").
+func (p *CodeApproval) ExportCheck(ctx *core.Context) error { return nil }
+
+func init() {
+	core.RegisterPolicyClass("resin.CodeApproval", &CodeApproval{})
+}
+
+// IsCodeApproval reports whether p is a CodeApproval policy.
+func IsCodeApproval(p core.Policy) bool {
+	_, ok := p.(*CodeApproval)
+	return ok
+}
+
+// ErrNotExecutable is the Figure 6 rejection: loaded code lacks the
+// CodeApproval policy on some character.
+var ErrNotExecutable = errors.New("script: not executable (missing CodeApproval policy)")
+
+// ApprovedCodeFilter is the InterpreterFilter of Figure 6: a read filter
+// that only allows code whose every character carries a CodeApproval
+// policy. It replaces the interpreter's default import filter — the
+// default filter "always permits data that has no policy", which is
+// exactly wrong for code.
+type ApprovedCodeFilter struct{}
+
+// FilterRead verifies the CodeApproval policy on each character of buf.
+func (f *ApprovedCodeFilter) FilterRead(ch *core.Channel, data core.String, off int64) (core.String, error) {
+	if !data.HasPolicyEverywhere(IsCodeApproval) {
+		return core.String{}, &core.AssertionError{
+			Context: ch.Context(), Op: "read_check", Err: ErrNotExecutable,
+		}
+	}
+	return data, nil
+}
+
+// MakeFileExecutable is Figure 6's make_file_executable: the developer
+// reads the installed file, tags its contents with a persistent
+// CodeApproval policy, and writes it back. The policy rides in the file's
+// extended attributes from then on.
+func MakeFileExecutable(fs *vfs.FS, path string) error {
+	data, err := fs.ReadFile(path, nil)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(path, data.WithPolicy(&CodeApproval{}), nil)
+}
+
+// Value is an RSL runtime value.
+type Value struct {
+	Kind ValueKind
+	Str  core.String
+	Num  int64
+	Bool bool
+}
+
+// ValueKind discriminates RSL values.
+type ValueKind int
+
+// Value kinds.
+const (
+	VString ValueKind = iota
+	VNumber
+	VBool
+	VNull
+)
+
+// StringValue wraps a tracked string as an RSL value.
+func StringValue(s core.String) Value { return Value{Kind: VString, Str: s} }
+
+// NumberValue wraps an integer as an RSL value.
+func NumberValue(n int64) Value { return Value{Kind: VNumber, Num: n} }
+
+// BoolValue wraps a bool as an RSL value.
+func BoolValue(b bool) Value { return Value{Kind: VBool, Bool: b} }
+
+// NullValue is the RSL null.
+func NullValue() Value { return Value{Kind: VNull} }
+
+// Render converts a value to tracked text for echo.
+func (v Value) Render() core.String {
+	switch v.Kind {
+	case VString:
+		return v.Str
+	case VNumber:
+		return core.NewInt(v.Num).ToString()
+	case VBool:
+		if v.Bool {
+			return core.NewString("true")
+		}
+		return core.NewString("false")
+	default:
+		return core.String{}
+	}
+}
+
+// Truthy reports the value's boolean interpretation.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case VString:
+		return v.Str.Len() > 0
+	case VNumber:
+		return v.Num != 0
+	case VBool:
+		return v.Bool
+	default:
+		return false
+	}
+}
+
+// Builtin is a host function callable from RSL.
+type Builtin func(args []Value) (Value, error)
+
+// RuntimeError is an RSL evaluation error.
+type RuntimeError struct{ Msg string }
+
+func (e *RuntimeError) Error() string { return "script: " + e.Msg }
+
+func rerrf(format string, args ...any) error {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Interp is the RSL interpreter. Code reaches it only through the
+// code-import channel; applications replace the channel's filters to
+// enforce the script-injection assertion.
+type Interp struct {
+	rt       *core.Runtime
+	fs       *vfs.FS
+	importCh *core.Channel
+	builtins map[string]Builtin
+	// MaxSteps bounds execution to keep runaway scripts from hanging the
+	// host; 0 means the default (100k statements).
+	MaxSteps int
+}
+
+// New returns an interpreter bound to rt loading code from fs. The import
+// channel starts with the permissive default filter (ReadCheckFilter):
+// like the paper's default boundary, it checks policies that are present
+// but passes code with no policy at all.
+func New(rt *core.Runtime, fs *vfs.FS) *Interp {
+	in := &Interp{
+		rt:       rt,
+		fs:       fs,
+		importCh: core.NewChannel(rt, core.KindCode, core.ReadCheckFilter{}),
+		builtins: make(map[string]Builtin),
+	}
+	rt.RegisterChannel("interpreter", in.importCh)
+	return in
+}
+
+// ImportChannel returns the interpreter's code-import boundary — the
+// programmer overrides its filters "in a global configuration file, to
+// ensure the filter is set before any other code executes" (§5.2).
+func (in *Interp) ImportChannel() *core.Channel { return in.importCh }
+
+// RequireApprovedCode replaces the import filter with the Figure 6
+// assertion filter.
+func (in *Interp) RequireApprovedCode() {
+	in.importCh.SetFilters(&ApprovedCodeFilter{})
+}
+
+// Register adds a host builtin callable from scripts.
+func (in *Interp) Register(name string, fn Builtin) { in.builtins[name] = fn }
+
+// env is a script execution scope.
+type env struct {
+	vars  map[string]Value
+	funcs map[string]*funcStmt
+}
+
+func newEnv() *env {
+	return &env{vars: make(map[string]Value), funcs: make(map[string]*funcStmt)}
+}
+
+// execState carries per-run interpreter state.
+type execState struct {
+	in    *Interp
+	out   *core.Channel
+	steps int
+	max   int
+	ret   *Value // non-nil while unwinding a return
+}
+
+// RunFile loads the file at path through the code-import channel and
+// executes it; echo output goes to out (which may be an HTTP response
+// channel, so output assertions still apply). ctx carries the requesting
+// user for the file read.
+func (in *Interp) RunFile(path string, out *core.Channel, ctx *core.Context) error {
+	src, err := in.fs.ReadFile(path, ctx)
+	if err != nil {
+		return err
+	}
+	code, err := in.importCh.Read(src)
+	if err != nil {
+		return err
+	}
+	return in.run(code, out)
+}
+
+// RunSource executes source text through the import channel (the eval
+// path — the same boundary guards it).
+func (in *Interp) RunSource(src core.String, out *core.Channel) error {
+	code, err := in.importCh.Read(src)
+	if err != nil {
+		return err
+	}
+	return in.run(code, out)
+}
+
+func (in *Interp) run(code core.String, out *core.Channel) error {
+	prog, err := parseRSL(code)
+	if err != nil {
+		return err
+	}
+	max := in.MaxSteps
+	if max <= 0 {
+		max = 100000
+	}
+	st := &execState{in: in, out: out, max: max}
+	return st.execBlock(prog, newEnv())
+}
+
+func (st *execState) step() error {
+	st.steps++
+	if st.steps > st.max {
+		return rerrf("execution exceeded %d steps", st.max)
+	}
+	return nil
+}
+
+func (st *execState) execBlock(stmts []stmt, e *env) error {
+	for _, s := range stmts {
+		if err := st.exec(s, e); err != nil {
+			return err
+		}
+		if st.ret != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (st *execState) exec(s stmt, e *env) error {
+	if err := st.step(); err != nil {
+		return err
+	}
+	switch v := s.(type) {
+	case *echoStmt:
+		val, err := st.eval(v.x, e)
+		if err != nil {
+			return err
+		}
+		if st.out == nil {
+			return rerrf("echo with no output channel")
+		}
+		return st.out.Write(val.Render())
+	case *letStmt:
+		val, err := st.eval(v.x, e)
+		if err != nil {
+			return err
+		}
+		e.vars[v.name] = val
+		return nil
+	case *assignStmt:
+		if _, ok := e.vars[v.name]; !ok {
+			return rerrf("assignment to undeclared variable %q", v.name)
+		}
+		val, err := st.eval(v.x, e)
+		if err != nil {
+			return err
+		}
+		e.vars[v.name] = val
+		return nil
+	case *ifStmt:
+		cond, err := st.eval(v.cond, e)
+		if err != nil {
+			return err
+		}
+		if cond.Truthy() {
+			return st.execBlock(v.then, e)
+		}
+		return st.execBlock(v.else_, e)
+	case *whileStmt:
+		for {
+			cond, err := st.eval(v.cond, e)
+			if err != nil {
+				return err
+			}
+			if !cond.Truthy() {
+				return nil
+			}
+			if err := st.execBlock(v.body, e); err != nil {
+				return err
+			}
+			if st.ret != nil {
+				return nil
+			}
+		}
+	case *includeStmt:
+		p, err := st.eval(v.path, e)
+		if err != nil {
+			return err
+		}
+		if p.Kind != VString {
+			return rerrf("include path must be a string")
+		}
+		// The included file flows through the same import channel — this
+		// is the attack surface of theme/plugin loading, and the reason
+		// the approval filter must guard *all* code paths.
+		src, err := st.in.fs.ReadFile(p.Str.Raw(), nil)
+		if err != nil {
+			return err
+		}
+		code, err := st.in.importCh.Read(src)
+		if err != nil {
+			return err
+		}
+		prog, err := parseRSL(code)
+		if err != nil {
+			return err
+		}
+		return st.execBlock(prog, e) // include shares scope, like PHP
+	case *returnStmt:
+		val, err := st.eval(v.x, e)
+		if err != nil {
+			return err
+		}
+		st.ret = &val
+		return nil
+	case *funcStmt:
+		e.funcs[v.name] = v
+		return nil
+	case *exprStmt:
+		_, err := st.eval(v.x, e)
+		return err
+	default:
+		return rerrf("unknown statement %T", s)
+	}
+}
+
+func (st *execState) eval(x expr, e *env) (Value, error) {
+	if err := st.step(); err != nil {
+		return Value{}, err
+	}
+	switch v := x.(type) {
+	case *strLit:
+		return StringValue(v.v), nil
+	case *numLit:
+		return NumberValue(v.v), nil
+	case *boolLit:
+		return BoolValue(v.v), nil
+	case *varRef:
+		val, ok := e.vars[v.name]
+		if !ok {
+			return Value{}, rerrf("undefined variable %q", v.name)
+		}
+		return val, nil
+	case *notExpr:
+		val, err := st.eval(v.x, e)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(!val.Truthy()), nil
+	case *callExpr:
+		return st.call(v, e)
+	case *binExpr:
+		return st.binop(v, e)
+	default:
+		return Value{}, rerrf("unknown expression %T", x)
+	}
+}
+
+func (st *execState) call(c *callExpr, e *env) (Value, error) {
+	args := make([]Value, len(c.args))
+	for i, a := range c.args {
+		v, err := st.eval(a, e)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	if fn, ok := e.funcs[c.name]; ok {
+		if len(args) != len(fn.params) {
+			return Value{}, rerrf("%s expects %d args, got %d", c.name, len(fn.params), len(args))
+		}
+		// Script functions get a fresh variable scope sharing functions.
+		fe := &env{vars: make(map[string]Value), funcs: e.funcs}
+		for i, p := range fn.params {
+			fe.vars[p] = args[i]
+		}
+		if err := st.execBlock(fn.body, fe); err != nil {
+			return Value{}, err
+		}
+		if st.ret != nil {
+			out := *st.ret
+			st.ret = nil
+			return out, nil
+		}
+		return NullValue(), nil
+	}
+	if fn, ok := st.in.builtins[c.name]; ok {
+		return fn(args)
+	}
+	return Value{}, rerrf("undefined function %q", c.name)
+}
+
+func (st *execState) binop(b *binExpr, e *env) (Value, error) {
+	l, err := st.eval(b.l, e)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit logic.
+	switch b.op {
+	case "&&":
+		if !l.Truthy() {
+			return BoolValue(false), nil
+		}
+		r, err := st.eval(b.r, e)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(r.Truthy()), nil
+	case "||":
+		if l.Truthy() {
+			return BoolValue(true), nil
+		}
+		r, err := st.eval(b.r, e)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(r.Truthy()), nil
+	}
+	r, err := st.eval(b.r, e)
+	if err != nil {
+		return Value{}, err
+	}
+	switch b.op {
+	case ".":
+		return StringValue(core.Concat(l.Render(), r.Render())), nil
+	case "+", "-", "*", "/":
+		if l.Kind != VNumber || r.Kind != VNumber {
+			return Value{}, rerrf("arithmetic on non-numbers")
+		}
+		switch b.op {
+		case "+":
+			return NumberValue(l.Num + r.Num), nil
+		case "-":
+			return NumberValue(l.Num - r.Num), nil
+		case "*":
+			return NumberValue(l.Num * r.Num), nil
+		default:
+			if r.Num == 0 {
+				return Value{}, rerrf("division by zero")
+			}
+			return NumberValue(l.Num / r.Num), nil
+		}
+	case "==", "!=":
+		eq, err := valuesEqual(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		if b.op == "!=" {
+			eq = !eq
+		}
+		return BoolValue(eq), nil
+	case "<", "<=", ">", ">=":
+		cmp, err := valuesCompare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch b.op {
+		case "<":
+			return BoolValue(cmp < 0), nil
+		case "<=":
+			return BoolValue(cmp <= 0), nil
+		case ">":
+			return BoolValue(cmp > 0), nil
+		default:
+			return BoolValue(cmp >= 0), nil
+		}
+	default:
+		return Value{}, rerrf("unknown operator %q", b.op)
+	}
+}
+
+func valuesEqual(l, r Value) (bool, error) {
+	if l.Kind != r.Kind {
+		return false, nil
+	}
+	switch l.Kind {
+	case VString:
+		return l.Str.Raw() == r.Str.Raw(), nil
+	case VNumber:
+		return l.Num == r.Num, nil
+	case VBool:
+		return l.Bool == r.Bool, nil
+	default:
+		return true, nil
+	}
+}
+
+func valuesCompare(l, r Value) (int, error) {
+	if l.Kind == VNumber && r.Kind == VNumber {
+		switch {
+		case l.Num < r.Num:
+			return -1, nil
+		case l.Num > r.Num:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if l.Kind == VString && r.Kind == VString {
+		ls, rs := l.Str.Raw(), r.Str.Raw()
+		switch {
+		case ls < rs:
+			return -1, nil
+		case ls > rs:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, rerrf("cannot compare %v and %v", l.Kind, r.Kind)
+}

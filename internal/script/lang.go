@@ -1,0 +1,569 @@
+// Package script is the interpreter substrate of the RESIN reproduction:
+// RSL, a small PHP-flavoured scripting language whose code is loaded
+// through the interpreter's code-import channel (§3.2.2). "RESIN treats
+// the interpreter's execution of script code as another data flow channel,
+// with its own filter object" — replacing that filter with one that
+// requires a CodeApproval policy on every character implements the
+// server-side script injection assertion of §5.2 (Figure 6).
+//
+// RSL values are tracked: script strings are core.String, so policies flow
+// through script execution exactly as they flow through host code, and
+// everything a script echoes still crosses the host's output boundary.
+package script
+
+import (
+	"fmt"
+	"strconv"
+
+	"resin/internal/core"
+)
+
+// tokKind classifies RSL tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tOp    // + - * / . == != < <= > >= = ! && ||
+	tPunct // ( ) { } , ;
+	tKeyword
+)
+
+var rslKeywords = map[string]bool{
+	"if": true, "else": true, "while": true, "let": true,
+	"echo": true, "include": true, "true": true, "false": true,
+	"func": true, "return": true,
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	val  core.String // tracked literal value for strings
+	pos  int
+}
+
+// SyntaxError is an RSL lex/parse error.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: syntax error at byte %d: %s", e.Pos, e.Msg)
+}
+
+func lexRSL(src core.String) ([]tok, error) {
+	raw := src.Raw()
+	var out []tok
+	i := 0
+	for i < len(raw) {
+		c := raw[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#': // line comment
+			for i < len(raw) && raw[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			start := i
+			i++
+			var b core.Builder
+			for i < len(raw) && raw[i] != '"' {
+				if raw[i] == '\\' && i+1 < len(raw) {
+					esc := raw[i+1]
+					_, ps := src.ByteAt(i + 1)
+					switch esc {
+					case 'n':
+						b.AppendBytePolicies('\n', ps)
+					case 't':
+						b.AppendBytePolicies('\t', ps)
+					default:
+						b.AppendBytePolicies(esc, ps)
+					}
+					i += 2
+					continue
+				}
+				_, ps := src.ByteAt(i)
+				b.AppendBytePolicies(raw[i], ps)
+				i++
+			}
+			if i >= len(raw) {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated string"}
+			}
+			i++ // closing quote
+			out = append(out, tok{kind: tString, text: raw[start:i], val: b.String(), pos: start})
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(raw) && raw[j] >= '0' && raw[j] <= '9' {
+				j++
+			}
+			out = append(out, tok{kind: tNumber, text: raw[i:j], pos: i})
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(raw) && (raw[j] == '_' || (raw[j] >= 'a' && raw[j] <= 'z') ||
+				(raw[j] >= 'A' && raw[j] <= 'Z') || (raw[j] >= '0' && raw[j] <= '9')) {
+				j++
+			}
+			text := raw[i:j]
+			k := tIdent
+			if rslKeywords[text] {
+				k = tKeyword
+			}
+			out = append(out, tok{kind: k, text: text, pos: i})
+			i = j
+		case c == '(' || c == ')' || c == '{' || c == '}' || c == ',' || c == ';':
+			out = append(out, tok{kind: tPunct, text: string(c), pos: i})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			if i+1 < len(raw) && raw[i+1] == '=' {
+				out = append(out, tok{kind: tOp, text: raw[i : i+2], pos: i})
+				i += 2
+			} else {
+				out = append(out, tok{kind: tOp, text: string(c), pos: i})
+				i++
+			}
+		case c == '&' || c == '|':
+			if i+1 < len(raw) && raw[i+1] == c {
+				out = append(out, tok{kind: tOp, text: raw[i : i+2], pos: i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected %q", string(c))}
+			}
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '.':
+			out = append(out, tok{kind: tOp, text: string(c), pos: i})
+			i++
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected byte %q", string(c))}
+		}
+	}
+	out = append(out, tok{kind: tEOF, pos: len(raw)})
+	return out, nil
+}
+
+// AST node types.
+
+type stmt interface{ stmtNode() }
+
+type echoStmt struct{ x expr }
+type letStmt struct {
+	name string
+	x    expr
+}
+type assignStmt struct {
+	name string
+	x    expr
+}
+type ifStmt struct {
+	cond        expr
+	then, else_ []stmt
+}
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+type includeStmt struct{ path expr }
+type exprStmt struct{ x expr }
+type returnStmt struct{ x expr }
+type funcStmt struct {
+	name   string
+	params []string
+	body   []stmt
+}
+
+func (*echoStmt) stmtNode()    {}
+func (*letStmt) stmtNode()     {}
+func (*assignStmt) stmtNode()  {}
+func (*ifStmt) stmtNode()      {}
+func (*whileStmt) stmtNode()   {}
+func (*includeStmt) stmtNode() {}
+func (*exprStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()  {}
+func (*funcStmt) stmtNode()    {}
+
+type expr interface{ exprNode() }
+
+type strLit struct{ v core.String }
+type numLit struct{ v int64 }
+type boolLit struct{ v bool }
+type varRef struct{ name string }
+type callExpr struct {
+	name string
+	args []expr
+}
+type binExpr struct {
+	op   string
+	l, r expr
+}
+type notExpr struct{ x expr }
+
+func (*strLit) exprNode()   {}
+func (*numLit) exprNode()   {}
+func (*boolLit) exprNode()  {}
+func (*varRef) exprNode()   {}
+func (*callExpr) exprNode() {}
+func (*binExpr) exprNode()  {}
+func (*notExpr) exprNode()  {}
+
+type rslParser struct {
+	toks []tok
+	pos  int
+}
+
+func parseRSL(src core.String) ([]stmt, error) {
+	toks, err := lexRSL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &rslParser{toks: toks}
+	var out []stmt
+	for p.peek().kind != tEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *rslParser) peek() tok { return p.toks[p.pos] }
+
+func (p *rslParser) next() tok {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *rslParser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *rslParser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind != tPunct || t.text != s {
+		return p.errf("expected %q, got %q", s, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *rslParser) parseBlock() ([]stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for {
+		t := p.peek()
+		if t.kind == tPunct && t.text == "}" {
+			p.next()
+			return out, nil
+		}
+		if t.kind == tEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *rslParser) parseStmt() (stmt, error) {
+	t := p.peek()
+	if t.kind == tKeyword {
+		switch t.text {
+		case "echo":
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &echoStmt{x: x}, p.expectPunct(";")
+		case "let":
+			p.next()
+			name := p.peek()
+			if name.kind != tIdent {
+				return nil, p.errf("expected variable name")
+			}
+			p.next()
+			if op := p.peek(); op.kind != tOp || op.text != "=" {
+				return nil, p.errf("expected = in let")
+			}
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &letStmt{name: name.text, x: x}, p.expectPunct(";")
+		case "if":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			then, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			var els []stmt
+			if e := p.peek(); e.kind == tKeyword && e.text == "else" {
+				p.next()
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &ifStmt{cond: cond, then: then, else_: els}, nil
+		case "while":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			return &whileStmt{cond: cond, body: body}, nil
+		case "include":
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &includeStmt{path: x}, p.expectPunct(";")
+		case "return":
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &returnStmt{x: x}, p.expectPunct(";")
+		case "func":
+			p.next()
+			name := p.peek()
+			if name.kind != tIdent {
+				return nil, p.errf("expected function name")
+			}
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var params []string
+			for {
+				t := p.peek()
+				if t.kind == tPunct && t.text == ")" {
+					p.next()
+					break
+				}
+				if t.kind != tIdent {
+					return nil, p.errf("expected parameter name")
+				}
+				params = append(params, t.text)
+				p.next()
+				if c := p.peek(); c.kind == tPunct && c.text == "," {
+					p.next()
+				}
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			return &funcStmt{name: name.text, params: params, body: body}, nil
+		}
+	}
+	// Assignment or expression statement.
+	if t.kind == tIdent {
+		nxt := p.toks[p.pos+1]
+		if nxt.kind == tOp && nxt.text == "=" {
+			p.next()
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{name: t.text, x: x}, p.expectPunct(";")
+		}
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &exprStmt{x: x}, p.expectPunct(";")
+}
+
+// Expression precedence: || < && < comparison < additive (+ - .) <
+// multiplicative (* /) < unary.
+func (p *rslParser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *rslParser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tOp && p.peek().text == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *rslParser) parseAnd() (expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tOp && p.peek().text == "&&" {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *rslParser) parseCmp() (expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tOp {
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &binExpr{op: t.text, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *rslParser) parseAdd() (expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tOp || (t.text != "+" && t.text != "-" && t.text != ".") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: t.text, l: l, r: r}
+	}
+}
+
+func (p *rslParser) parseMul() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tOp || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: t.text, l: l, r: r}
+	}
+}
+
+func (p *rslParser) parseUnary() (expr, error) {
+	t := p.peek()
+	if t.kind == tOp && t.text == "!" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *rslParser) parsePrimary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tString:
+		p.next()
+		return &strLit{v: t.val}, nil
+	case t.kind == tNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &numLit{v: v}, nil
+	case t.kind == tKeyword && (t.text == "true" || t.text == "false"):
+		p.next()
+		return &boolLit{v: t.text == "true"}, nil
+	case t.kind == tIdent:
+		p.next()
+		if n := p.peek(); n.kind == tPunct && n.text == "(" {
+			p.next()
+			var args []expr
+			for {
+				if a := p.peek(); a.kind == tPunct && a.text == ")" {
+					p.next()
+					break
+				}
+				x, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, x)
+				if c := p.peek(); c.kind == tPunct && c.text == "," {
+					p.next()
+				}
+			}
+			return &callExpr{name: t.text, args: args}, nil
+		}
+		return &varRef{name: t.text}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	default:
+		return nil, p.errf("unexpected %q in expression", t.text)
+	}
+}

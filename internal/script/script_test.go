@@ -1,0 +1,305 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+	"resin/internal/vfs"
+)
+
+func setup(t *testing.T) (*core.Runtime, *vfs.FS, *Interp, *core.Channel) {
+	t.Helper()
+	rt := core.NewRuntime()
+	fs := vfs.New(rt)
+	in := New(rt, fs)
+	out := core.NewChannel(rt, core.KindHTTP, core.ExportCheckFilter{})
+	return rt, fs, in, out
+}
+
+func runSrc(t *testing.T, in *Interp, out *core.Channel, src string) error {
+	t.Helper()
+	return in.RunSource(core.NewString(src), out)
+}
+
+func TestEchoAndArithmetic(t *testing.T) {
+	_, _, in, out := setup(t)
+	err := runSrc(t, in, out, `
+		let x = 3;
+		let y = 4;
+		echo "sum=" . (x + y) . " prod=" . (x * y) . " diff=" . (x - y) . " div=" . (y / x);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RawOutput() != "sum=7 prod=12 diff=-1 div=1" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	_, _, in, out := setup(t)
+	err := runSrc(t, in, out, `
+		let i = 0;
+		let acc = "";
+		while (i < 5) {
+			if (i == 2) { acc = acc . "[two]"; } else { acc = acc . i; }
+			i = i + 1;
+		}
+		echo acc;
+		if (true && !false || false) { echo "|logic"; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RawOutput() != "01[two]34|logic" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	_, _, in, out := setup(t)
+	err := runSrc(t, in, out, `
+		if ("abc" < "abd") { echo "s<"; }
+		if (2 >= 2) { echo "n>="; }
+		if ("x" == "x") { echo "s=="; }
+		if (1 != 2) { echo "n!="; }
+		if ("1" == 1) { echo "MIXED"; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RawOutput() != "s<n>=s==n!=" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestUserFunctions(t *testing.T) {
+	_, _, in, out := setup(t)
+	err := runSrc(t, in, out, `
+		func greet(name, excl) {
+			if (excl) { return "Hi, " . name . "!"; }
+			return "Hi, " . name;
+		}
+		echo greet("ada", true);
+		echo greet("bob", false);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RawOutput() != "Hi, ada!Hi, bob" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	_, _, in, out := setup(t)
+	in.Register("upper", func(args []Value) (Value, error) {
+		return StringValue(args[0].Str.ToUpper()), nil
+	})
+	if err := runSrc(t, in, out, `echo upper("shout");`); err != nil {
+		t.Fatal(err)
+	}
+	if out.RawOutput() != "SHOUT" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestPolicyFlowsThroughScript(t *testing.T) {
+	rt, _, in, out := setup(t)
+	_ = rt
+	taintP := &sanitize.UntrustedData{Source: "test"}
+	in.Register("userinput", func(args []Value) (Value, error) {
+		return StringValue(core.NewStringPolicy("<evil>", taintP)), nil
+	})
+	if err := runSrc(t, in, out, `echo "pre-" . userinput() . "-post";`); err != nil {
+		t.Fatal(err)
+	}
+	body := out.Output()
+	if body.Raw() != "pre-<evil>-post" {
+		t.Fatalf("raw = %q", body.Raw())
+	}
+	// The tainted middle keeps its policy through script concatenation.
+	mid := body.Slice(4, 10)
+	if !mid.HasPolicyEverywhere(sanitize.IsUntrusted) {
+		t.Error("script concat must propagate policies")
+	}
+	if body.Slice(0, 4).IsTainted() {
+		t.Error("script literal gained policies")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	_, _, in, out := setup(t)
+	cases := []string{
+		`echo nope;`,
+		`x = 1;`,                            // undeclared assign
+		`echo missing();`,                   // undefined function
+		`echo 1 + "s";`,                     // arithmetic on string
+		`echo 1 / 0;`,                       // division by zero
+		`echo ("a" < 1);`,                   // incomparable
+		`func f(a) { return a; } echo f();`, // arity
+		`include 42;`,                       // non-string include
+	}
+	for _, src := range cases {
+		if err := runSrc(t, in, out, src); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	_, _, in, out := setup(t)
+	cases := []string{
+		`echo "unterminated;`,
+		`let = 3;`,
+		`if x { }`,
+		`echo 1 +;`,
+		`while (1) echo 1;`,
+		`let x & 3;`,
+		`@`,
+	}
+	for _, src := range cases {
+		if err := runSrc(t, in, out, src); err == nil {
+			t.Errorf("%q should fail to parse", src)
+		}
+	}
+}
+
+func TestStepLimitStopsRunaway(t *testing.T) {
+	_, _, in, out := setup(t)
+	in.MaxSteps = 1000
+	err := runSrc(t, in, out, `let i = 0; while (true) { i = i + 1; }`)
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("runaway loop should hit the step limit: %v", err)
+	}
+}
+
+func TestRunFileAndInclude(t *testing.T) {
+	_, fs, in, out := setup(t)
+	fs.MkdirAll("/app", nil)
+	fs.WriteFile("/app/lib.rsl", core.NewString(`func tag(s) { return "<" . s . ">"; }`), nil)
+	fs.WriteFile("/app/main.rsl", core.NewString(`include "/app/lib.rsl"; echo tag("b");`), nil)
+	if err := in.RunFile("/app/main.rsl", out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.RawOutput() != "<b>" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestApprovedCodeFilterBlocksUnapproved(t *testing.T) {
+	_, fs, in, out := setup(t)
+	fs.MkdirAll("/app", nil)
+	fs.MkdirAll("/uploads", nil)
+	fs.WriteFile("/app/theme.rsl", core.NewString(`echo "legit theme";`), nil)
+	// Developer approves the installed code.
+	if err := MakeFileExecutable(fs, "/app/theme.rsl"); err != nil {
+		t.Fatal(err)
+	}
+	// Adversary uploads a file with code in it.
+	fs.WriteFile("/uploads/avatar.png", core.NewString(`echo "owned";`), nil)
+
+	in.RequireApprovedCode()
+
+	if err := in.RunFile("/app/theme.rsl", out, nil); err != nil {
+		t.Fatalf("approved code must run: %v", err)
+	}
+	if out.RawOutput() != "legit theme" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+	err := in.RunFile("/uploads/avatar.png", out, nil)
+	if !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("unapproved code must be blocked: %v", err)
+	}
+}
+
+func TestApprovalSurvivesPersistence(t *testing.T) {
+	// The CodeApproval policy rides in the file's xattrs: a fresh
+	// interpreter (fresh policy objects) still honours it.
+	rt := core.NewRuntime()
+	fs := vfs.New(rt)
+	fs.MkdirAll("/app", nil)
+	fs.WriteFile("/app/a.rsl", core.NewString(`echo "ok";`), nil)
+	MakeFileExecutable(fs, "/app/a.rsl")
+
+	in2 := New(rt, fs)
+	in2.RequireApprovedCode()
+	out := core.NewChannel(rt, core.KindHTTP)
+	if err := in2.RunFile("/app/a.rsl", out, nil); err != nil {
+		t.Fatalf("persisted approval must be honoured: %v", err)
+	}
+}
+
+func TestIncludeGoesThroughImportChannel(t *testing.T) {
+	// Even if the top-level file is approved, including an unapproved
+	// file must fail: the include path is the attack surface.
+	_, fs, in, out := setup(t)
+	fs.MkdirAll("/app", nil)
+	fs.MkdirAll("/uploads", nil)
+	fs.WriteFile("/app/main.rsl", core.NewString(`include "/uploads/evil.rsl";`), nil)
+	MakeFileExecutable(fs, "/app/main.rsl")
+	fs.WriteFile("/uploads/evil.rsl", core.NewString(`echo "owned";`), nil)
+	in.RequireApprovedCode()
+	if err := in.RunFile("/app/main.rsl", out, nil); !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("unapproved include must be blocked: %v", err)
+	}
+	if strings.Contains(out.RawOutput(), "owned") {
+		t.Error("evil include produced output")
+	}
+}
+
+func TestPartialApprovalRejected(t *testing.T) {
+	// A file that is only partially approved (e.g. attacker appended to an
+	// approved file) must be rejected: every character needs the policy.
+	_, fs, in, out := setup(t)
+	fs.WriteFile("/a.rsl", core.NewString(`echo "ok";`), nil)
+	MakeFileExecutable(fs, "/a.rsl")
+	// Append unapproved code.
+	fs.AppendFile("/a.rsl", core.NewString(` echo "injected";`), nil)
+	in.RequireApprovedCode()
+	if err := in.RunFile("/a.rsl", out, nil); !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("partially approved code must be blocked: %v", err)
+	}
+}
+
+func TestDefaultImportFilterPermitsPlainCode(t *testing.T) {
+	// Without the assertion, the default filter passes unapproved code —
+	// the vulnerable baseline.
+	_, fs, in, out := setup(t)
+	fs.MkdirAll("/uploads", nil)
+	fs.WriteFile("/uploads/evil.rsl", core.NewString(`echo "owned";`), nil)
+	if err := in.RunFile("/uploads/evil.rsl", out, nil); err != nil {
+		t.Fatalf("default filter should permit policy-less code: %v", err)
+	}
+	if out.RawOutput() != "owned" {
+		t.Errorf("output = %q", out.RawOutput())
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !StringValue(core.NewString("x")).Truthy() || StringValue(core.String{}).Truthy() {
+		t.Error("string truthiness")
+	}
+	if !NumberValue(1).Truthy() || NumberValue(0).Truthy() {
+		t.Error("number truthiness")
+	}
+	if !BoolValue(true).Truthy() || BoolValue(false).Truthy() || NullValue().Truthy() {
+		t.Error("bool/null truthiness")
+	}
+	if NumberValue(-5).Render().Raw() != "-5" {
+		t.Error("number render")
+	}
+	if BoolValue(true).Render().Raw() != "true" || NullValue().Render().Raw() != "" {
+		t.Error("bool/null render")
+	}
+}
+
+func TestEchoWithoutChannelFails(t *testing.T) {
+	_, _, in, _ := setup(t)
+	if err := in.RunSource(core.NewString(`echo "x";`), nil); err == nil {
+		t.Fatal("echo with nil channel must error")
+	}
+}

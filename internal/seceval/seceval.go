@@ -1,0 +1,389 @@
+// Package seceval is the security-evaluation harness behind Table 4 of
+// the RESIN paper. For every assertion it runs the catalogued attacks
+// twice — once against the unmodified application (the attack must
+// succeed, proving the vulnerability exists) and once with the RESIN
+// assertion installed (the attack must be blocked by an assertion error)
+// — and it measures each assertion's size by counting the code between
+// the BEGIN/END markers of the app packages' embedded assertion sources.
+package seceval
+
+import (
+	"fmt"
+	"strings"
+
+	"resin/internal/apps/admissions"
+	"resin/internal/apps/filemgr"
+	"resin/internal/apps/forum"
+	"resin/internal/apps/hotcrp"
+	"resin/internal/apps/loginlib"
+	"resin/internal/apps/uploadapps"
+	"resin/internal/apps/wiki"
+)
+
+// AttackFunc mounts an attack against a fresh application instance and
+// reports whether it succeeded and, if it was stopped, the blocking error.
+type AttackFunc func(withAssertions bool) (succeeded bool, blockErr error)
+
+// Scenario is one catalogued vulnerability.
+type Scenario struct {
+	Row  string // key of the Table 4 row this scenario counts under
+	Name string
+	// Kind is "known" (previously-known vulnerability), "discovered"
+	// (found during the evaluation), or "depth" (defense-in-depth
+	// demonstration, not counted in the table).
+	Kind   string
+	CVE    string
+	Attack AttackFunc
+}
+
+// RowSpec describes one row of Table 4.
+type RowSpec struct {
+	Key         string
+	Application string
+	Language    string
+	// AppLOC is the size of the original application, as reported in the
+	// paper — the point of the column is that assertion size does not
+	// grow with it.
+	AppLOC int
+	// PaperAssertionLOC is the assertion size the paper reports (PHP or
+	// Python lines).
+	PaperAssertionLOC int
+	// Section is the marker name inside the app package's embedded
+	// assertion source.
+	Section string
+	// Source is the embedded assertion source to measure.
+	Source   string
+	VulnType string
+}
+
+// LegitCheck is a functionality check run with assertions installed: the
+// assertion must not break the application.
+type LegitCheck struct {
+	Name string
+	Fn   func(withAssertions bool) (ok bool, err error)
+}
+
+// Catalog returns the Table 4 rows, the attack scenarios, and the
+// legitimate-flow checks.
+func Catalog() ([]RowSpec, []Scenario, []LegitCheck) {
+	rows := []RowSpec{
+		{Key: "admissions-sql", Application: "MIT EECS grad admissions", Language: "Python",
+			AppLOC: 18500, PaperAssertionLOC: 9, Section: "admissions-sql-injection",
+			Source: admissions.AssertionSource, VulnType: "SQL injection"},
+		{Key: "moin-read", Application: "MoinMoin", Language: "Python",
+			AppLOC: 89600, PaperAssertionLOC: 8, Section: "moinmoin-read-acl",
+			Source: wiki.AssertionSource, VulnType: "Missing read access control checks"},
+		{Key: "moin-write", Application: "MoinMoin", Language: "Python",
+			AppLOC: 89600, PaperAssertionLOC: 15, Section: "moinmoin-write-acl",
+			Source: wiki.AssertionSource, VulnType: "Missing write access control checks"},
+		{Key: "filethingie", Application: "File Thingie file manager", Language: "PHP",
+			AppLOC: 3200, PaperAssertionLOC: 19, Section: "filemgr-write-access",
+			Source: filemgr.AssertionSource, VulnType: "Directory traversal, file access control"},
+		{Key: "hotcrp-password", Application: "HotCRP", Language: "PHP",
+			AppLOC: 29000, PaperAssertionLOC: 23, Section: "hotcrp-password-disclosure",
+			Source: hotcrp.AssertionSource, VulnType: "Password disclosure"},
+		{Key: "hotcrp-paper", Application: "HotCRP", Language: "PHP",
+			AppLOC: 29000, PaperAssertionLOC: 30, Section: "hotcrp-paper-access",
+			Source: hotcrp.AssertionSource, VulnType: "Missing access checks for papers"},
+		{Key: "hotcrp-authors", Application: "HotCRP", Language: "PHP",
+			AppLOC: 29000, PaperAssertionLOC: 32, Section: "hotcrp-author-list",
+			Source: hotcrp.AssertionSource, VulnType: "Missing access checks for author list"},
+		{Key: "myphpscripts", Application: "myPHPscripts login library", Language: "PHP",
+			AppLOC: 425, PaperAssertionLOC: 6, Section: "myphpscripts-password-disclosure",
+			Source: loginlib.AssertionSource, VulnType: "Password disclosure"},
+		{Key: "phpnavigator", Application: "PHP Navigator", Language: "PHP",
+			AppLOC: 4100, PaperAssertionLOC: 17, Section: "filemgr-write-access",
+			Source: filemgr.AssertionSource, VulnType: "Directory traversal, file access control"},
+		{Key: "phpbb-access", Application: "phpBB", Language: "PHP",
+			AppLOC: 172000, PaperAssertionLOC: 23, Section: "phpbb-read-access",
+			Source: forum.AssertionSource, VulnType: "Missing access control checks"},
+		{Key: "phpbb-xss", Application: "phpBB", Language: "PHP",
+			AppLOC: 172000, PaperAssertionLOC: 22, Section: "phpbb-xss",
+			Source: forum.AssertionSource, VulnType: "Cross-site scripting"},
+		{Key: "script-injection", Application: "many [3, 11, 16, 23, 36]", Language: "PHP",
+			AppLOC: 0, PaperAssertionLOC: 12, Section: "script-injection",
+			Source: uploadapps.AssertionSource, VulnType: "Server-side script injection"},
+	}
+
+	scenarios := []Scenario{
+		// MIT EECS grad admissions: 3 discovered SQL injections.
+		{Row: "admissions-sql", Name: "search quote breakout", Kind: "discovered",
+			Attack: wrap(admissions.AttackSearchInjection)},
+		{Row: "admissions-sql", Name: "setscore id splice", Kind: "discovered",
+			Attack: wrap(admissions.AttackScoreInjection)},
+		{Row: "admissions-sql", Name: "comment SET-clause splice", Kind: "discovered",
+			Attack: wrap(admissions.AttackCommentInjection)},
+
+		// MoinMoin: 2 known missing read checks.
+		{Row: "moin-read", Name: "include directive bypass", Kind: "known", CVE: "CVE-2008-6548",
+			Attack: wrap(wiki.AttackIncludeDirective)},
+		{Row: "moin-read", Name: "raw export bypass", Kind: "known",
+			Attack: wrap(wiki.AttackRawExport)},
+		// MoinMoin write assertion: defense in depth only (0 in Table 4).
+		{Row: "moin-write", Name: "direct revision write", Kind: "depth",
+			Attack: wrap(wiki.UnauthorizedDirectWrite)},
+
+		// File Thingie: 1 discovered traversal.
+		{Row: "filethingie", Name: "upload path traversal", Kind: "discovered",
+			Attack: wrap(filemgr.AttackFileThingieTraversal)},
+		{Row: "filethingie", Name: "cross-home write", Kind: "depth",
+			Attack: wrap(filemgr.AttackCrossHomeWrite)},
+
+		// HotCRP: 1 known password disclosure; paper/author assertions are
+		// defense in depth.
+		{Row: "hotcrp-password", Name: "email preview reminder", Kind: "known",
+			Attack: wrap(hotcrp.AttackPasswordPreview)},
+		{Row: "hotcrp-paper", Name: "outsider paper fetch", Kind: "depth",
+			Attack: wrap(hotcrp.AttackOutsiderPaperAccess)},
+
+		// myPHPscripts: 1 known disclosure.
+		{Row: "myphpscripts", Name: "password file fetch", Kind: "known", CVE: "CVE-2008-5855",
+			Attack: wrap(loginlib.AttackFetchPasswordFile)},
+
+		// PHP Navigator: 1 discovered traversal.
+		{Row: "phpnavigator", Name: "move destination traversal", Kind: "discovered",
+			Attack: wrap(filemgr.AttackPHPNavigatorTraversal)},
+
+		// phpBB access control: 1 known + 3 discovered.
+		{Row: "phpbb-access", Name: "printer-friendly view", Kind: "known",
+			Attack: wrap(forum.AttackPrintView)},
+		{Row: "phpbb-access", Name: "reply quotes unreadable message", Kind: "discovered",
+			Attack: wrap(forum.AttackReplyQuote)},
+		{Row: "phpbb-access", Name: "latest-posts plugin", Kind: "discovered",
+			Attack: wrap(forum.AttackPluginLatest)},
+		{Row: "phpbb-access", Name: "search plugin", Kind: "discovered",
+			Attack: wrap(forum.AttackPluginSearch)},
+
+		// phpBB XSS: 4 known.
+		{Row: "phpbb-xss", Name: "signature rendering", Kind: "known",
+			Attack: wrap(forum.AttackSignatureXSS)},
+		{Row: "phpbb-xss", Name: "whois response (unusual path)", Kind: "known",
+			Attack: wrap(forum.AttackWhoisXSS)},
+		{Row: "phpbb-xss", Name: "search echo", Kind: "known",
+			Attack: wrap(forum.AttackSearchEchoXSS)},
+		{Row: "phpbb-xss", Name: "subject rendering", Kind: "known",
+			Attack: wrap(forum.AttackSubjectXSS)},
+
+		// Server-side script injection: 5 known CVEs, one assertion.
+		{Row: "script-injection", Name: "phpBB attachment mod", Kind: "known", CVE: "CVE-2004-1404",
+			Attack: wrap(uploadapps.AttackPhpBBAttachmentMod)},
+		{Row: "script-injection", Name: "Kwalbum upload", Kind: "known", CVE: "CVE-2008-5677",
+			Attack: wrap(uploadapps.AttackKwalbum)},
+		{Row: "script-injection", Name: "AWStats Totals eval", Kind: "known", CVE: "CVE-2008-3922",
+			Attack: wrap(uploadapps.AttackAWStatsTotals)},
+		{Row: "script-injection", Name: "phpMyAdmin config", Kind: "known", CVE: "CVE-2008-4096",
+			Attack: wrap(uploadapps.AttackPhpMyAdmin)},
+		{Row: "script-injection", Name: "wPortfolio upload", Kind: "known", CVE: "CVE-2008-5220",
+			Attack: wrap(uploadapps.AttackWPortfolio)},
+	}
+
+	legit := []LegitCheck{
+		{Name: "hotcrp: reminder to owner delivered", Fn: hotcrp.LegitimateReminder},
+		{Name: "hotcrp: chair preview allowed", Fn: hotcrp.ChairPreview},
+		{Name: "wiki: owner read", Fn: wiki.LegitimateRead},
+		{Name: "wiki: owner write", Fn: wiki.LegitimateWrite},
+		{Name: "forum: public topic view", Fn: forum.LegitimateTopicView},
+		{Name: "forum: staff forum for staff", Fn: forum.LegitimateStaffView},
+		{Name: "filemgr: in-home upload", Fn: func(on bool) (bool, error) {
+			return filemgr.LegitimateUpload(filemgr.FileThingie, on)
+		}},
+		{Name: "filemgr: in-home move", Fn: filemgr.LegitimateMove},
+		{Name: "admissions: committee search", Fn: admissions.LegitimateSearch},
+		{Name: "loginlib: register and login", Fn: loginlib.LegitimateLogin},
+		{Name: "uploadapps: approved code runs", Fn: uploadapps.LegitimateRun},
+	}
+
+	return rows, scenarios, legit
+}
+
+func wrap(fn func(bool) (bool, error)) AttackFunc {
+	return func(on bool) (bool, error) { return fn(on) }
+}
+
+// ScenarioResult is the outcome of running one scenario both ways.
+type ScenarioResult struct {
+	Scenario
+	// VulnerableBaseline: the attack succeeded without the assertion.
+	VulnerableBaseline bool
+	// Blocked: with the assertion, the attack failed AND an assertion
+	// error was reported.
+	Blocked  bool
+	BlockErr string
+}
+
+// OK reports whether the scenario reproduced the paper's result: the bug
+// exists and the assertion prevents it.
+func (r ScenarioResult) OK() bool { return r.VulnerableBaseline && r.Blocked }
+
+// RowResult aggregates one Table 4 row.
+type RowResult struct {
+	RowSpec
+	MeasuredLOC int
+	Known       int
+	Discovered  int
+	Prevented   int
+	Scenarios   []ScenarioResult
+}
+
+// Report is the full Table 4 run.
+type Report struct {
+	Rows        []RowResult
+	LegitOK     []string
+	LegitFailed []string
+}
+
+// Run executes the full catalog.
+func Run() (*Report, error) {
+	rows, scenarios, legit := Catalog()
+	byKey := make(map[string]*RowResult)
+	var out []*RowResult
+	for _, r := range rows {
+		rr := &RowResult{RowSpec: r, MeasuredLOC: CountAssertionLOC(r.Source, r.Section)}
+		byKey[r.Key] = rr
+		out = append(out, rr)
+	}
+	for _, sc := range scenarios {
+		rr, ok := byKey[sc.Row]
+		if !ok {
+			return nil, fmt.Errorf("seceval: scenario %q references unknown row %q", sc.Name, sc.Row)
+		}
+		res := runScenario(sc)
+		rr.Scenarios = append(rr.Scenarios, res)
+		if sc.Kind == "depth" {
+			continue
+		}
+		if res.OK() {
+			rr.Prevented++
+			if sc.Kind == "known" {
+				rr.Known++
+			} else {
+				rr.Discovered++
+			}
+		}
+	}
+	rep := &Report{}
+	for _, rr := range out {
+		rep.Rows = append(rep.Rows, *rr)
+	}
+	for _, lc := range legit {
+		ok, err := lc.Fn(true)
+		if err != nil || !ok {
+			rep.LegitFailed = append(rep.LegitFailed, fmt.Sprintf("%s (ok=%v err=%v)", lc.Name, ok, err))
+			continue
+		}
+		rep.LegitOK = append(rep.LegitOK, lc.Name)
+	}
+	return rep, nil
+}
+
+func runScenario(sc Scenario) ScenarioResult {
+	res := ScenarioResult{Scenario: sc}
+	succeeded, _ := sc.Attack(false)
+	res.VulnerableBaseline = succeeded
+	succeeded, blockErr := sc.Attack(true)
+	res.Blocked = !succeeded && blockErr != nil
+	if blockErr != nil {
+		res.BlockErr = blockErr.Error()
+	}
+	return res
+}
+
+// CountAssertionLOC counts the code lines of the named BEGIN/END section:
+// non-blank lines that are not pure comments (mirroring how the paper
+// counts assertion code).
+func CountAssertionLOC(source, section string) int {
+	begin := "// BEGIN ASSERTION: " + section
+	end := "// END ASSERTION"
+	lines := strings.Split(source, "\n")
+	in := false
+	n := 0
+	for _, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if t == begin {
+			in = true
+			continue
+		}
+		if in && t == end {
+			break
+		}
+		if !in || t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Totals sums the counted columns.
+func (rep *Report) Totals() (known, discovered, prevented int) {
+	for _, r := range rep.Rows {
+		known += r.Known
+		discovered += r.Discovered
+		prevented += r.Prevented
+	}
+	return
+}
+
+// AllOK reports whether every counted scenario reproduced and every
+// legitimate flow survived.
+func (rep *Report) AllOK() bool {
+	for _, r := range rep.Rows {
+		for _, sc := range r.Scenarios {
+			if sc.Kind != "depth" && !sc.OK() {
+				return false
+			}
+		}
+	}
+	return len(rep.LegitFailed) == 0
+}
+
+// RenderTable renders the Table 4 reproduction as fixed-width text.
+func (rep *Report) RenderTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — RESIN assertions vs. previously-known and newly discovered vulnerabilities\n")
+	fmt.Fprintf(&b, "(paper LoC are PHP/Python lines; measured LoC are this reproduction's Go lines)\n\n")
+	fmt.Fprintf(&b, "%-28s %-6s %9s %9s %6s %11s %10s  %s\n",
+		"Application", "Lang", "App LOC", "Asrt LOC", "(Go)", "Known vuln", "Discovered", "Vulnerability type")
+	total := RowResult{}
+	for _, r := range rep.Rows {
+		appLOC := "-"
+		if r.AppLOC > 0 {
+			appLOC = fmt.Sprintf("%d", r.AppLOC)
+		}
+		fmt.Fprintf(&b, "%-28s %-6s %9s %9d %6d %11d %10d  %s\n",
+			r.Application, r.Language, appLOC, r.PaperAssertionLOC, r.MeasuredLOC,
+			r.Known, r.Discovered, r.VulnType)
+		total.Known += r.Known
+		total.Discovered += r.Discovered
+		total.Prevented += r.Prevented
+	}
+	fmt.Fprintf(&b, "\nTotals: %d known + %d discovered = %d prevented (paper: 14 + 8 = 22)\n",
+		total.Known, total.Discovered, total.Prevented)
+	fmt.Fprintf(&b, "\nPer-scenario outcomes:\n")
+	for _, r := range rep.Rows {
+		for _, sc := range r.Scenarios {
+			status := "FAIL"
+			if sc.OK() {
+				status = "ok"
+			}
+			if sc.Kind == "depth" {
+				status += " (defense-in-depth, uncounted)"
+			}
+			cve := ""
+			if sc.CVE != "" {
+				cve = " [" + sc.CVE + "]"
+			}
+			fmt.Fprintf(&b, "  %-28s %-34s %-10s vulnerable-baseline=%v blocked=%v %s%s\n",
+				r.Application, sc.Name, sc.Kind, sc.VulnerableBaseline, sc.Blocked, status, cve)
+		}
+	}
+	fmt.Fprintf(&b, "\nLegitimate flows with assertions installed: %d ok, %d broken\n",
+		len(rep.LegitOK), len(rep.LegitFailed))
+	for _, f := range rep.LegitFailed {
+		fmt.Fprintf(&b, "  BROKEN: %s\n", f)
+	}
+	fmt.Fprintf(&b, "\nFlume comparison (§6.1): MoinMoin ACL scheme = %d + %d measured Go lines here\n",
+		rep.Rows[1].MeasuredLOC, rep.Rows[2].MeasuredLOC)
+	fmt.Fprintf(&b, "(paper: 8 + 15 lines under RESIN vs ~2,000 lines restructuring under Flume)\n")
+	return b.String()
+}

@@ -1,0 +1,254 @@
+package sqldb
+
+import (
+	"strconv"
+	"strings"
+
+	"resin/internal/core"
+)
+
+// ColType is a column's declared type.
+type ColType int
+
+// Column types of the dialect.
+const (
+	ColText ColType = iota
+	ColInt
+)
+
+func (t ColType) String() string {
+	if t == ColInt {
+		return "INT"
+	}
+	return "TEXT"
+}
+
+// ColumnDef declares one column of a table.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+// Statement is a parsed SQL statement.
+type Statement interface {
+	stmtNode()
+	// SQL renders the statement back to dialect text (used by tests and
+	// by the filter's rewriting diagnostics).
+	SQL() string
+}
+
+// CreateTable is CREATE TABLE t (col TYPE, ...).
+type CreateTable struct {
+	Table string
+	Cols  []ColumnDef
+}
+
+// DropTable is DROP TABLE t.
+type DropTable struct {
+	Table string
+}
+
+// Insert is INSERT INTO t (cols) VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Select is SELECT cols FROM t [WHERE e] [ORDER BY col [DESC]] [LIMIT n].
+type Select struct {
+	Table   string
+	Star    bool
+	Columns []string
+	Where   Expr
+	OrderBy string
+	Desc    bool
+	Limit   int // -1 means no limit
+}
+
+// Update is UPDATE t SET col = e, ... [WHERE e].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM t [WHERE e].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTable) stmtNode() {}
+func (*DropTable) stmtNode()   {}
+func (*Insert) stmtNode()      {}
+func (*Select) stmtNode()      {}
+func (*Update) stmtNode()      {}
+func (*Delete) stmtNode()      {}
+
+// Expr is a SQL expression.
+type Expr interface {
+	exprNode()
+	// SQL renders the expression back to dialect text.
+	SQL() string
+}
+
+// ColumnRef names a column.
+type ColumnRef struct{ Name string }
+
+// StringLit is a string literal; Val carries the per-character policies
+// of the query source, which is how the RESIN filter learns the policy of
+// each cell value it stores.
+type StringLit struct{ Val core.String }
+
+// IntLit is an integer literal. Src, when set by the lexer, is the tracked
+// source text of the literal so that policies on tainted digits can be
+// persisted into policy columns just like string literals.
+type IntLit struct {
+	Val int64
+	Src core.String
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// Binary is a binary expression: comparison, AND, OR, LIKE.
+type Binary struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"
+	L, R Expr
+}
+
+// Unary is NOT e.
+type Unary struct {
+	Op string // "NOT"
+	X  Expr
+}
+
+func (*ColumnRef) exprNode() {}
+func (*StringLit) exprNode() {}
+func (*IntLit) exprNode()    {}
+func (*NullLit) exprNode()   {}
+func (*Binary) exprNode()    {}
+func (*Unary) exprNode()     {}
+
+// SQL renderers. Literal strings re-quote with the dialect's escaping.
+
+func quoteSQL(s string) string {
+	var b strings.Builder
+	b.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			b.WriteString("''")
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+func (e *ColumnRef) SQL() string { return e.Name }
+func (e *StringLit) SQL() string { return quoteSQL(e.Val.Raw()) }
+func (e *IntLit) SQL() string    { return strconv.FormatInt(e.Val, 10) }
+func (e *NullLit) SQL() string   { return "NULL" }
+func (e *Binary) SQL() string    { return "(" + e.L.SQL() + " " + e.Op + " " + e.R.SQL() + ")" }
+func (e *Unary) SQL() string     { return "(" + e.Op + " " + e.X.SQL() + ")" }
+
+func (s *CreateTable) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name + " " + c.Type.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (s *DropTable) SQL() string { return "DROP TABLE " + s.Table }
+
+func (s *Insert) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	b.WriteString(strings.Join(s.Columns, ", "))
+	b.WriteString(") VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func (s *Select) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(s.Columns, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if s.OrderBy != "" {
+		b.WriteString(" ORDER BY " + s.OrderBy)
+		if s.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
+	}
+	return b.String()
+}
+
+func (s *Update) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column + " = " + a.Value.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	return b.String()
+}
+
+func (s *Delete) SQL() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}

@@ -1,0 +1,523 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The engine executes parsed statements over in-memory tables holding
+// plain (untracked) values — like the MySQL server behind the paper's PHP
+// prototype, the database itself knows nothing about policies. Policy
+// persistence happens one layer up, in the RESIN SQL filter, which
+// rewrites queries to read and write shadow policy columns (Figure 4).
+
+// Engine errors.
+var (
+	ErrNoTable      = errors.New("sqldb: no such table")
+	ErrTableExists  = errors.New("sqldb: table already exists")
+	ErrNoColumn     = errors.New("sqldb: no such column")
+	ErrTypeMismatch = errors.New("sqldb: type mismatch")
+)
+
+// value is one stored cell: NULL, an integer, or text.
+type value struct {
+	null  bool
+	isInt bool
+	i     int64
+	s     string
+}
+
+func nullValue() value         { return value{null: true} }
+func intValue(v int64) value   { return value{isInt: true, i: v} }
+func textValue(s string) value { return value{s: s} }
+func (v value) String() string {
+	switch {
+	case v.null:
+		return "NULL"
+	case v.isInt:
+		return strconv.FormatInt(v.i, 10)
+	default:
+		return v.s
+	}
+}
+
+// table is one in-memory table.
+type table struct {
+	name string
+	cols []ColumnDef
+	rows [][]value
+}
+
+func (t *table) colIndex(name string) int {
+	for i, c := range t.cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Engine is the in-memory database engine. It is safe for concurrent use.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// NewEngine returns an empty database engine.
+func NewEngine() *Engine {
+	return &Engine{tables: make(map[string]*table)}
+}
+
+// rawResult is the engine-level result of a SELECT: column names plus
+// plain values.
+type rawResult struct {
+	cols []string
+	rows [][]value
+}
+
+// ExecuteRaw runs a statement and returns the raw result (SELECT) or nil.
+// affected reports the number of rows touched by INSERT/UPDATE/DELETE.
+func (e *Engine) ExecuteRaw(stmt Statement) (res *rawResult, affected int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := stmt.(type) {
+	case *CreateTable:
+		return nil, 0, e.createTable(s)
+	case *DropTable:
+		return nil, 0, e.dropTable(s)
+	case *Insert:
+		n, err := e.insert(s)
+		return nil, n, err
+	case *Select:
+		r, err := e.selectRows(s)
+		return r, 0, err
+	case *Update:
+		n, err := e.update(s)
+		return nil, n, err
+	case *Delete:
+		n, err := e.delete(s)
+		return nil, n, err
+	default:
+		return nil, 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// Schema returns the column definitions of a table.
+func (e *Engine) Schema(name string) ([]ColumnDef, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return append([]ColumnDef(nil), t.cols...), nil
+}
+
+// Tables returns the sorted table names.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) createTable(s *CreateTable) error {
+	key := strings.ToLower(s.Table)
+	if _, ok := e.tables[key]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+	}
+	seen := make(map[string]bool)
+	for _, c := range s.Cols {
+		k := strings.ToLower(c.Name)
+		if seen[k] {
+			return fmt.Errorf("sqldb: duplicate column %q", c.Name)
+		}
+		seen[k] = true
+	}
+	e.tables[key] = &table{name: s.Table, cols: append([]ColumnDef(nil), s.Cols...)}
+	return nil
+}
+
+func (e *Engine) dropTable(s *DropTable) error {
+	key := strings.ToLower(s.Table)
+	if _, ok := e.tables[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	delete(e.tables, key)
+	return nil
+}
+
+// literalValue converts a literal expression to a stored value, coercing
+// to the column type.
+func literalValue(ex Expr, typ ColType) (value, error) {
+	switch v := ex.(type) {
+	case *NullLit:
+		return nullValue(), nil
+	case *StringLit:
+		if typ == ColInt {
+			n, err := strconv.ParseInt(strings.TrimSpace(v.Val.Raw()), 10, 64)
+			if err != nil {
+				return value{}, fmt.Errorf("%w: %q is not an integer", ErrTypeMismatch, v.Val.Raw())
+			}
+			return intValue(n), nil
+		}
+		return textValue(v.Val.Raw()), nil
+	case *IntLit:
+		if typ == ColInt {
+			return intValue(v.Val), nil
+		}
+		return textValue(strconv.FormatInt(v.Val, 10)), nil
+	default:
+		return value{}, fmt.Errorf("sqldb: expected literal, got %T", ex)
+	}
+}
+
+func (e *Engine) insert(s *Insert) (int, error) {
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	idx := make([]int, len(s.Columns))
+	for i, name := range s.Columns {
+		ci := t.colIndex(name)
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, name)
+		}
+		idx[i] = ci
+	}
+	for _, exprs := range s.Rows {
+		row := make([]value, len(t.cols))
+		for i := range row {
+			row[i] = nullValue()
+		}
+		for i, ex := range exprs {
+			v, err := literalValue(ex, t.cols[idx[i]].Type)
+			if err != nil {
+				return 0, err
+			}
+			row[idx[i]] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+	return len(s.Rows), nil
+}
+
+func (e *Engine) selectRows(s *Select) (*rawResult, error) {
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	var outCols []string
+	var outIdx []int
+	if s.Star {
+		for i, c := range t.cols {
+			outCols = append(outCols, c.Name)
+			outIdx = append(outIdx, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			ci := t.colIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, name)
+			}
+			outCols = append(outCols, t.cols[ci].Name)
+			outIdx = append(outIdx, ci)
+		}
+	}
+	if err := validateExpr(s.Where, t); err != nil {
+		return nil, err
+	}
+	var matched [][]value
+	for _, row := range t.rows {
+		ok, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, row)
+		}
+	}
+	if s.OrderBy != "" {
+		ci := t.colIndex(s.OrderBy)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.OrderBy)
+		}
+		sort.SliceStable(matched, func(i, j int) bool {
+			less := valueLess(matched[i][ci], matched[j][ci])
+			if s.Desc {
+				return valueLess(matched[j][ci], matched[i][ci])
+			}
+			return less
+		})
+	}
+	if s.Limit >= 0 && len(matched) > s.Limit {
+		matched = matched[:s.Limit]
+	}
+	out := &rawResult{cols: outCols}
+	for _, row := range matched {
+		r := make([]value, len(outIdx))
+		for i, ci := range outIdx {
+			r[i] = row[ci]
+		}
+		out.rows = append(out.rows, r)
+	}
+	return out, nil
+}
+
+func (e *Engine) update(s *Update) (int, error) {
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	if err := validateExpr(s.Where, t); err != nil {
+		return 0, err
+	}
+	type setOp struct {
+		ci  int
+		val value
+	}
+	ops := make([]setOp, 0, len(s.Set))
+	for _, a := range s.Set {
+		ci := t.colIndex(a.Column)
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, a.Column)
+		}
+		v, err := literalValue(a.Value, t.cols[ci].Type)
+		if err != nil {
+			return 0, err
+		}
+		ops = append(ops, setOp{ci, v})
+	}
+	n := 0
+	for _, row := range t.rows {
+		ok, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			continue
+		}
+		for _, op := range ops {
+			row[op.ci] = op.val
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (e *Engine) delete(s *Delete) (int, error) {
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	if err := validateExpr(s.Where, t); err != nil {
+		return 0, err
+	}
+	var kept [][]value
+	n := 0
+	for _, row := range t.rows {
+		ok, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			n++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.rows = kept
+	return n, nil
+}
+
+// validateExpr checks that every column reference in an expression names
+// a column of the table, so malformed queries fail even on empty tables.
+func validateExpr(ex Expr, t *table) error {
+	switch v := ex.(type) {
+	case nil, *NullLit, *IntLit, *StringLit:
+		return nil
+	case *ColumnRef:
+		if t.colIndex(v.Name) < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, v.Name)
+		}
+		return nil
+	case *Unary:
+		return validateExpr(v.X, t)
+	case *Binary:
+		if err := validateExpr(v.L, t); err != nil {
+			return err
+		}
+		return validateExpr(v.R, t)
+	default:
+		return fmt.Errorf("sqldb: unsupported expression %T", ex)
+	}
+}
+
+// evalBool evaluates a WHERE expression; a nil expression matches all.
+func evalBool(ex Expr, t *table, row []value) (bool, error) {
+	if ex == nil {
+		return true, nil
+	}
+	v, err := eval(ex, t, row)
+	if err != nil {
+		return false, err
+	}
+	if v.null {
+		return false, nil
+	}
+	if v.isInt {
+		return v.i != 0, nil
+	}
+	return v.s != "", nil
+}
+
+func eval(ex Expr, t *table, row []value) (value, error) {
+	switch v := ex.(type) {
+	case *NullLit:
+		return nullValue(), nil
+	case *IntLit:
+		return intValue(v.Val), nil
+	case *StringLit:
+		return textValue(v.Val.Raw()), nil
+	case *ColumnRef:
+		ci := t.colIndex(v.Name)
+		if ci < 0 {
+			return value{}, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, v.Name)
+		}
+		return row[ci], nil
+	case *Unary:
+		b, err := evalBool(v.X, t, row)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(!b), nil
+	case *Binary:
+		return evalBinary(v, t, row)
+	default:
+		return value{}, fmt.Errorf("sqldb: unsupported expression %T", ex)
+	}
+}
+
+func boolValue(b bool) value {
+	if b {
+		return intValue(1)
+	}
+	return intValue(0)
+}
+
+func evalBinary(b *Binary, t *table, row []value) (value, error) {
+	switch b.Op {
+	case "AND":
+		l, err := evalBool(b.L, t, row)
+		if err != nil {
+			return value{}, err
+		}
+		if !l {
+			return boolValue(false), nil
+		}
+		r, err := evalBool(b.R, t, row)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(r), nil
+	case "OR":
+		l, err := evalBool(b.L, t, row)
+		if err != nil {
+			return value{}, err
+		}
+		if l {
+			return boolValue(true), nil
+		}
+		r, err := evalBool(b.R, t, row)
+		if err != nil {
+			return value{}, err
+		}
+		return boolValue(r), nil
+	}
+	l, err := eval(b.L, t, row)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := eval(b.R, t, row)
+	if err != nil {
+		return value{}, err
+	}
+	if l.null || r.null {
+		// SQL three-valued logic collapsed to false.
+		return boolValue(false), nil
+	}
+	switch b.Op {
+	case "=":
+		return boolValue(valueCompare(l, r) == 0), nil
+	case "!=":
+		return boolValue(valueCompare(l, r) != 0), nil
+	case "<":
+		return boolValue(valueCompare(l, r) < 0), nil
+	case "<=":
+		return boolValue(valueCompare(l, r) <= 0), nil
+	case ">":
+		return boolValue(valueCompare(l, r) > 0), nil
+	case ">=":
+		return boolValue(valueCompare(l, r) >= 0), nil
+	case "LIKE":
+		return boolValue(likeMatch(l.String(), r.String())), nil
+	default:
+		return value{}, fmt.Errorf("sqldb: unsupported operator %q", b.Op)
+	}
+}
+
+// valueCompare compares two non-null values: numerically when both are
+// integers, else textually on rendered forms (MySQL-ish coercion).
+func valueCompare(a, b value) int {
+	if a.isInt && b.isInt {
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// valueLess orders values for ORDER BY with NULLs first.
+func valueLess(a, b value) bool {
+	if a.null || b.null {
+		return a.null && !b.null
+	}
+	return valueCompare(a, b) < 0
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any byte).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over bytes.
+	m, n := len(s), len(pattern)
+	prev := make([]bool, m+1)
+	cur := make([]bool, m+1)
+	prev[0] = true
+	for j := 1; j <= n; j++ {
+		cur[0] = prev[0] && pattern[j-1] == '%'
+		for i := 1; i <= m; i++ {
+			switch pattern[j-1] {
+			case '%':
+				cur[i] = cur[i-1] || prev[i]
+			case '_':
+				cur[i] = prev[i-1]
+			default:
+				cur[i] = prev[i-1] && s[i-1] == pattern[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

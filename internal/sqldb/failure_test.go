@@ -1,0 +1,87 @@
+package sqldb
+
+import (
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// Failure injection for the SQL policy persistence layer.
+
+func TestCorruptedPolicyColumnFailsSelect(t *testing.T) {
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (a TEXT)")
+	db.MustExec("INSERT INTO t (a) VALUES ('v')")
+	// Corrupt the policy column directly (as a broken migration would).
+	db.MustExec("UPDATE t SET __policy_a = '{{{corrupt'")
+	if _, err := db.QueryRaw("SELECT a FROM t"); err == nil {
+		t.Fatal("corrupted policy column must fail the select")
+	}
+}
+
+func TestUnknownClassInPolicyColumnFailsSelect(t *testing.T) {
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (a TEXT)")
+	db.MustExec("INSERT INTO t (a) VALUES ('v')")
+	db.MustExec(`UPDATE t SET __policy_a = '[{"start":0,"end":1,"policies":[{"class":"gone.Class","fields":{}}]}]'`)
+	if _, err := db.QueryRaw("SELECT a FROM t"); err == nil {
+		t.Fatal("unknown policy class must fail the select")
+	}
+}
+
+func TestUnregisteredPolicyCannotBeInserted(t *testing.T) {
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (a TEXT)")
+	bad := core.NewStringPolicy("v", &unregisteredSQLPolicy{})
+	q := core.Concat(core.NewString("INSERT INTO t (a) VALUES ("), sanitize.SQLQuote(bad), core.NewString(")"))
+	if _, err := db.Query(q); err == nil {
+		t.Fatal("inserting an unregistered policy must fail, not drop it")
+	}
+	res, err := db.QueryRaw("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Error("failed insert must not store the row")
+	}
+}
+
+type unregisteredSQLPolicy struct{}
+
+func (p *unregisteredSQLPolicy) ExportCheck(ctx *core.Context) error { return nil }
+
+func TestFilterArgumentValidation(t *testing.T) {
+	f := &ResinSQLFilter{}
+	ch := core.NewChannel(core.NewRuntime(), core.KindSQL)
+	if _, err := f.FilterFunc(ch, []any{core.NewString("q")}); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if _, err := f.FilterFunc(ch, []any{"not tracked", NewEngine()}); err == nil {
+		t.Error("untracked query arg must fail")
+	}
+	if _, err := f.FilterFunc(ch, []any{core.NewString("q"), "not engine"}); err == nil {
+		t.Error("non-engine arg must fail")
+	}
+}
+
+func TestSelectingPolicyColumnDirectly(t *testing.T) {
+	// An application (or attacker) may name the shadow column explicitly;
+	// the filter treats it as opaque data and does not re-interpret it.
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (a TEXT)")
+	p := &passwordPolicy{Email: "e"}
+	q := core.Concat(core.NewString("INSERT INTO t (a) VALUES ("),
+		sanitize.SQLQuote(core.NewStringPolicy("v", p)), core.NewString(")"))
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryRaw("SELECT __policy_a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := res.Get(0, "__policy_a").Str.Raw()
+	if raw == "" {
+		t.Error("policy column should hold the serialized annotation")
+	}
+}

@@ -1,0 +1,535 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// PolicyColPrefix prefixes the shadow column that stores the serialized
+// policy annotation for a data column (Figure 4: "for a CREATE TABLE
+// query, the filter adds an additional policy column to store the
+// serialized policy for each data column").
+const PolicyColPrefix = "__policy_"
+
+func policyColName(col string) string { return PolicyColPrefix + strings.ToLower(col) }
+
+// IsPolicyColumn reports whether a column name is a shadow policy column.
+func IsPolicyColumn(name string) bool { return strings.HasPrefix(name, PolicyColPrefix) }
+
+// InjectionError reports a SQL injection assertion failure, pointing at
+// the offending character range of the query.
+type InjectionError struct {
+	Strategy string
+	Query    string
+	Start    int
+	End      int
+}
+
+func (e *InjectionError) Error() string {
+	snippet := e.Query
+	if e.End <= len(snippet) && e.Start <= e.End {
+		snippet = snippet[e.Start:e.End]
+	}
+	return fmt.Sprintf("sqldb: SQL injection assertion (%s) rejected query: untrusted bytes %d..%d (%q)",
+		e.Strategy, e.Start, e.End, snippet)
+}
+
+// ResinSQLFilter is the default filter object RESIN attaches to the
+// function used to issue SQL queries (§3.4.1). It always performs policy
+// persistence — rewriting CREATE TABLE to add policy columns, INSERT and
+// UPDATE to store each value's serialized policy, and SELECT to fetch and
+// re-attach policies. The two injection defenses of §5.3 are assertions
+// the application enables on top:
+//
+//   - RequireSanitizedMarkers (strategy 1): reject queries containing
+//     characters with UntrustedData but not SQLSanitized;
+//   - RejectTaintedStructure (strategy 2): tokenize the final query and
+//     reject untrusted characters outside string/number literal values
+//     (keywords, identifiers, operators, whitespace, comments).
+type ResinSQLFilter struct {
+	mu                sync.Mutex
+	requireSanitized  bool
+	rejectTaintedStru bool
+	autoSanitize      bool
+}
+
+// RequireSanitizedMarkers enables/disables the strategy-1 assertion.
+func (f *ResinSQLFilter) RequireSanitizedMarkers(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.requireSanitized = on
+}
+
+// RejectTaintedStructure enables/disables the strategy-2 assertion.
+func (f *ResinSQLFilter) RejectTaintedStructure(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rejectTaintedStru = on
+}
+
+// AutoSanitizeUntrusted enables the §5.3 variation on strategy 2: instead
+// of rejecting queries whose structure is tainted, the tokenizer keeps
+// contiguous untrusted bytes in one value token, so untrusted data cannot
+// affect the command structure of the query at all. It subsumes the
+// reject-based strategies for injection (they may still be enabled
+// together; the checks run first).
+func (f *ResinSQLFilter) AutoSanitizeUntrusted(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.autoSanitize = on
+}
+
+func (f *ResinSQLFilter) flags() (s1, s2, auto bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.requireSanitized, f.rejectTaintedStru, f.autoSanitize
+}
+
+// FilterFunc interposes on the query function: args is {query
+// core.String, engine *Engine}; on success it returns {result *Result}.
+func (f *ResinSQLFilter) FilterFunc(ch *core.Channel, args []any) ([]any, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("sqldb: filter expects (query, engine), got %d args", len(args))
+	}
+	q, ok := args[0].(core.String)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: filter arg 0 must be core.String, got %T", args[0])
+	}
+	engine, ok := args[1].(*Engine)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: filter arg 1 must be *Engine, got %T", args[1])
+	}
+
+	s1, s2, auto := f.flags()
+	if s1 {
+		if start, end, found := sanitize.UnsanitizedSQL(q); found {
+			return nil, &core.AssertionError{
+				Context: ch.Context(), Op: "export_check",
+				Err: &InjectionError{Strategy: "sanitized-markers", Query: q.Raw(), Start: start, End: end},
+			}
+		}
+	}
+	if s2 {
+		if err := checkTaintedStructure(q); err != nil {
+			return nil, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: err}
+		}
+	}
+
+	var stmt Statement
+	var err error
+	if auto {
+		stmt, err = ParseAutoSanitized(q)
+	} else {
+		stmt, err = Parse(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := executeWithPolicies(engine, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return []any{res}, nil
+}
+
+// checkTaintedStructure implements strategy 2: every byte of the query
+// that is not inside a string or number literal — keywords, identifiers,
+// operators, punctuation, whitespace, comments — must carry no
+// UntrustedData policy.
+func checkTaintedStructure(q core.String) error {
+	toks, err := Lex(q)
+	if err != nil {
+		return err
+	}
+	// Collect the byte ranges occupied by value literals; every tainted
+	// byte must fall inside one of them.
+	type rng struct{ start, end int }
+	var values []rng
+	for _, t := range toks {
+		if t.Type == TokString || t.Type == TokNumber {
+			values = append(values, rng{t.Start, t.End})
+		}
+	}
+	inValue := func(i int) bool {
+		for _, r := range values {
+			if i >= r.start && i < r.end {
+				return true
+			}
+		}
+		return false
+	}
+	var bad *InjectionError
+	q.EachTaintedSpan(func(start, end int, ps *core.PolicySet) error { //nolint:errcheck
+		if bad != nil || !ps.Any(sanitize.IsUntrusted) {
+			return nil
+		}
+		for i := start; i < end; i++ {
+			if !inValue(i) {
+				bad = &InjectionError{Strategy: "tainted-structure", Query: q.Raw(), Start: i, End: end}
+				return nil
+			}
+		}
+		return nil
+	})
+	if bad != nil {
+		return bad
+	}
+	return nil
+}
+
+// Cell is one result cell with its re-attached policies.
+type Cell struct {
+	Null  bool
+	IsInt bool
+	Int   core.Int
+	Str   core.String
+}
+
+// Text renders the cell as a tracked string (integer cells render their
+// digits carrying the integer's policy set; NULL renders empty).
+func (c Cell) Text() core.String {
+	switch {
+	case c.Null:
+		return core.String{}
+	case c.IsInt:
+		return c.Int.ToString()
+	default:
+		return c.Str
+	}
+}
+
+// Result is a query result with policies attached to each cell.
+type Result struct {
+	Columns  []string
+	Rows     [][]Cell
+	Affected int
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (r *Result) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the cell at row i, column name. It returns a NULL cell for
+// unknown columns.
+func (r *Result) Get(i int, name string) Cell {
+	ci := r.ColumnIndex(name)
+	if ci < 0 || i < 0 || i >= len(r.Rows) {
+		return Cell{Null: true}
+	}
+	return r.Rows[i][ci]
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// executeWithPolicies rewrites stmt to persist/fetch policy columns,
+// executes it, and re-attaches policies to the result (Figure 4).
+func executeWithPolicies(engine *Engine, stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *CreateTable:
+		return execCreate(engine, s)
+	case *Insert:
+		return execInsert(engine, s)
+	case *Select:
+		return execSelect(engine, s)
+	case *Update:
+		return execUpdate(engine, s)
+	default: // DropTable, Delete need no rewriting.
+		raw, affected, err := engine.ExecuteRaw(stmt)
+		if err != nil {
+			return nil, err
+		}
+		return fromRaw(raw, affected, false)
+	}
+}
+
+// execCreate adds one TEXT policy column per data column.
+func execCreate(engine *Engine, s *CreateTable) (*Result, error) {
+	cols := make([]ColumnDef, 0, 2*len(s.Cols))
+	cols = append(cols, s.Cols...)
+	for _, c := range s.Cols {
+		cols = append(cols, ColumnDef{Name: policyColName(c.Name), Type: ColText})
+	}
+	_, affected, err := engine.ExecuteRaw(&CreateTable{Table: s.Table, Cols: cols})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// annotationFor serializes the policy spans of a literal's stored form.
+// It returns the expression to store in the policy column.
+func annotationFor(e Expr) (Expr, error) {
+	var tracked core.String
+	switch v := e.(type) {
+	case *StringLit:
+		tracked = v.Val
+	case *IntLit:
+		tracked = v.Src
+	case *NullLit:
+		return &NullLit{}, nil
+	default:
+		return nil, fmt.Errorf("sqldb: expected literal, got %T", e)
+	}
+	ann, err := core.EncodeSpans(tracked)
+	if err != nil {
+		return nil, err
+	}
+	if ann == nil {
+		return &NullLit{}, nil
+	}
+	return &StringLit{Val: core.NewString(string(ann))}, nil
+}
+
+// policyColSet returns the lower-cased policy column names present in the
+// table schema (it may be empty, if the table was created while tracking
+// was disabled). One schema fetch serves the whole statement.
+func policyColSet(engine *Engine, table string) map[string]bool {
+	schema, err := engine.Schema(table)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]bool)
+	for _, c := range schema {
+		name := strings.ToLower(c.Name)
+		if strings.HasPrefix(name, PolicyColPrefix) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// execInsert augments each row with the serialized policy of each value.
+func execInsert(engine *Engine, s *Insert) (*Result, error) {
+	pcols := policyColSet(engine, s.Table)
+	cols := append([]string(nil), s.Columns...)
+	augment := make([]bool, len(s.Columns))
+	for i, c := range s.Columns {
+		if !IsPolicyColumn(c) && pcols[policyColName(c)] {
+			augment[i] = true
+			cols = append(cols, policyColName(c))
+		}
+	}
+	rows := make([][]Expr, 0, len(s.Rows))
+	for _, row := range s.Rows {
+		out := append([]Expr(nil), row...)
+		for i := range s.Columns {
+			if !augment[i] {
+				continue
+			}
+			ann, err := annotationFor(row[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ann)
+		}
+		rows = append(rows, out)
+	}
+	_, affected, err := engine.ExecuteRaw(&Insert{Table: s.Table, Columns: cols, Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// execUpdate augments each SET clause with its policy column.
+func execUpdate(engine *Engine, s *Update) (*Result, error) {
+	pcols := policyColSet(engine, s.Table)
+	set := append([]Assignment(nil), s.Set...)
+	for _, a := range s.Set {
+		if IsPolicyColumn(a.Column) || !pcols[policyColName(a.Column)] {
+			continue
+		}
+		ann, err := annotationFor(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, Assignment{Column: policyColName(a.Column), Value: ann})
+	}
+	_, affected, err := engine.ExecuteRaw(&Update{Table: s.Table, Set: set, Where: s.Where})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// execSelect fetches the policy column alongside each selected data
+// column, attaches the de-serialized policies to each cell, and hides the
+// policy columns from the visible result.
+func execSelect(engine *Engine, s *Select) (*Result, error) {
+	sel := *s
+	if !s.Star {
+		pcols := policyColSet(engine, s.Table)
+		cols := append([]string(nil), s.Columns...)
+		for _, c := range s.Columns {
+			if !IsPolicyColumn(c) && pcols[policyColName(c)] {
+				cols = append(cols, policyColName(c))
+			}
+		}
+		sel.Columns = cols
+		sel.Star = false
+	}
+	raw, _, err := engine.ExecuteRaw(&sel)
+	if err != nil {
+		return nil, err
+	}
+	return fromRaw(raw, 0, true)
+}
+
+// fromRaw converts an engine result to a tracked Result. When attach is
+// true, policy columns are consumed: their annotations are de-serialized
+// and attached to the corresponding data cells, and the policy columns
+// are removed from the visible result.
+func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
+	if raw == nil {
+		return &Result{Affected: affected}, nil
+	}
+	// A policy column is consumed as an annotation only when its data
+	// column is also part of the result; a policy column selected on its
+	// own is returned as opaque data.
+	dataCols := make(map[string]bool)
+	for _, c := range raw.cols {
+		if !IsPolicyColumn(c) {
+			dataCols[strings.ToLower(c)] = true
+		}
+	}
+	policyIdx := make(map[string]int) // lower data col name → policy col idx
+	var visible []int
+	var visibleCols []string
+	for i, c := range raw.cols {
+		if attach && IsPolicyColumn(c) {
+			if base := strings.TrimPrefix(strings.ToLower(c), PolicyColPrefix); dataCols[base] {
+				policyIdx[base] = i
+				continue
+			}
+		}
+		visible = append(visible, i)
+		visibleCols = append(visibleCols, c)
+	}
+	res := &Result{Columns: visibleCols, Affected: affected}
+	for _, row := range raw.rows {
+		out := make([]Cell, 0, len(visible))
+		for vi, i := range visible {
+			v := row[i]
+			var ann []byte
+			if pi, ok := policyIdx[strings.ToLower(visibleCols[vi])]; ok && !row[pi].null && row[pi].s != "" {
+				ann = []byte(row[pi].s)
+			}
+			cell, err := makeCell(v, ann)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cell)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// makeCell builds a tracked cell from a stored value and its optional
+// serialized policy annotation.
+func makeCell(v value, ann []byte) (Cell, error) {
+	if v.null {
+		return Cell{Null: true}, nil
+	}
+	tracked, err := core.DecodeSpans(v.String(), ann)
+	if err != nil {
+		return Cell{}, err
+	}
+	if v.isInt {
+		n := core.NewInt(v.i)
+		// The annotation was stored against the digit string; merge all
+		// span policies onto the integer value.
+		if tracked.IsTainted() {
+			n = n.WithPolicy(tracked.Policies().Policies()...)
+		}
+		return Cell{IsInt: true, Int: n}, nil
+	}
+	return Cell{Str: tracked}, nil
+}
+
+// DB couples an engine with its RESIN SQL channel. Applications issue
+// queries through DB.Query; with tracking enabled the query passes through
+// the channel's filter chain (injection assertions + policy persistence),
+// with tracking disabled it executes directly against the engine.
+type DB struct {
+	rt      *core.Runtime
+	channel *core.Channel
+	filter  *ResinSQLFilter
+
+	// txMu guards engine (swapped by Tx.Commit) and integrity.
+	txMu      sync.RWMutex
+	engine    *Engine
+	integrity []namedAssertion
+}
+
+// Open creates an empty database bound to rt, with the default RESIN SQL
+// filter installed on its query channel.
+func Open(rt *core.Runtime) *DB {
+	db := &DB{rt: rt, engine: NewEngine(), filter: &ResinSQLFilter{}}
+	db.channel = core.NewChannel(rt, core.KindSQL, db.filter)
+	return db
+}
+
+// Channel returns the SQL boundary channel (for adding context or extra
+// filters).
+func (db *DB) Channel() *core.Channel { return db.channel }
+
+// Filter returns the RESIN SQL filter for configuring the injection
+// assertions.
+func (db *DB) Filter() *ResinSQLFilter { return db.filter }
+
+// Engine returns the underlying engine (tests and benchmarks use it to
+// bypass the boundary).
+func (db *DB) Engine() *Engine {
+	db.txMu.RLock()
+	defer db.txMu.RUnlock()
+	return db.engine
+}
+
+// Query parses and executes one statement built as a tracked string.
+func (db *DB) Query(q core.String) (*Result, error) {
+	engine := db.Engine()
+	out, err := db.channel.Call([]any{q, engine})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 1 {
+		if res, ok := out[0].(*Result); ok {
+			return res, nil
+		}
+	}
+	// Tracking disabled (or no filter consumed the call): execute raw.
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	raw, affected, err := engine.ExecuteRaw(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return fromRaw(raw, affected, false)
+}
+
+// QueryRaw is a convenience wrapper for untracked query text.
+func (db *DB) QueryRaw(q string) (*Result, error) { return db.Query(core.NewString(q)) }
+
+// MustExec runs a query and panics on error; used by application setup
+// code for schema creation.
+func (db *DB) MustExec(q string) *Result {
+	res, err := db.QueryRaw(q)
+	if err != nil {
+		panic(fmt.Sprintf("sqldb: %s: %v", q, err))
+	}
+	return res
+}

@@ -1,0 +1,173 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"resin/internal/core"
+)
+
+// Transactions with integrity assertions — the §8 future-work item:
+// "Instead of requiring programmers to specify what writes are allowed
+// using filter objects, we envision using transactions to buffer database
+// or file system changes, and checking a programmer-specified assertion
+// before committing them."
+//
+// A Tx executes against a speculative copy of the database. Reads inside
+// the transaction see its own writes; nothing touches the real database
+// until Commit, which first runs every registered integrity assertion
+// against the speculative state and aborts the whole transaction if any
+// objects. Transactions are optimistic and serialized at commit time.
+
+// IntegrityAssertion inspects a speculative database state; returning an
+// error vetoes the commit.
+type IntegrityAssertion func(view *View) error
+
+// View is the read-only query interface integrity assertions get.
+type View struct {
+	engine *Engine
+}
+
+// Query runs a SELECT (or any statement — assertions should read only)
+// against the speculative state, with policies attached as usual.
+func (v *View) Query(q core.String) (*Result, error) {
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return executeWithPolicies(v.engine, stmt)
+}
+
+// QueryRaw is Query for untracked text.
+func (v *View) QueryRaw(q string) (*Result, error) { return v.Query(core.NewString(q)) }
+
+// Clone deep-copies the engine's tables (rows copied, values are plain
+// data).
+func (e *Engine) Clone() *Engine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := NewEngine()
+	for key, t := range e.tables {
+		nt := &table{name: t.name, cols: append([]ColumnDef(nil), t.cols...)}
+		nt.rows = make([][]value, len(t.rows))
+		for i, row := range t.rows {
+			nt.rows[i] = append([]value(nil), row...)
+		}
+		out.tables[key] = nt
+	}
+	return out
+}
+
+// Transaction errors.
+var (
+	ErrTxDone = errors.New("sqldb: transaction already committed or rolled back")
+)
+
+// IntegrityError reports a vetoed commit.
+type IntegrityError struct {
+	Assertion string
+	Err       error
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("sqldb: integrity assertion %q vetoed commit: %v", e.Assertion, e.Err)
+}
+
+func (e *IntegrityError) Unwrap() error { return e.Err }
+
+// Tx is one open transaction.
+type Tx struct {
+	db   *DB
+	mu   sync.Mutex
+	spec *Engine
+	done bool
+}
+
+// AddIntegrityAssertion registers a named assertion checked before every
+// transaction commit.
+func (db *DB) AddIntegrityAssertion(name string, fn IntegrityAssertion) {
+	db.txMu.Lock()
+	defer db.txMu.Unlock()
+	db.integrity = append(db.integrity, namedAssertion{name, fn})
+}
+
+type namedAssertion struct {
+	name string
+	fn   IntegrityAssertion
+}
+
+// Begin opens a transaction over a speculative copy of the database.
+func (db *DB) Begin() *Tx {
+	db.txMu.RLock()
+	engine := db.engine
+	db.txMu.RUnlock()
+	return &Tx{db: db, spec: engine.Clone()}
+}
+
+// Query executes a statement inside the transaction: the speculative
+// state absorbs writes and serves reads, through the same filter chain
+// (injection assertions and policy persistence included).
+func (tx *Tx) Query(q core.String) (*Result, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	out, err := tx.db.channel.Call([]any{q, tx.spec})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 1 {
+		if res, ok := out[0].(*Result); ok {
+			return res, nil
+		}
+	}
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	raw, affected, err := tx.spec.ExecuteRaw(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return fromRaw(raw, affected, false)
+}
+
+// QueryRaw is Query for untracked text.
+func (tx *Tx) QueryRaw(q string) (*Result, error) { return tx.Query(core.NewString(q)) }
+
+// Commit checks every integrity assertion against the speculative state
+// and, if all pass, installs it as the database state. Commits are
+// serialized; a concurrent commit that landed first wins (optimistic,
+// last-commit-wins on conflicting tables — this models the paper's
+// buffering proposal, not a full concurrency-control protocol).
+func (tx *Tx) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.db.txMu.Lock()
+	defer tx.db.txMu.Unlock()
+	for _, a := range tx.db.integrity {
+		if err := a.fn(&View{engine: tx.spec}); err != nil {
+			tx.done = true
+			return &IntegrityError{Assertion: a.name, Err: err}
+		}
+	}
+	tx.db.engine = tx.spec
+	tx.done = true
+	return nil
+}
+
+// Rollback abandons the transaction.
+func (tx *Tx) Rollback() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	return nil
+}

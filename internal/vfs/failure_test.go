@@ -1,0 +1,88 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+
+	"resin/internal/core"
+)
+
+// Failure injection: persistent state that has been corrupted (or written
+// by a newer/older version) must produce errors, never silently dropped
+// policies — a dropped confidentiality policy is a disclosure.
+
+func TestCorruptedPolicyAnnotationFailsRead(t *testing.T) {
+	fs := newFS(t)
+	p := &filePolicy{Owner: "a"}
+	if err := fs.WriteFile("/f", core.NewStringPolicy("secret", p), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetXattr("/f", XattrPolicies, []byte("{{{corrupted")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/f", nil); err == nil {
+		t.Fatal("corrupted annotation must fail the read, not drop policies")
+	}
+}
+
+func TestUnknownPolicyClassFailsRead(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.WriteFile("/f", core.NewString("data"), nil); err != nil {
+		t.Fatal(err)
+	}
+	ann := []byte(`[{"start":0,"end":4,"policies":[{"class":"no.SuchClass","fields":{}}]}]`)
+	if err := fs.SetXattr("/f", XattrPolicies, ann); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fs.ReadFile("/f", nil)
+	if err == nil || !strings.Contains(err.Error(), "no.SuchClass") {
+		t.Fatalf("unknown class must fail loudly: %v", err)
+	}
+}
+
+func TestCorruptedPersistentFilterFailsAccess(t *testing.T) {
+	fs := newFS(t)
+	fs.WriteFile("/f", core.NewString("x"), nil)
+	if err := fs.SetXattr("/f", XattrFilter, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/f", nil); err == nil {
+		t.Fatal("corrupted filter must fail the read")
+	}
+	if err := fs.WriteFile("/f", core.NewString("y"), nil); err == nil {
+		t.Fatal("corrupted filter must fail the write")
+	}
+}
+
+func TestUnregisteredPolicyCannotBePersisted(t *testing.T) {
+	fs := newFS(t)
+	err := fs.WriteFile("/f", core.NewStringPolicy("x", &unregisteredVFSPolicy{}), nil)
+	if err == nil {
+		t.Fatal("writing an unregistered policy must fail, not silently drop it")
+	}
+	if fs.Exists("/f") {
+		// The file may exist but must not contain the data without its
+		// annotation; our implementation rejects before storing data.
+		data, rerr := fs.ReadFile("/f", nil)
+		if rerr == nil && data.Raw() == "x" && !data.IsTainted() {
+			t.Fatal("data stored without its policy")
+		}
+	}
+}
+
+type unregisteredVFSPolicy struct{}
+
+func (p *unregisteredVFSPolicy) ExportCheck(ctx *core.Context) error { return nil }
+
+func TestUntrackedRuntimeIgnoresCorruptedState(t *testing.T) {
+	// The unmodified-interpreter baseline reads raw bytes; corrupted
+	// annotations are invisible to it (it never looks).
+	rt := core.NewUntrackedRuntime()
+	fs := New(rt)
+	fs.WriteFile("/f", core.NewString("data"), nil)
+	fs.SetXattr("/f", XattrPolicies, []byte("{{{"))
+	got, err := fs.ReadFile("/f", nil)
+	if err != nil || got.Raw() != "data" {
+		t.Fatalf("untracked read: %q %v", got.Raw(), err)
+	}
+}

@@ -1,0 +1,124 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Filesystem transactions with integrity assertions — the second half of
+// the §8 proposal: "we envision using transactions to buffer database or
+// file system changes, and checking a programmer-specified assertion
+// before committing them."
+//
+// A Tx operates on a speculative copy of the tree (data, extended
+// attributes, persistent filters and policy annotations included).
+// Commit runs every registered integrity assertion against the
+// speculative state and installs it only if all pass.
+
+// IntegrityAssertion inspects a speculative filesystem state; returning
+// an error vetoes the commit.
+type IntegrityAssertion func(view *FS) error
+
+type namedAssertion struct {
+	name string
+	fn   IntegrityAssertion
+}
+
+// AddIntegrityAssertion registers a named assertion checked before every
+// transaction commit.
+func (fs *FS) AddIntegrityAssertion(name string, fn IntegrityAssertion) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.integrity = append(fs.integrity, namedAssertion{name, fn})
+}
+
+// clone deep-copies a node tree.
+func (n *node) clone() *node {
+	out := newNode(n.dir)
+	out.data = append([]byte(nil), n.data...)
+	for k, v := range n.xattr {
+		out.xattr[k] = append([]byte(nil), v...)
+	}
+	for name, child := range n.children {
+		out.children[name] = child.clone()
+	}
+	return out
+}
+
+// Transaction errors.
+var ErrTxDone = errors.New("vfs: transaction already committed or rolled back")
+
+// IntegrityError reports a vetoed commit.
+type IntegrityError struct {
+	Assertion string
+	Err       error
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("vfs: integrity assertion %q vetoed commit: %v", e.Assertion, e.Err)
+}
+
+func (e *IntegrityError) Unwrap() error { return e.Err }
+
+// Tx is one open filesystem transaction. Its embedded *FS serves every
+// ordinary operation (WriteFile, Remove, ...) against the speculative
+// tree — with all the usual persistent filters still enforced.
+type Tx struct {
+	*FS
+	base *FS
+	mu   sync.Mutex
+	done bool
+}
+
+// Begin opens a transaction over a speculative copy of the tree.
+func (fs *FS) Begin() *Tx {
+	fs.mu.RLock()
+	spec := &FS{rt: fs.rt, root: fs.root.clone()}
+	fs.mu.RUnlock()
+	return &Tx{FS: spec, base: fs}
+}
+
+// Commit checks the integrity assertions against the speculative state
+// and, if all pass, installs it as the filesystem state. Commits are
+// serialized; last commit wins on conflicting paths (this models the
+// paper's buffering proposal, not a concurrency-control protocol).
+func (tx *Tx) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.base.mu.Lock()
+	assertions := append([]namedAssertion(nil), tx.base.integrity...)
+	tx.base.mu.Unlock()
+	for _, a := range assertions {
+		if err := a.fn(tx.FS); err != nil {
+			tx.done = true
+			return &IntegrityError{Assertion: a.name, Err: err}
+		}
+	}
+	tx.base.mu.Lock()
+	tx.base.root = tx.FS.root
+	tx.base.mu.Unlock()
+	tx.done = true
+	return nil
+}
+
+// Rollback abandons the transaction.
+func (tx *Tx) Rollback() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	return nil
+}
+
+// Done reports whether the transaction has finished.
+func (tx *Tx) Done() bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.done
+}

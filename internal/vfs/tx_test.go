@@ -1,0 +1,183 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"resin/internal/core"
+)
+
+func TestFSTxCommitApplies(t *testing.T) {
+	fs := newFS(t)
+	fs.WriteFile("/config", core.NewString("v1"), nil)
+
+	tx := fs.Begin()
+	if err := tx.WriteFile("/config", core.NewString("v2"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the tx the write is visible; outside it is not.
+	got, _ := tx.ReadFile("/config", nil)
+	if got.Raw() != "v2" {
+		t.Errorf("tx view = %q", got.Raw())
+	}
+	got, _ = fs.ReadFile("/config", nil)
+	if got.Raw() != "v1" {
+		t.Errorf("base view during tx = %q", got.Raw())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("/config", nil)
+	if got.Raw() != "v2" {
+		t.Errorf("after commit = %q", got.Raw())
+	}
+}
+
+func TestFSTxRollbackDiscards(t *testing.T) {
+	fs := newFS(t)
+	fs.WriteFile("/keep", core.NewString("x"), nil)
+	tx := fs.Begin()
+	tx.Remove("/keep", nil)
+	tx.WriteFile("/new", core.NewString("y"), nil)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/keep") || fs.Exists("/new") {
+		t.Error("rollback leaked changes")
+	}
+	if !tx.Done() {
+		t.Error("rolled-back tx should be done")
+	}
+}
+
+func TestFSTxIntegrityAssertionVetoes(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/etc", nil)
+	fs.WriteFile("/etc/passwd", core.NewString("root:x"), nil)
+	// The assertion: /etc/passwd must always exist and be non-empty.
+	fs.AddIntegrityAssertion("passwd-intact", func(view *FS) error {
+		info, err := view.Stat("/etc/passwd")
+		if err != nil || info.Size == 0 {
+			return errors.New("/etc/passwd missing or empty")
+		}
+		return nil
+	})
+
+	// A transaction that truncates the file is vetoed.
+	tx := fs.Begin()
+	if err := tx.WriteFile("/etc/passwd", core.NewString(""), nil); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	var ie *IntegrityError
+	if !errors.As(err, &ie) || ie.Assertion != "passwd-intact" {
+		t.Fatalf("commit err = %v", err)
+	}
+	got, _ := fs.ReadFile("/etc/passwd", nil)
+	if got.Raw() != "root:x" {
+		t.Error("vetoed commit mutated the base")
+	}
+
+	// A benign transaction commits.
+	tx2 := fs.Begin()
+	tx2.WriteFile("/etc/motd", core.NewString("hi"), nil)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/etc/motd") {
+		t.Error("benign commit lost")
+	}
+}
+
+func TestFSTxDoneSemantics(t *testing.T) {
+	fs := newFS(t)
+	tx := fs.Begin()
+	tx.Commit()
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("rollback after commit: %v", err)
+	}
+}
+
+func TestFSTxPersistentFiltersStillApply(t *testing.T) {
+	fs := newFS(t)
+	fs.WriteFile("/doc", core.NewString("v1"), userCtx("alice"))
+	fs.SetPersistentFilter("/doc", &ownerWriteFilter{Owner: "alice"})
+	tx := fs.Begin()
+	if err := tx.WriteFile("/doc", core.NewString("evil"), userCtx("mallory")); err == nil {
+		t.Fatal("persistent write filters must hold inside transactions")
+	}
+	if err := tx.WriteFile("/doc", core.NewString("v2"), userCtx("alice")); err != nil {
+		t.Fatalf("owner write in tx: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/doc", nil)
+	if got.Raw() != "v2" {
+		t.Errorf("after commit = %q", got.Raw())
+	}
+}
+
+func TestFSTxPolicyAnnotationsSurvive(t *testing.T) {
+	fs := newFS(t)
+	p := &filePolicy{Owner: "tx"}
+	tx := fs.Begin()
+	if err := tx.WriteFile("/secret", core.NewStringPolicy("s", p), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/secret", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsTainted() {
+		t.Error("policy annotation lost through the transaction")
+	}
+}
+
+func TestFSTxCloneIsDeep(t *testing.T) {
+	fs := newFS(t)
+	fs.MkdirAll("/a/b", nil)
+	fs.WriteFile("/a/b/f", core.NewString("orig"), nil)
+	fs.SetXattr("/a/b/f", "user.k", []byte("v"))
+	tx := fs.Begin()
+	tx.WriteFile("/a/b/f", core.NewString("changed"), nil)
+	tx.SetXattr("/a/b/f", "user.k", []byte("changed"))
+	// Base unchanged before commit.
+	got, _ := fs.ReadFile("/a/b/f", nil)
+	x, _ := fs.GetXattr("/a/b/f", "user.k")
+	if got.Raw() != "orig" || string(x) != "v" {
+		t.Error("tx mutated the base tree")
+	}
+}
+
+func TestFSTxConcurrentCommits(t *testing.T) {
+	fs := newFS(t)
+	fs.WriteFile("/counter", core.NewString("seed"), nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			tx := fs.Begin()
+			tx.WriteFile("/counter", core.NewString(fmt.Sprintf("tx-%d", n)), nil)
+			tx.Commit()
+		}(i)
+	}
+	wg.Wait()
+	got, err := fs.ReadFile("/counter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got.Raw(), "tx-") {
+		t.Errorf("final value %q not from any committed tx", got.Raw())
+	}
+}

@@ -1,0 +1,68 @@
+// Package whois simulates the whois service behind the unusual phpBB
+// cross-site scripting path of §6.3: phpBB queried a whois server and
+// incorporated the response into HTML without sanitizing it; an adversary
+// planted malicious JavaScript in a whois record.
+//
+// Responses enter the runtime through a socket boundary whose read filter
+// taints them as untrusted — which is why a high-level XSS assertion
+// covers this surprising path with no extra code.
+package whois
+
+import (
+	"fmt"
+	"sync"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// Server is a toy whois registry an "adversary" can write records into.
+type Server struct {
+	mu      sync.RWMutex
+	records map[string]string
+}
+
+// NewServer returns an empty whois registry.
+func NewServer() *Server {
+	return &Server{records: make(map[string]string)}
+}
+
+// SetRecord stores the whois text for a query key (e.g. an IP address).
+func (s *Server) SetRecord(key, text string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[key] = text
+}
+
+// lookup returns the raw record text.
+func (s *Server) lookup(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.records[key]
+	return t, ok
+}
+
+// Client queries a whois server over a RESIN socket boundary.
+type Client struct {
+	rt     *core.Runtime
+	server *Server
+}
+
+// NewClient returns a client bound to rt talking to server.
+func NewClient(rt *core.Runtime, server *Server) *Client {
+	return &Client{rt: rt, server: server}
+}
+
+// Lookup fetches the whois record for key. The response crosses the
+// socket boundary, whose read filter marks every byte untrusted.
+func (c *Client) Lookup(key string) (core.String, error) {
+	raw, ok := c.server.lookup(key)
+	if !ok {
+		return core.String{}, fmt.Errorf("whois: no record for %q", key)
+	}
+	ch := core.NewChannel(c.rt, core.KindSocket,
+		&core.TaintReadFilter{Policies: []core.Policy{&sanitize.UntrustedData{Source: "whois:" + key}}},
+	)
+	ch.Context().Set("remote", "whois")
+	return ch.Read(core.NewString(raw))
+}

