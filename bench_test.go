@@ -136,6 +136,93 @@ func BenchmarkAblation_WholeStringConcat(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_InternedVsNaiveUnion compares repeated unions of the
+// same two policy sets through the interned hot path (pointer-identity
+// subset checks plus the memoized pairwise-union cache) against a naive
+// member-wise union that re-deduplicates by object identity on every
+// call — the cost every concat, slice, and boundary crossing used to
+// pay before interning.
+func BenchmarkAblation_InternedVsNaiveUnion(b *testing.B) {
+	p1, p2, p3 := &ablationPolicy{ID: 1}, &ablationPolicy{ID: 2}, &ablationPolicy{ID: 3}
+	a := core.NewPolicySet(p1, p2).Intern()
+	c := core.NewPolicySet(p2, p3).Intern()
+
+	b.Run("interned-union", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if u := a.Union(c); u.Len() != 3 {
+				b.Fatalf("union len = %d", u.Len())
+			}
+		}
+	})
+	b.Run("naive-union", func(b *testing.B) {
+		b.ReportAllocs()
+		ap, cp := a.Policies(), c.Policies()
+		for i := 0; i < b.N; i++ {
+			// The pre-interning algorithm: collect members, dropping
+			// duplicates by identity with a quadratic scan, and wrap
+			// the result. (Identity here is plain interface equality,
+			// cheaper than the seed's reflection-based compare, so this
+			// arm slightly understates the true pre-interning cost.)
+			out := make([]core.Policy, 0, len(ap)+len(cp))
+			out = append(out, ap...)
+			for _, p := range cp {
+				dup := false
+				for _, q := range out {
+					if p == q {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, p)
+				}
+			}
+			naiveUnionSink = out
+			if len(out) != 3 {
+				b.Fatalf("union len = %d", len(out))
+			}
+		}
+	})
+}
+
+// naiveUnionSink defeats dead-code elimination of the naive-union arm.
+var naiveUnionSink []core.Policy
+
+// BenchmarkAblation_ConcatHeavyPageRender assembles an HTML page the way
+// HotCRP's paper view does — hundreds of small tracked fragments
+// (markup, tainted review text, author names under a policy)
+// concatenated into one response body — exercising the span-arena
+// builder and the pointer-fast coalescing path end to end.
+func BenchmarkAblation_ConcatHeavyPageRender(b *testing.B) {
+	author := core.NewStringPolicy("A. U. Thor", &ablationPolicy{ID: 11})
+	review := core.NewStringPolicy("Strong accept: the interning design is sound.", &ablationPolicy{ID: 12})
+	comment := core.NewStringPolicy("<i>meta</i> comment", &ablationPolicy{ID: 13})
+	open := core.NewString("<tr><td>")
+	mid := core.NewString("</td><td>")
+	close_ := core.NewString("</td></tr>\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var page core.Builder
+		page.AppendRaw("<html><body><table>\n")
+		for row := 0; row < 50; row++ {
+			page.Append(open)
+			page.Append(author)
+			page.Append(mid)
+			page.Append(review)
+			page.Append(mid)
+			page.Append(comment)
+			page.Append(close_)
+		}
+		page.AppendRaw("</table></body></html>\n")
+		out := page.String()
+		if out.Len() == 0 || !out.IsTainted() {
+			b.Fatal("bad page")
+		}
+	}
+}
+
 // BenchmarkAblation_SpanCoalescing measures repeated same-policy appends:
 // with coalescing the span list stays at one entry; the benchmark reports
 // the resulting span count as a metric.

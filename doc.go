@@ -56,6 +56,18 @@
 // the email-preview logic bug that leaked HotCRP passwords becomes an
 // AssertionError instead of a disclosure.
 //
+// # Paper API mapping (Table 3)
+//
+// The paper's PHP-level API corresponds to this package as follows:
+//
+//	policy_add(data, policy)     → Runtime.PolicyAdd, String.WithPolicy
+//	policy_remove(data, policy)  → Runtime.PolicyRemove, String.WithoutPolicy
+//	policy_get(data)             → String.Policies, String.PoliciesAt
+//	export_check(context)        → Policy.ExportCheck (vetoed by error)
+//	merge(other_set)             → Merger.Merge (§3.4.2)
+//	filter_write / filter_read   → WriteFilter.FilterWrite, ReadFilter.FilterRead
+//	serialized policies (§3.4.1) → RegisterPolicyClass, EncodeSpans, DecodeSpans
+//
 // # Substrates
 //
 // The repository also implements the substrates the paper's evaluation
@@ -65,4 +77,13 @@
 // server simulation (internal/httpd), a mailer (internal/mail), a script
 // interpreter with a guarded code-import channel (internal/script), and
 // the six applications of Table 4 (internal/apps).
+//
+// # Further reading
+//
+// README.md walks through a complete quickstart and maps every package;
+// docs/ARCHITECTURE.md describes the layering (facade → core runtime →
+// boundary adapters → applications), the policy-set intern table that
+// keeps the tracking hot path on pointer comparisons, and the data flow
+// of a request crossing the default boundary. The layering is enforced
+// by the architecture guard test in internal/core/arch_test.go.
 package resin

@@ -6,6 +6,9 @@
 // link; the password policy serialized on the backend is re-instantiated
 // on the frontend and still blocks disclosure there.
 //
+// See docs/ARCHITECTURE.md for where the remote channel sits in the
+// boundary-adapter layer, and doc.go for the Table 3 API mapping.
+//
 // Run: go run ./examples/distributed
 package main
 

@@ -6,6 +6,11 @@
 // still enforced when the data is fetched back out — even through an
 // adversary-controlled SELECT or a direct HTTP fetch of the file.
 //
+// Deserialized policy sets are canonicalized through the runtime's
+// intern table (docs/ARCHITECTURE.md, "Policy-set interning"), so
+// re-fetched data stays on the tracking fast paths; doc.go maps the
+// serialization API (RegisterPolicyClass, EncodeSpans/DecodeSpans).
+//
 // Run: go run ./examples/password-vault
 package main
 

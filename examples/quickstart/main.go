@@ -5,6 +5,10 @@
 // the runtime tracks it through formatting and copying; every output
 // boundary checks it.
 //
+// The README.md quickstart section walks this file line by line, and
+// doc.go maps the paper's Table 3 API to the Go API used here
+// (policy_add → Runtime.PolicyAdd, export_check → Policy.ExportCheck).
+//
 // Run: go run ./examples/quickstart
 package main
 

@@ -2,6 +2,10 @@
 // policy and the interpreter filter that together implement Data Flow
 // Assertion 3: "the interpreter may not interpret any user-supplied code."
 //
+// See README.md for the package map (internal/script is a boundary
+// adapter over the internal/core runtime; docs/ARCHITECTURE.md shows
+// the layering).
+//
 // Run: go run ./examples/script-injection
 package main
 

@@ -1,6 +1,10 @@
 // SQL injection / XSS example: the two defense strategies of §5.3,
 // side by side, against the same attacks.
 //
+// docs/ARCHITECTURE.md traces this exact flow — HTTP input taint, SQL
+// boundary assertions, output filtering — through the layered design;
+// README.md maps the packages involved (httpd, sqldb, sanitize).
+//
 // Run: go run ./examples/sql-xss
 package main
 

@@ -2,6 +2,10 @@
 // assertion — demonstrated end to end, including the CVE-2008-6548
 // include-directive attack that it stops.
 //
+// README.md describes where the Table 4 applications live
+// (internal/apps/*); doc.go maps the paper's API to the resin facade
+// used here.
+//
 // Run: go run ./examples/wiki-acl
 package main
 

@@ -1,0 +1,3 @@
+module resin
+
+go 1.22

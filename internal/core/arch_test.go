@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCoreImportsOnlyStdlib is the architecture guard for the runtime
+// layer: internal/core — policy objects, data tracking, filter objects,
+// interning — must import only the standard library. Boundary adapters
+// (httpd, sqldb, mail, vfs, remote) depend on core, never the other way
+// around; see docs/ARCHITECTURE.md. A stdlib import path has no dot in
+// its first element ("encoding/json", "sync"), while module paths do
+// ("resin" is dot-free too, so module-internal imports are rejected
+// explicitly).
+func TestCoreImportsOnlyStdlib(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatalf("read core directory: %v", err)
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Errorf("parse %s: %v", name, err)
+			continue
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			first, _, _ := strings.Cut(path, "/")
+			if first == "resin" {
+				t.Errorf("%s imports %s: internal/core must not depend on other packages of this module", name, path)
+				continue
+			}
+			if strings.Contains(first, ".") {
+				t.Errorf("%s imports %s: internal/core must import only the standard library", name, path)
+			}
+		}
+	}
+}

@@ -107,13 +107,62 @@ func (ReadCheckFilter) FilterRead(ch *Channel, data String, offset int64) (Strin
 // TaintReadFilter is a read filter that attaches the given policies to all
 // incoming data. Input boundaries (HTTP parameters, socket reads) use it
 // to mark data as untrusted the moment it enters the runtime.
+//
+// A filter built with NewTaintReadFilter attaches one pre-built,
+// interned policy set, so every string tainted through it shares a
+// single canonical set and downstream comparisons and unions take the
+// pointer fast paths. A zero-value filter with Policies set directly
+// also works, rebuilding the set per read.
+//
+// Mutating Policies after NewTaintReadFilter is safe but wasteful: any
+// divergence from the constructed state — append, truncation, or
+// in-place replacement — is detected per read and the filter falls
+// back to rebuilding the set from Policies, so data is always tainted
+// with exactly the current contents of Policies; only the interning
+// speedup is lost. Build a fresh filter when the policies change.
 type TaintReadFilter struct {
 	Policies []Policy
+
+	// set is the pre-built interned policy set when constructed via
+	// NewTaintReadFilter; snapshot is an independent copy of the
+	// policies it was built from, against which FilterRead checks
+	// Policies for mutations before trusting set.
+	set      *PolicySet
+	snapshot []Policy
+}
+
+// NewTaintReadFilter builds a TaintReadFilter whose policy set is
+// constructed once and interned. Boundaries that taint high volumes of
+// input with the same policies (an HTTP server's parameter inputs, a
+// socket reader) should build their filter this way and reuse it.
+func NewTaintReadFilter(ps ...Policy) *TaintReadFilter {
+	return &TaintReadFilter{
+		Policies: append([]Policy(nil), ps...),
+		set:      NewPolicySet(ps...).Intern(),
+		snapshot: append([]Policy(nil), ps...),
+	}
 }
 
 // FilterRead attaches the configured policies to every byte of data.
 func (f *TaintReadFilter) FilterRead(ch *Channel, data String, offset int64) (String, error) {
+	if f.set != nil && f.policiesUnchanged() {
+		return data.withSet(f.set), nil
+	}
 	return data.WithPolicy(f.Policies...), nil
+}
+
+// policiesUnchanged reports whether Policies still matches the
+// snapshot the pre-built set was constructed from.
+func (f *TaintReadFilter) policiesUnchanged() bool {
+	if len(f.Policies) != len(f.snapshot) {
+		return false
+	}
+	for i := range f.snapshot {
+		if !samePolicy(f.Policies[i], f.snapshot[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // StripPolicyFilter is a write filter that removes policies matching Pred

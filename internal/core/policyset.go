@@ -9,12 +9,49 @@ import "strings"
 // The zero value and the nil pointer are both the empty set. All methods
 // are safe on a nil receiver, and all mutating operations return a new set,
 // so PolicySets may be freely shared between spans and strings.
+//
+// Construction computes a canonical identity — sorted member IDs plus a
+// hash — for sets of pointer policies (see intern.go), which decides
+// Equal and accelerates Union and subset tests without reflection or
+// member-wise scans. Sets with proven reuse can additionally be
+// canonicalized into a process-wide table with Intern, after which
+// equality is a pointer comparison and unions are memoized. Sets
+// holding non-pointer policy objects fall back to member-wise
+// comparisons; all methods handle every form.
 type PolicySet struct {
 	policies []Policy
+	// ids holds the members' canonical IDs, sorted ascending; valid
+	// only when idsOK. It backs O(log n) membership, O(n) equality and
+	// subset tests over plain integers.
+	ids []uint64
+	// hash is the canonical FNV-1a hash of ids; valid only when idsOK.
+	hash uint64
+	// idsOK marks ids/hash as computed (every member is a pointer
+	// policy with a well-defined address identity).
+	idsOK bool
+	// interned marks an instance that was registered in the intern
+	// table (possibly in a since-flushed generation); such sets are
+	// eligible for the memoized-union cache, and within one table
+	// generation equal members yield the same instance.
+	interned bool
+	// mergers caches whether any member implements Merger, so
+	// MergePolicies can short-circuit to a pure union.
+	mergers bool
 }
 
 // EmptySet is the canonical empty policy set.
-var EmptySet = &PolicySet{}
+var EmptySet = &PolicySet{interned: true}
+
+// newPolicySet builds a set from an already-deduplicated member list,
+// computing its canonical identity. It takes ownership of policies.
+func newPolicySet(policies []Policy) *PolicySet {
+	if len(policies) == 0 {
+		return EmptySet
+	}
+	s := &PolicySet{policies: policies, mergers: anyMerger(policies)}
+	s.ids, s.hash, s.idsOK = computePolicyIDs(policies)
+	return s
+}
 
 // NewPolicySet builds a set from the given policies, dropping nils and
 // duplicates (by object identity).
@@ -27,21 +64,20 @@ func NewPolicySet(ps ...Policy) *PolicySet {
 		if p == nil {
 			continue
 		}
-		dup := false
-		for _, q := range out {
-			if samePolicy(p, q) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, p)
+		out = appendUniquePolicy(out, p)
+	}
+	return newPolicySet(out)
+}
+
+// appendUniquePolicy appends p to dst unless an identical policy (per
+// samePolicy) is already present.
+func appendUniquePolicy(dst []Policy, p Policy) []Policy {
+	for _, q := range dst {
+		if samePolicy(p, q) {
+			return dst
 		}
 	}
-	if len(out) == 0 {
-		return EmptySet
-	}
-	return &PolicySet{policies: out}
+	return append(dst, p)
 }
 
 // Len returns the number of policies in the set.
@@ -54,6 +90,9 @@ func (s *PolicySet) Len() int {
 
 // IsEmpty reports whether the set has no policies.
 func (s *PolicySet) IsEmpty() bool { return s.Len() == 0 }
+
+// Interned reports whether s is a canonical interned instance.
+func (s *PolicySet) Interned() bool { return s != nil && s.interned }
 
 // Policies returns the policies in the set as a fresh slice that the caller
 // may modify.
@@ -82,7 +121,15 @@ func (s *PolicySet) Each(fn func(Policy) error) error {
 
 // Contains reports whether the set contains exactly the policy object p.
 func (s *PolicySet) Contains(p Policy) bool {
-	if s == nil {
+	if s.Len() == 0 {
+		return false
+	}
+	if s.idsOK {
+		if id, ok := policyIdentity(p); ok {
+			return containsPolicyID(s.ids, id)
+		}
+		// p is not a pointer policy, but every member is: only a
+		// comparable-value member could match, and there are none.
 		return false
 	}
 	for _, q := range s.policies {
@@ -134,7 +181,7 @@ func (s *PolicySet) Add(p Policy) *PolicySet {
 		out = append(out, s.policies...)
 	}
 	out = append(out, p)
-	return &PolicySet{policies: out}
+	return newPolicySet(out)
 }
 
 // Remove returns a set without the policy object p (matched by identity).
@@ -151,10 +198,7 @@ func (s *PolicySet) Remove(p Policy) *PolicySet {
 			out = append(out, q)
 		}
 	}
-	if len(out) == 0 {
-		return EmptySet
-	}
-	return &PolicySet{policies: out}
+	return newPolicySet(out)
 }
 
 // RemoveIf returns a set without the policies satisfying pred.
@@ -171,13 +215,14 @@ func (s *PolicySet) RemoveIf(pred func(Policy) bool) *PolicySet {
 	if len(out) == len(s.policies) {
 		return s
 	}
-	if len(out) == 0 {
-		return EmptySet
-	}
-	return &PolicySet{policies: out}
+	return newPolicySet(out)
 }
 
-// Union returns the set union of s and t (by object identity).
+// Union returns the set union of s and t (by object identity). Subset
+// cases resolve by ID comparison without allocating; unions of interned
+// operands are additionally memoized, and their results interned, so a
+// workload whose base sets are interned pays one cache lookup per
+// repeated union.
 func (s *PolicySet) Union(t *PolicySet) *PolicySet {
 	if t.Len() == 0 {
 		if s == nil {
@@ -185,24 +230,67 @@ func (s *PolicySet) Union(t *PolicySet) *PolicySet {
 		}
 		return s
 	}
-	if s.Len() == 0 {
+	if s.Len() == 0 || s == t {
 		return t
 	}
-	out := s
-	for _, p := range t.policies {
-		out = out.Add(p)
+	bothIDs := s.idsOK && t.idsOK
+	if bothIDs {
+		if subsetPolicyIDs(t.ids, s.ids) {
+			return s
+		}
+		if subsetPolicyIDs(s.ids, t.ids) {
+			return t
+		}
 	}
-	return out
+	bothInterned := s.interned && t.interned
+	if bothInterned {
+		if u, ok := cachedUnion(s, t); ok {
+			return u
+		}
+	}
+	out := make([]Policy, 0, len(s.policies)+len(t.policies))
+	out = append(out, s.policies...)
+	added := false
+	for _, p := range t.policies {
+		if !s.Contains(p) {
+			out = append(out, p)
+			added = true
+		}
+	}
+	var u *PolicySet
+	if !added {
+		u = s
+	} else {
+		u = newPolicySet(out)
+		if bothInterned {
+			u = u.Intern()
+		}
+	}
+	if bothInterned {
+		storeUnion(s, t, u)
+	}
+	return u
 }
 
 // Equal reports whether s and t contain the same policy objects,
-// disregarding order.
+// disregarding order. Identical instances (the common case for
+// interned and span-shared sets) compare by pointer; sets with
+// canonical IDs compare hashes and ID lists; only sets of non-pointer
+// policies fall back to member-wise comparison.
 func (s *PolicySet) Equal(t *PolicySet) bool {
+	if s == t {
+		return true
+	}
 	if s.Len() != t.Len() {
 		return false
 	}
 	if s == nil || t == nil {
 		return true // both empty
+	}
+	if s.idsOK && t.idsOK {
+		// Both sets are live, so ID equality is exactly member
+		// identity (see the soundness note in intern.go).
+		return s.hash == t.hash && equalPolicyIDs(s.ids, t.ids)
 	}
 	for _, p := range s.policies {
 		if !t.Contains(p) {
@@ -229,6 +317,9 @@ func (s *PolicySet) String() string {
 	return b.String()
 }
 
+// hasMerger reports whether any member implements Merger.
+func (s *PolicySet) hasMerger() bool { return s != nil && s.mergers }
+
 // MergePolicies implements the merge machinery of §3.4.2. When two data
 // elements are merged by an operation that cannot preserve character-level
 // tracking, the runtime invokes the merge method on each policy of each
@@ -236,11 +327,18 @@ func (s *PolicySet) String() string {
 // The result is labelled with the union of all policies returned by all
 // merge methods; a policy with no Merge method contributes itself (the
 // default union strategy). Any Merge error aborts the operation.
+//
+// When neither operand carries a custom Merger, the result is exactly
+// the union, so the Union fast paths (subset IDs, memoized interned
+// pairs) apply.
 func MergePolicies(a, b *PolicySet) (*PolicySet, error) {
 	if a.Len() == 0 && b.Len() == 0 {
 		return EmptySet, nil
 	}
-	out := EmptySet
+	if !a.hasMerger() && !b.hasMerger() {
+		return a.Union(b), nil
+	}
+	var out []Policy
 	mergeSide := func(side, other *PolicySet) error {
 		if side == nil {
 			return nil
@@ -252,10 +350,12 @@ func MergePolicies(a, b *PolicySet) (*PolicySet, error) {
 					return &AssertionError{Policy: p, Op: "merge", Err: err}
 				}
 				for _, r := range rs {
-					out = out.Add(r)
+					if r != nil {
+						out = appendUniquePolicy(out, r)
+					}
 				}
 			} else {
-				out = out.Add(p)
+				out = appendUniquePolicy(out, p)
 			}
 		}
 		return nil
@@ -266,5 +366,5 @@ func MergePolicies(a, b *PolicySet) (*PolicySet, error) {
 	if err := mergeSide(b, a); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return newPolicySet(out), nil
 }

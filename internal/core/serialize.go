@@ -16,9 +16,12 @@ import (
 // "RESIN only serializes the class name and data fields of a policy
 // object" — so a policy class must be registered under a stable name, and
 // its data fields round-trip through encoding/json. Deserialized policies
-// are fresh objects whose class code is whatever the current program
-// defines, which is what lets programmers evolve export_check behaviour
-// without migrating stored policies.
+// are instantiated from the stored bytes, so their class code is whatever
+// the current program defines, which is what lets programmers evolve
+// export_check behaviour without migrating stored policies. Instantiation
+// is per distinct stored annotation, not per read: repeated decodes of
+// the same bytes share one memoized instance (see DecodeSpans), so
+// decoded policies are plain data and must not be mutated.
 
 type classRegistry struct {
 	mu     sync.RWMutex
@@ -192,13 +195,67 @@ func EncodeSpans(t String) ([]byte, error) {
 	return json.Marshal(ws)
 }
 
+// spanDecodeMemo caches DecodeSpans results per (raw, annotation)
+// pair. Boundary adapters re-read the same stored bytes constantly —
+// every SELECT of a policy-carrying cell, every ReadFile of an
+// annotated file — and decoding is deterministic, so repeated reads
+// can share one immutable String, including its policy objects and its
+// interned sets; without the memo each re-read would re-parse JSON,
+// re-instantiate policies, and register never-matching fresh sets in
+// the intern table. The memo is flushed wholesale at its cap, bounding
+// memory on annotation-churning workloads.
+// The memo nests raw → annotation → result so the hit path can index
+// the inner map with string(annotation) directly (the compiler elides
+// that conversion's allocation for map lookups); a flat struct key
+// would copy the annotation bytes on every call.
+var spanDecodeMemo struct {
+	mu    sync.RWMutex
+	m     map[string]map[string]String
+	n     int
+	bytes int
+}
+
+const (
+	// spanDecodeMemoCap bounds the total number of memoized decodes.
+	spanDecodeMemoCap = 4096
+	// spanDecodeMemoMaxBytes bounds the size of a single memoized
+	// entry (raw + annotation): entries pin their bytes until the next
+	// wholesale flush, and a workload decoding large annotated files
+	// (the vfs read path passes whole file bodies) must not pin
+	// gigabytes while staying under the entry-count cap. Oversized
+	// decodes skip the memo and are simply decoded each time.
+	spanDecodeMemoMaxBytes = 64 << 10
+	// spanDecodeMemoMaxTotal bounds the cumulative raw+annotation
+	// bytes pinned by the memo, so many distinct entries near the
+	// per-entry limit flush early instead of holding hundreds of
+	// megabytes until the entry-count cap trips.
+	spanDecodeMemoMaxTotal = 32 << 20
+)
+
 // DecodeSpans attaches the policy annotation serialized by EncodeSpans to
 // the raw string data, re-instantiating every policy object. A nil/empty
 // annotation yields an untainted string.
+//
+// Decoded policy sets are canonicalized through the intern table, so
+// the fast pointer-identity paths apply to deserialized data as well,
+// and repeated decodes of the same (raw, annotation) bytes are
+// memoized to one shared immutable String. Policy objects are
+// therefore fresh per distinct stored annotation rather than per call;
+// they are plain data (§3.4.1: the class name and data fields) and
+// must not be mutated after decode.
 func DecodeSpans(raw string, annotation []byte) (String, error) {
 	t := NewString(raw)
 	if len(annotation) == 0 {
 		return t, nil
+	}
+	memoizable := len(raw)+len(annotation) <= spanDecodeMemoMaxBytes
+	if memoizable {
+		spanDecodeMemo.mu.RLock()
+		memoized, ok := spanDecodeMemo.m[raw][string(annotation)]
+		spanDecodeMemo.mu.RUnlock()
+		if ok {
+			return memoized, nil
+		}
 	}
 	var ws []wireSpan
 	if err := json.Unmarshal(annotation, &ws); err != nil {
@@ -213,7 +270,36 @@ func DecodeSpans(raw string, annotation []byte) (String, error) {
 			}
 			ps = append(ps, p)
 		}
-		t = t.WithPolicyRange(w.Start, w.End, ps...)
+		set := NewPolicySet(ps...)
+		if memoizable {
+			// Only memoized decodes intern: their sets recur on every
+			// re-read. An unmemoized (oversized) decode instantiates
+			// fresh policies per call, so interning would be a
+			// guaranteed table miss each time, churning and flushing
+			// the global table.
+			set = set.Intern()
+		}
+		t = t.withSetRange(w.Start, w.End, set)
+	}
+	if memoizable {
+		spanDecodeMemo.mu.Lock()
+		if spanDecodeMemo.m == nil || spanDecodeMemo.n >= spanDecodeMemoCap ||
+			spanDecodeMemo.bytes >= spanDecodeMemoMaxTotal {
+			spanDecodeMemo.m = make(map[string]map[string]String, 64)
+			spanDecodeMemo.n = 0
+			spanDecodeMemo.bytes = 0
+		}
+		inner := spanDecodeMemo.m[raw]
+		if inner == nil {
+			inner = make(map[string]String, 1)
+			spanDecodeMemo.m[raw] = inner
+		}
+		if _, exists := inner[string(annotation)]; !exists {
+			inner[string(annotation)] = t
+			spanDecodeMemo.n++
+			spanDecodeMemo.bytes += len(raw) + len(annotation)
+		}
+		spanDecodeMemo.mu.Unlock()
 	}
 	return t, nil
 }

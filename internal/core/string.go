@@ -175,7 +175,12 @@ func (t String) WithPolicy(ps ...Policy) String {
 // WithPolicyRange returns a copy with the given policies added to bytes in
 // [start, end), clipped to the string bounds.
 func (t String) WithPolicyRange(start, end int, ps ...Policy) String {
-	add := NewPolicySet(ps...)
+	return t.withSetRange(start, end, NewPolicySet(ps...))
+}
+
+// withSetRange adds every policy of add to bytes in [start, end),
+// clipped to the string bounds.
+func (t String) withSetRange(start, end int, add *PolicySet) String {
 	if add.IsEmpty() || len(t.s) == 0 {
 		return t
 	}
@@ -188,10 +193,23 @@ func (t String) WithPolicyRange(start, end int, ps ...Policy) String {
 	if start >= end {
 		return t
 	}
+	if len(t.spans) == 0 {
+		// Fast path for the common "taint a fresh string" case: one new
+		// span, no re-normalization walk.
+		return String{s: t.s, spans: []span{{start, end, add}}}
+	}
 	return t.mapRange(start, end, func(old *PolicySet) *PolicySet {
 		return old.Union(add)
 	})
 }
+
+// WithPolicySet returns a copy of the string with every policy of ps
+// added to every byte. Callers that taint many strings with the same
+// policies should build the set once (ideally interned, see
+// PolicySet.Intern) and attach it through this method, so all the
+// resulting spans share one canonical set and downstream comparisons
+// stay on the pointer fast paths.
+func (t String) WithPolicySet(ps *PolicySet) String { return t.withSet(ps) }
 
 // WithoutPolicy returns a copy with the given policy objects removed from
 // every byte (the paper's policy_remove(data, policy)).
@@ -224,13 +242,10 @@ func (t String) WithoutPolicyIf(pred func(Policy) bool) String {
 // byte in [start, end); bytes outside keep their sets. fn receives the
 // existing set (possibly empty) and returns the replacement set.
 func (t String) mapRange(start, end int, fn func(*PolicySet) *PolicySet) String {
-	type cut struct {
-		start, end int
-		ps         *PolicySet
-	}
-	var cuts []cut
 	// Walk every maximal run (covered or not) and split it at the range
-	// boundaries, applying fn inside the range.
+	// boundaries, applying fn inside the range; a run splits into at most
+	// three segments, so pre-size for the common case.
+	spans := make([]span, 0, len(t.spans)+2)
 	t.EachSpan(func(s, e int, ps *PolicySet) error { //nolint:errcheck // fn never fails
 		for s < e {
 			segEnd := e
@@ -245,15 +260,11 @@ func (t String) mapRange(start, end int, fn func(*PolicySet) *PolicySet) String 
 			if inRange {
 				nps = fn(ps)
 			}
-			cuts = append(cuts, cut{s, segEnd, nps})
+			spans = append(spans, span{s, segEnd, nps})
 			s = segEnd
 		}
 		return nil
 	})
-	spans := make([]span, 0, len(cuts))
-	for _, c := range cuts {
-		spans = append(spans, span{c.start, c.end, c.ps})
-	}
 	return makeString(t.s, spans)
 }
 

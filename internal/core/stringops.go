@@ -21,7 +21,13 @@ func Concat(parts ...String) String {
 	case 1:
 		return parts[0]
 	}
+	nbytes, nspans := 0, 0
+	for _, p := range parts {
+		nbytes += len(p.s)
+		nspans += len(p.spans)
+	}
 	var b Builder
+	b.Grow(nbytes, nspans)
 	for _, p := range parts {
 		b.Append(p)
 	}
@@ -286,15 +292,70 @@ func (t String) ToInt() (Int, error) {
 
 // Builder incrementally assembles a tracked string, the analogue of
 // strings.Builder. The zero value is ready to use.
+//
+// The span list is an arena the builder appends into, kept canonical as
+// it goes (coalescing adjacent same-policy spans with a pointer-fast
+// Equal). String() hands the arena to the produced String without
+// copying; the builder then goes copy-on-write, cloning the arena only
+// if it is mutated again afterwards. The common build-once pattern
+// (Concat, Format, query rewriting) therefore allocates no span copy at
+// all, and Reset lets a long-lived builder reuse the arena across
+// renders.
 type Builder struct {
 	buf   strings.Builder
 	spans []span
+	// shared marks the spans arena as referenced by a String produced
+	// by a previous String() call; any further mutation must clone it
+	// first (copy-on-write).
+	shared bool
+}
+
+// own ensures the spans arena is exclusively the builder's, cloning it
+// if a produced String still references it.
+func (b *Builder) own() {
+	if b.shared {
+		b.spans = append([]span(nil), b.spans...)
+		b.shared = false
+	}
+}
+
+// Grow pre-allocates capacity for at least nbytes more bytes and nspans
+// more policy spans, the way strings.Builder.Grow does for text.
+func (b *Builder) Grow(nbytes, nspans int) {
+	if nbytes > 0 {
+		b.buf.Grow(nbytes)
+	}
+	// A shared arena must be replaced even when it has spare capacity:
+	// the next mutation would otherwise clone it to an exact-length
+	// slice and discard this reservation.
+	if nspans > 0 && (b.shared || cap(b.spans)-len(b.spans) < nspans) {
+		grown := make([]span, len(b.spans), len(b.spans)+nspans)
+		copy(grown, b.spans)
+		b.spans = grown
+		b.shared = false
+	}
+}
+
+// Reset empties the builder for reuse, keeping the spans arena when no
+// produced String references it.
+func (b *Builder) Reset() {
+	b.buf.Reset()
+	if b.shared {
+		b.spans = nil
+		b.shared = false
+	} else {
+		b.spans = b.spans[:0]
+	}
 }
 
 // Append adds a tracked string to the builder.
 func (b *Builder) Append(t String) {
 	off := b.buf.Len()
 	b.buf.WriteString(t.s)
+	if len(t.spans) == 0 {
+		return
+	}
+	b.own()
 	for _, sp := range t.spans {
 		// Coalesce with the previous span when possible to keep the span
 		// list canonical as we go.
@@ -319,6 +380,7 @@ func (b *Builder) AppendBytePolicies(c byte, ps *PolicySet) {
 	if ps.IsEmpty() {
 		return
 	}
+	b.own()
 	if n := len(b.spans); n > 0 && b.spans[n-1].end == off && b.spans[n-1].ps.Equal(ps) {
 		b.spans[n-1].end = off + 1
 		return
@@ -329,9 +391,14 @@ func (b *Builder) AppendBytePolicies(c byte, ps *PolicySet) {
 // Len returns the number of bytes accumulated so far.
 func (b *Builder) Len() int { return b.buf.Len() }
 
-// String returns the accumulated tracked string.
+// String returns the accumulated tracked string without copying the
+// span arena; the builder clones it lazily if mutated again.
 func (b *Builder) String() String {
-	return String{s: b.buf.String(), spans: append([]span(nil), b.spans...)}
+	if len(b.spans) == 0 {
+		return String{s: b.buf.String()}
+	}
+	b.shared = true
+	return String{s: b.buf.String(), spans: b.spans}
 }
 
 // Format is the tracked analogue of fmt.Sprintf for the verbs the
@@ -395,8 +462,5 @@ func appendArg(b *Builder, verb byte, a any) {
 // withSet attaches ps to every byte (internal helper; keeps WithPolicy's
 // variadic signature clean for the public path).
 func (t String) withSet(ps *PolicySet) String {
-	if ps.IsEmpty() || len(t.s) == 0 {
-		return t
-	}
-	return t.mapRange(0, len(t.s), func(old *PolicySet) *PolicySet { return old.Union(ps) })
+	return t.withSetRange(0, len(t.s), ps)
 }

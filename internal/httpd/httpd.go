@@ -154,15 +154,31 @@ type Server struct {
 	// configureBody is applied to each response body channel; the server
 	// installs the default filters and applications may add more.
 	bodyFilters []core.Filter
+
+	// taintFilters caches one input taint filter per parameter name, so
+	// every request's "http:<name>" parameter shares a single
+	// UntrustedData policy object and one interned policy set — the
+	// input side of the tracking hot path stays on pointer comparisons
+	// across requests. Bounded by maxTaintFilters against unbounded
+	// parameter-name cardinality. Guarded by its own RWMutex rather
+	// than s.mu: the lookup runs once per parameter per request and is
+	// a pure read after warm-up, so it must not contend with the
+	// session/route lock.
+	taintMu      sync.RWMutex
+	taintFilters map[string]*core.TaintReadFilter
 }
+
+// maxTaintFilters bounds the per-parameter-name taint filter cache.
+const maxTaintFilters = 1024
 
 // NewServer returns a server bound to rt with the default boundary
 // filters: export check plus the response-splitting guard on headers.
 func NewServer(rt *core.Runtime) *Server {
 	return &Server{
-		rt:       rt,
-		routes:   make(map[string]Handler),
-		sessions: make(map[string]*Session),
+		rt:           rt,
+		routes:       make(map[string]Handler),
+		sessions:     make(map[string]*Session),
+		taintFilters: make(map[string]*core.TaintReadFilter),
 		bodyFilters: []core.Filter{
 			core.ExportCheckFilter{},
 		},
@@ -229,9 +245,7 @@ func (s *Server) Do(method, path string, params map[string]string, sess *Session
 	// input data with an UntrustedData policy"). The filter is installed
 	// per parameter so the taint records which parameter it came from.
 	for name, raw := range params {
-		req.input.SetFilters(&core.TaintReadFilter{
-			Policies: []core.Policy{&sanitize.UntrustedData{Source: "http:" + name}},
-		})
+		req.input.SetFilters(s.taintFilter(name))
 		data, err := req.input.Read(core.NewString(raw))
 		if err != nil {
 			return nil, fmt.Errorf("httpd: input boundary: %w", err)
@@ -254,6 +268,43 @@ func (s *Server) Do(method, path string, params map[string]string, sess *Session
 	}
 	resp.Status = 404
 	return resp, ErrNotFound
+}
+
+// taintFilter returns the shared input taint filter for a parameter
+// name, creating and caching it on first use.
+func (s *Server) taintFilter(name string) *core.TaintReadFilter {
+	s.taintMu.RLock()
+	tf, ok := s.taintFilters[name]
+	full := len(s.taintFilters) >= maxTaintFilters
+	s.taintMu.RUnlock()
+	if ok {
+		return tf
+	}
+	// Over the cap, parameter names are attacker-influenced churn:
+	// build a plain one-shot filter — outside any lock, so churned
+	// names don't serialize concurrent requests — rather than
+	// interning a policy set that will never recur.
+	oneShot := func() *core.TaintReadFilter {
+		return &core.TaintReadFilter{
+			Policies: []core.Policy{&sanitize.UntrustedData{Source: "http:" + name}},
+		}
+	}
+	if full {
+		return oneShot()
+	}
+	s.taintMu.Lock()
+	if tf, ok := s.taintFilters[name]; ok {
+		s.taintMu.Unlock()
+		return tf
+	}
+	if len(s.taintFilters) >= maxTaintFilters {
+		s.taintMu.Unlock()
+		return oneShot()
+	}
+	tf = core.NewTaintReadFilter(&sanitize.UntrustedData{Source: "http:" + name})
+	s.taintFilters[name] = tf
+	s.taintMu.Unlock()
+	return tf
 }
 
 func (s *Server) newResponse(sess *Session) *Response {

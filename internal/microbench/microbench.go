@@ -73,6 +73,16 @@ type Op struct {
 
 // sample returns the operand string for a mode (tainted when the mode
 // carries the empty policy).
+//
+// Each operand deliberately gets its own fresh Empty instance: Table 5
+// measures the tracking machinery's per-operation cost, and operands
+// sharing one policy object would let the runtime's pointer-identity
+// fast paths collapse the very merges and span boundaries the table
+// quantifies (two operands with the same interned set coalesce into
+// one span on concat and short-circuit on merge), silently changing
+// the measured workload relative to the paper and the seed. The
+// interned fast paths are measured on their own terms by the
+// BenchmarkAblation_* suite in the repository root.
 func sample(mode Mode, raw string) core.String {
 	s := core.NewString(raw)
 	if mode == EmptyPolicy {
@@ -158,6 +168,8 @@ func benchIntAdd(b *testing.B, mode Mode) {
 	x := core.NewInt(12345)
 	y := core.NewInt(678)
 	if mode == EmptyPolicy {
+		// Distinct instances, as in the seed: x+y must exercise a real
+		// two-set merge, not the same-set fast path (see sample).
 		x = x.WithPolicy(&Empty{})
 		y = y.WithPolicy(&Empty{})
 	}

@@ -437,7 +437,11 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 }
 
 // makeCell builds a tracked cell from a stored value and its optional
-// serialized policy annotation.
+// serialized policy annotation. Repeated reads of the same stored
+// bytes share one immutable tracked string: core.DecodeSpans memoizes
+// per (value, annotation) pair, which keeps per-column policy
+// propagation on the pointer-comparison fast paths instead of
+// re-parsing JSON and re-instantiating policies per row per query.
 func makeCell(v value, ann []byte) (Cell, error) {
 	if v.null {
 		return Cell{Null: true}, nil

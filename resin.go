@@ -81,6 +81,20 @@ func NewIntPolicy(v int64, ps ...Policy) Int { return core.NewIntPolicy(v, ps...
 // NewPolicySet builds a set from the given policies.
 func NewPolicySet(ps ...Policy) *PolicySet { return core.NewPolicySet(ps...) }
 
+// InternStats is a snapshot of the policy-set interning counters.
+type InternStats = core.InternStats
+
+// ReadInternStats returns the interning machinery's counters — table
+// size, hit rates, memoized unions — for monitoring and benchmarks.
+// Long-lived policy sets can be canonicalized with PolicySet.Intern;
+// see docs/ARCHITECTURE.md.
+func ReadInternStats() InternStats { return core.ReadInternStats() }
+
+// NewTaintReadFilter builds a read filter whose policy set is built
+// once and interned — the efficient way for input boundaries to taint
+// high volumes of data with the same policies.
+func NewTaintReadFilter(ps ...Policy) *TaintReadFilter { return core.NewTaintReadFilter(ps...) }
+
 // Concat concatenates tracked strings with character-level propagation.
 func Concat(parts ...String) String { return core.Concat(parts...) }
 
