@@ -38,6 +38,8 @@ func New(rt *core.Runtime, withAssertions bool) *App {
 		assertions: withAssertions,
 	}
 	a.DB.MustExec("CREATE TABLE applicants (id INT, name TEXT, gpa TEXT, score INT, comment TEXT)")
+	// Applicant pages look rows up by id; index the key column.
+	a.DB.MustExec("CREATE INDEX ON applicants (id)")
 	a.DB.MustExec("INSERT INTO applicants (id, name, gpa, score, comment) VALUES " +
 		"(1, 'alice chen', '4.9', 91, 'strong systems background'), " +
 		"(2, 'bob iyer', '4.7', 84, 'great letters'), " +

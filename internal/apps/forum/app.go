@@ -69,6 +69,11 @@ func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
 	a.DB.MustExec("CREATE TABLE users (name TEXT, signature TEXT)")
 	a.DB.MustExec("CREATE TABLE forums (id INT, name TEXT, readers TEXT)")
 	a.DB.MustExec("CREATE TABLE messages (id INT, forum INT, author TEXT, subject TEXT, body TEXT)")
+	// Point lookups dominate: forum ACLs by id, message listings by
+	// forum, signatures by user name.
+	a.DB.MustExec("CREATE INDEX ON users (name)")
+	a.DB.MustExec("CREATE INDEX ON forums (id)")
+	a.DB.MustExec("CREATE INDEX ON messages (forum)")
 
 	if withAssertions {
 		a.enableXSSAssertion()

@@ -195,6 +195,115 @@ func EncodeSpans(t String) ([]byte, error) {
 	return json.Marshal(ws)
 }
 
+// CompiledAnnotation is a policy annotation parsed, instantiated, and
+// interned once, applicable to any number of raw values. The SQL
+// filter's batched decode path compiles each distinct annotation of a
+// result set once and applies it per cell, so a SELECT returning N rows
+// pays JSON parsing and policy instantiation per distinct annotation,
+// not per cell. Compiled annotations are immutable.
+type CompiledAnnotation struct {
+	spans []compiledSpan
+}
+
+type compiledSpan struct {
+	start, end int
+	set        *PolicySet
+}
+
+// Apply attaches the compiled spans to raw, clipped to its bounds.
+func (c *CompiledAnnotation) Apply(raw string) String {
+	t := NewString(raw)
+	if c == nil {
+		return t
+	}
+	for _, s := range c.spans {
+		t = t.withSetRange(s.start, s.end, s.set)
+	}
+	return t
+}
+
+// annCompileMemo caches CompileAnnotation results per annotation bytes,
+// bounded and flushed wholesale at cap (the shared eviction idiom:
+// churn re-warms, it never permanently disables the cache).
+var annCompileMemo struct {
+	mu    sync.RWMutex
+	m     map[string]*CompiledAnnotation
+	bytes int
+}
+
+const (
+	// annCompileMemoCap bounds the number of memoized compiles.
+	annCompileMemoCap = 4096
+	// annCompileMemoMaxBytes bounds one memoizable annotation; larger
+	// annotations compile per call rather than pin the memo.
+	annCompileMemoMaxBytes = 64 << 10
+	// annCompileMemoMaxTotal bounds the cumulative annotation bytes
+	// pinned by the memo.
+	annCompileMemoMaxTotal = 8 << 20
+)
+
+// CompileAnnotation parses a policy annotation (the EncodeSpans wire
+// form) into a reusable CompiledAnnotation, re-instantiating each
+// policy object and interning each span's policy set. Results are
+// memoized per annotation bytes: re-reading a stored cell or file
+// shares one compiled form — and therefore one set of policy instances
+// — across raws, queries, and goroutines. A nil/empty annotation yields
+// nil, which Apply treats as untainted.
+func CompileAnnotation(annotation []byte) (*CompiledAnnotation, error) {
+	if len(annotation) == 0 {
+		return nil, nil
+	}
+	memoizable := len(annotation) <= annCompileMemoMaxBytes
+	if memoizable {
+		annCompileMemo.mu.RLock()
+		memoized, ok := annCompileMemo.m[string(annotation)]
+		annCompileMemo.mu.RUnlock()
+		if ok {
+			return memoized, nil
+		}
+	}
+	var ws []wireSpan
+	if err := json.Unmarshal(annotation, &ws); err != nil {
+		return nil, fmt.Errorf("resin: decode spans: %w", err)
+	}
+	c := &CompiledAnnotation{spans: make([]compiledSpan, 0, len(ws))}
+	for _, w := range ws {
+		ps := make([]Policy, 0, len(w.Policies))
+		for _, enc := range w.Policies {
+			p, err := DecodePolicy(enc)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, p)
+		}
+		set := NewPolicySet(ps...)
+		if memoizable {
+			// Only memoized compiles intern: an oversized annotation
+			// instantiates fresh policies per call, so interning would
+			// be a guaranteed table miss each time, churning and
+			// flushing the global table.
+			set = set.Intern()
+		}
+		c.spans = append(c.spans, compiledSpan{start: w.Start, end: w.End, set: set})
+	}
+	if memoizable {
+		annCompileMemo.mu.Lock()
+		if annCompileMemo.m == nil || len(annCompileMemo.m) >= annCompileMemoCap ||
+			annCompileMemo.bytes >= annCompileMemoMaxTotal {
+			annCompileMemo.m = make(map[string]*CompiledAnnotation, 64)
+			annCompileMemo.bytes = 0
+		}
+		if existing, ok := annCompileMemo.m[string(annotation)]; ok {
+			c = existing // racing compile: keep the installed one
+		} else {
+			annCompileMemo.m[string(annotation)] = c
+			annCompileMemo.bytes += len(annotation)
+		}
+		annCompileMemo.mu.Unlock()
+	}
+	return c, nil
+}
+
 // spanDecodeMemo caches DecodeSpans results per (raw, annotation)
 // pair. Boundary adapters re-read the same stored bytes constantly —
 // every SELECT of a policy-carrying cell, every ReadFile of an
@@ -257,30 +366,11 @@ func DecodeSpans(raw string, annotation []byte) (String, error) {
 			return memoized, nil
 		}
 	}
-	var ws []wireSpan
-	if err := json.Unmarshal(annotation, &ws); err != nil {
-		return String{}, fmt.Errorf("resin: decode spans: %w", err)
+	comp, err := CompileAnnotation(annotation)
+	if err != nil {
+		return String{}, err
 	}
-	for _, w := range ws {
-		ps := make([]Policy, 0, len(w.Policies))
-		for _, enc := range w.Policies {
-			p, err := DecodePolicy(enc)
-			if err != nil {
-				return String{}, err
-			}
-			ps = append(ps, p)
-		}
-		set := NewPolicySet(ps...)
-		if memoizable {
-			// Only memoized decodes intern: their sets recur on every
-			// re-read. An unmemoized (oversized) decode instantiates
-			// fresh policies per call, so interning would be a
-			// guaranteed table miss each time, churning and flushing
-			// the global table.
-			set = set.Intern()
-		}
-		t = t.withSetRange(w.Start, w.End, set)
-	}
+	t = comp.Apply(raw)
 	if memoizable {
 		spanDecodeMemo.mu.Lock()
 		if spanDecodeMemo.m == nil || spanDecodeMemo.n >= spanDecodeMemoCap ||

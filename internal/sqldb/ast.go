@@ -48,6 +48,20 @@ type DropTable struct {
 	Table string
 }
 
+// CreateIndex is CREATE INDEX ON t (col): it declares an equality hash
+// index over one column, consulted by the engine's predicate analyzer
+// for `col = literal` WHERE conjuncts (see docs/SQL.md).
+type CreateIndex struct {
+	Table  string
+	Column string
+}
+
+// DropIndex is DROP INDEX ON t (col).
+type DropIndex struct {
+	Table  string
+	Column string
+}
+
 // Insert is INSERT INTO t (cols) VALUES (...), (...).
 type Insert struct {
 	Table   string
@@ -87,6 +101,8 @@ type Delete struct {
 
 func (*CreateTable) stmtNode() {}
 func (*DropTable) stmtNode()   {}
+func (*CreateIndex) stmtNode() {}
+func (*DropIndex) stmtNode()   {}
 func (*Insert) stmtNode()      {}
 func (*Select) stmtNode()      {}
 func (*Update) stmtNode()      {}
@@ -118,6 +134,12 @@ type IntLit struct {
 // NullLit is the NULL literal.
 type NullLit struct{}
 
+// Param is a literal slot in a cached plan template (never produced by
+// Parse on user queries; the plan cache parameterizes string and number
+// literals before parsing and binds actual values back in per execution).
+// The engine rejects unbound parameters.
+type Param struct{ Idx int }
+
 // Binary is a binary expression: comparison, AND, OR, LIKE.
 type Binary struct {
 	Op   string // "=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"
@@ -134,6 +156,7 @@ func (*ColumnRef) exprNode() {}
 func (*StringLit) exprNode() {}
 func (*IntLit) exprNode()    {}
 func (*NullLit) exprNode()   {}
+func (*Param) exprNode()     {}
 func (*Binary) exprNode()    {}
 func (*Unary) exprNode()     {}
 
@@ -160,6 +183,7 @@ func (e *ColumnRef) SQL() string { return e.Name }
 func (e *StringLit) SQL() string { return quoteSQL(e.Val.Raw()) }
 func (e *IntLit) SQL() string    { return strconv.FormatInt(e.Val, 10) }
 func (e *NullLit) SQL() string   { return "NULL" }
+func (e *Param) SQL() string     { return "?" + strconv.Itoa(e.Idx) }
 func (e *Binary) SQL() string    { return "(" + e.L.SQL() + " " + e.Op + " " + e.R.SQL() + ")" }
 func (e *Unary) SQL() string     { return "(" + e.Op + " " + e.X.SQL() + ")" }
 
@@ -179,6 +203,9 @@ func (s *CreateTable) SQL() string {
 }
 
 func (s *DropTable) SQL() string { return "DROP TABLE " + s.Table }
+
+func (s *CreateIndex) SQL() string { return "CREATE INDEX ON " + s.Table + " (" + s.Column + ")" }
+func (s *DropIndex) SQL() string   { return "DROP INDEX ON " + s.Table + " (" + s.Column + ")" }
 
 func (s *Insert) SQL() string {
 	var b strings.Builder

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // The engine executes parsed statements over in-memory tables holding
@@ -15,12 +16,16 @@ import (
 // persistence happens one layer up, in the RESIN SQL filter, which
 // rewrites queries to read and write shadow policy columns (Figure 4).
 
-// Engine errors.
+// Engine errors. Wrapped ErrNoColumn errors always name the table as
+// well as the column ("table.column"), so a failing query over a
+// multi-table schema pins down which schema it missed.
 var (
 	ErrNoTable      = errors.New("sqldb: no such table")
 	ErrTableExists  = errors.New("sqldb: table already exists")
 	ErrNoColumn     = errors.New("sqldb: no such column")
 	ErrTypeMismatch = errors.New("sqldb: type mismatch")
+	ErrIndexExists  = errors.New("sqldb: index already exists")
+	ErrNoIndex      = errors.New("sqldb: no such index")
 )
 
 // value is one stored cell: NULL, an integer, or text.
@@ -47,12 +52,29 @@ func (v value) String() string {
 
 // table is one in-memory table.
 type table struct {
-	name string
-	cols []ColumnDef
-	rows [][]value
+	name    string
+	cols    []ColumnDef
+	colIdx  map[string]int     // lower-cased column name → position
+	rows    [][]value
+	indexes map[int]*hashIndex // column position → equality hash index
 }
 
+func newTable(name string, cols []ColumnDef) *table {
+	t := &table{name: name, cols: cols, colIdx: make(map[string]int, len(cols))}
+	for i, c := range t.cols {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	return t
+}
+
+// colIndex resolves a column name case-insensitively. The memoized map
+// covers every ASCII spelling (column names are ASCII identifiers); the
+// linear EqualFold walk remains only as a fallback for programmatically
+// built statements with non-ASCII case variants.
 func (t *table) colIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
 	for i, c := range t.cols {
 		if strings.EqualFold(c.Name, name) {
 			return i
@@ -61,16 +83,86 @@ func (t *table) colIndex(name string) int {
 	return -1
 }
 
-// Engine is the in-memory database engine. It is safe for concurrent use.
+// hashIndex is an equality hash index over one column: the canonical
+// equality key of each cell value maps to the (sorted) positions of the
+// rows holding it. Writers under Engine.mu maintain it on INSERT and
+// UPDATE; DELETE shifts row positions, so it rebuilds the table's
+// indexes instead (see delete).
+type hashIndex struct {
+	m map[string][]int
+}
+
+// indexKey is the canonical equality key of a value: non-null values key
+// by their rendered form, matching valueCompare's MySQL-ish coercion
+// (int 1 and text '1' compare equal and share a key); NULL gets a
+// reserved key that no `col = literal` lookup ever probes, since SQL
+// equality with NULL never matches.
+func indexKey(v value) string {
+	if v.null {
+		return "\x00null"
+	}
+	return "=" + v.String()
+}
+
+func (ix *hashIndex) add(v value, pos int) {
+	k := indexKey(v)
+	ix.m[k] = append(ix.m[k], pos)
+}
+
+func (ix *hashIndex) remove(v value, pos int) {
+	k := indexKey(v)
+	bucket := ix.m[k]
+	for i, p := range bucket {
+		if p == pos {
+			ix.m[k] = append(bucket[:i], bucket[i+1:]...)
+			if len(ix.m[k]) == 0 {
+				delete(ix.m, k)
+			}
+			return
+		}
+	}
+}
+
+// rebuildIndexes recomputes every index of the table from its rows.
+func (t *table) rebuildIndexes() {
+	for ci, ix := range t.indexes {
+		ix.m = make(map[string][]int, len(t.rows))
+		for pos, row := range t.rows {
+			ix.add(row[ci], pos)
+		}
+	}
+}
+
+// schemaGenCounter issues process-unique schema generations: every DDL
+// statement (CREATE/DROP TABLE or INDEX) stamps its engine with a fresh
+// generation, and plan-cache entries compiled against an older (or other
+// engine's) generation recompile instead of reusing stale schema
+// conclusions. Uniqueness across engines matters because transactions
+// execute against speculative clones.
+var schemaGenCounter atomic.Uint64
+
+// Engine is the in-memory database engine. It is safe for concurrent
+// use: SELECTs share a read lock, so concurrent readers proceed in
+// parallel while writers (including index maintenance) serialize.
 type Engine struct {
 	mu     sync.RWMutex
 	tables map[string]*table
+	gen    atomic.Uint64
 }
 
 // NewEngine returns an empty database engine.
 func NewEngine() *Engine {
-	return &Engine{tables: make(map[string]*table)}
+	e := &Engine{tables: make(map[string]*table)}
+	e.gen.Store(schemaGenCounter.Add(1))
+	return e
 }
+
+// SchemaGen returns the engine's current schema generation: a
+// process-unique value that changes on every CREATE/DROP of a table or
+// index. Cached query plans key their schema-derived state on it.
+func (e *Engine) SchemaGen() uint64 { return e.gen.Load() }
+
+func (e *Engine) bumpSchemaGen() { e.gen.Store(schemaGenCounter.Add(1)) }
 
 // rawResult is the engine-level result of a SELECT: column names plus
 // plain values.
@@ -81,7 +173,15 @@ type rawResult struct {
 
 // ExecuteRaw runs a statement and returns the raw result (SELECT) or nil.
 // affected reports the number of rows touched by INSERT/UPDATE/DELETE.
+// SELECTs take only the read lock, so they run concurrently; all other
+// statements serialize under the write lock.
 func (e *Engine) ExecuteRaw(stmt Statement) (res *rawResult, affected int, err error) {
+	if s, ok := stmt.(*Select); ok {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		r, err := e.selectRows(s)
+		return r, 0, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	switch s := stmt.(type) {
@@ -89,12 +189,13 @@ func (e *Engine) ExecuteRaw(stmt Statement) (res *rawResult, affected int, err e
 		return nil, 0, e.createTable(s)
 	case *DropTable:
 		return nil, 0, e.dropTable(s)
+	case *CreateIndex:
+		return nil, 0, e.createIndex(s)
+	case *DropIndex:
+		return nil, 0, e.dropIndex(s)
 	case *Insert:
 		n, err := e.insert(s)
 		return nil, n, err
-	case *Select:
-		r, err := e.selectRows(s)
-		return r, 0, err
 	case *Update:
 		n, err := e.update(s)
 		return nil, n, err
@@ -142,7 +243,8 @@ func (e *Engine) createTable(s *CreateTable) error {
 		}
 		seen[k] = true
 	}
-	e.tables[key] = &table{name: s.Table, cols: append([]ColumnDef(nil), s.Cols...)}
+	e.tables[key] = newTable(s.Table, append([]ColumnDef(nil), s.Cols...))
+	e.bumpSchemaGen()
 	return nil
 }
 
@@ -152,7 +254,65 @@ func (e *Engine) dropTable(s *DropTable) error {
 		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	delete(e.tables, key)
+	e.bumpSchemaGen()
 	return nil
+}
+
+func (e *Engine) createIndex(s *CreateIndex) error {
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	ci := t.colIndex(s.Column)
+	if ci < 0 {
+		return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Column)
+	}
+	if _, ok := t.indexes[ci]; ok {
+		return fmt.Errorf("%w: %s (%s)", ErrIndexExists, s.Table, s.Column)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[int]*hashIndex, 1)
+	}
+	ix := &hashIndex{m: make(map[string][]int, len(t.rows))}
+	for pos, row := range t.rows {
+		ix.add(row[ci], pos)
+	}
+	t.indexes[ci] = ix
+	e.bumpSchemaGen()
+	return nil
+}
+
+func (e *Engine) dropIndex(s *DropIndex) error {
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+	}
+	ci := t.colIndex(s.Column)
+	if ci < 0 {
+		return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Column)
+	}
+	if _, ok := t.indexes[ci]; !ok {
+		return fmt.Errorf("%w: %s (%s)", ErrNoIndex, s.Table, s.Column)
+	}
+	delete(t.indexes, ci)
+	e.bumpSchemaGen()
+	return nil
+}
+
+// Indexes returns the names of the indexed columns of a table, sorted.
+func (e *Engine) Indexes(name string) ([]string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	out := make([]string, 0, len(t.indexes))
+	for ci := range t.indexes {
+		out = append(out, t.cols[ci].Name)
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // literalValue converts a literal expression to a stored value, coercing
@@ -205,9 +365,96 @@ func (e *Engine) insert(s *Insert) (int, error) {
 			}
 			row[idx[i]] = v
 		}
+		pos := len(t.rows)
 		t.rows = append(t.rows, row)
+		for ci, ix := range t.indexes {
+			ix.add(row[ci], pos)
+		}
 	}
 	return len(s.Rows), nil
+}
+
+// indexCandidates walks the AND spine of a WHERE expression looking for
+// a `col = literal` conjunct over an indexed column. On a find it
+// returns the candidate row positions (ascending); the caller still
+// evaluates the full WHERE against each candidate, so the analyzer
+// never computes residual predicates — anything it cannot use falls
+// back to the scan path (ok == false). NULL literals are left to the
+// scan: SQL equality with NULL matches nothing, and the analyzer must
+// not probe the reserved NULL bucket.
+func (t *table) indexCandidates(ex Expr) (cand []int, ok bool) {
+	b, isBin := ex.(*Binary)
+	if !isBin {
+		return nil, false
+	}
+	switch b.Op {
+	case "AND":
+		if cand, ok := t.indexCandidates(b.L); ok {
+			return cand, true
+		}
+		return t.indexCandidates(b.R)
+	case "=":
+		var cr *ColumnRef
+		var lit Expr
+		if c, isCol := b.L.(*ColumnRef); isCol {
+			cr, lit = c, b.R
+		} else if c, isCol := b.R.(*ColumnRef); isCol {
+			cr, lit = c, b.L
+		} else {
+			return nil, false
+		}
+		var lv value
+		switch v := lit.(type) {
+		case *StringLit:
+			lv = textValue(v.Val.Raw())
+		case *IntLit:
+			lv = intValue(v.Val)
+		default:
+			return nil, false
+		}
+		ci := t.colIndex(cr.Name)
+		if ci < 0 {
+			return nil, false // validateExpr reports the bad column
+		}
+		ix := t.indexes[ci]
+		if ix == nil {
+			return nil, false
+		}
+		cand = append([]int(nil), ix.m[indexKey(lv)]...)
+		sort.Ints(cand)
+		return cand, true
+	}
+	return nil, false
+}
+
+// matchPositions returns the positions of rows satisfying where, in
+// ascending order — via an index when the predicate analyzer finds a
+// usable equality conjunct, else by scanning.
+func (t *table) matchPositions(where Expr) ([]int, error) {
+	if cand, usable := t.indexCandidates(where); usable {
+		out := cand[:0]
+		for _, pos := range cand {
+			ok, err := evalBool(where, t, t.rows[pos])
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, pos)
+			}
+		}
+		return out, nil
+	}
+	var out []int
+	for pos, row := range t.rows {
+		ok, err := evalBool(where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, pos)
+		}
+	}
+	return out, nil
 }
 
 func (e *Engine) selectRows(s *Select) (*rawResult, error) {
@@ -235,15 +482,13 @@ func (e *Engine) selectRows(s *Select) (*rawResult, error) {
 	if err := validateExpr(s.Where, t); err != nil {
 		return nil, err
 	}
-	var matched [][]value
-	for _, row := range t.rows {
-		ok, err := evalBool(s.Where, t, row)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			matched = append(matched, row)
-		}
+	positions, err := t.matchPositions(s.Where)
+	if err != nil {
+		return nil, err
+	}
+	matched := make([][]value, 0, len(positions))
+	for _, pos := range positions {
+		matched = append(matched, t.rows[pos])
 	}
 	if s.OrderBy != "" {
 		ci := t.colIndex(s.OrderBy)
@@ -296,21 +541,21 @@ func (e *Engine) update(s *Update) (int, error) {
 		}
 		ops = append(ops, setOp{ci, v})
 	}
-	n := 0
-	for _, row := range t.rows {
-		ok, err := evalBool(s.Where, t, row)
-		if err != nil {
-			return n, err
-		}
-		if !ok {
-			continue
-		}
+	positions, err := t.matchPositions(s.Where)
+	if err != nil {
+		return 0, err
+	}
+	for _, pos := range positions {
+		row := t.rows[pos]
 		for _, op := range ops {
+			if ix := t.indexes[op.ci]; ix != nil && indexKey(row[op.ci]) != indexKey(op.val) {
+				ix.remove(row[op.ci], pos)
+				ix.add(op.val, pos)
+			}
 			row[op.ci] = op.val
 		}
-		n++
 	}
-	return n, nil
+	return len(positions), nil
 }
 
 func (e *Engine) delete(s *Delete) (int, error) {
@@ -321,21 +566,27 @@ func (e *Engine) delete(s *Delete) (int, error) {
 	if err := validateExpr(s.Where, t); err != nil {
 		return 0, err
 	}
-	var kept [][]value
-	n := 0
-	for _, row := range t.rows {
-		ok, err := evalBool(s.Where, t, row)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			n++
+	positions, err := t.matchPositions(s.Where)
+	if err != nil {
+		return 0, err
+	}
+	if len(positions) == 0 {
+		return 0, nil
+	}
+	// Removing rows shifts the positions of everything after them, so
+	// deletes rebuild the table's indexes rather than patching buckets.
+	kept := make([][]value, 0, len(t.rows)-len(positions))
+	next := 0
+	for pos, row := range t.rows {
+		if next < len(positions) && positions[next] == pos {
+			next++
 			continue
 		}
 		kept = append(kept, row)
 	}
 	t.rows = kept
-	return n, nil
+	t.rebuildIndexes()
+	return len(positions), nil
 }
 
 // validateExpr checks that every column reference in an expression names
@@ -356,6 +607,8 @@ func validateExpr(ex Expr, t *table) error {
 			return err
 		}
 		return validateExpr(v.R, t)
+	case *Param:
+		return fmt.Errorf("sqldb: unbound plan parameter ?%d", v.Idx)
 	default:
 		return fmt.Errorf("sqldb: unsupported expression %T", ex)
 	}
@@ -401,6 +654,8 @@ func eval(ex Expr, t *table, row []value) (value, error) {
 		return boolValue(!b), nil
 	case *Binary:
 		return evalBinary(v, t, row)
+	case *Param:
+		return value{}, fmt.Errorf("sqldb: unbound plan parameter ?%d", v.Idx)
 	default:
 		return value{}, fmt.Errorf("sqldb: unsupported expression %T", ex)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"resin/internal/core"
 	"resin/internal/sanitize"
@@ -55,7 +56,28 @@ type ResinSQLFilter struct {
 	requireSanitized  bool
 	rejectTaintedStru bool
 	autoSanitize      bool
+	plans             atomic.Pointer[planCache]
 }
+
+// planner returns the filter's plan cache, creating it on first use (so
+// a zero-value ResinSQLFilter works). The hot path is one atomic load —
+// no lock on the per-query route to the cache.
+func (f *ResinSQLFilter) planner() *planCache {
+	if p := f.plans.Load(); p != nil {
+		return p
+	}
+	p := newPlanCache()
+	if f.plans.CompareAndSwap(nil, p) {
+		return p
+	}
+	return f.plans.Load()
+}
+
+// PlanStats reports the plan cache's hit/miss/invalidation counters.
+func (f *ResinSQLFilter) PlanStats() PlanCacheStats { return f.planner().stats() }
+
+// PlanCacheReset empties the plan cache (tests and benchmarks).
+func (f *ResinSQLFilter) PlanCacheReset() { f.planner().reset() }
 
 // RequireSanitizedMarkers enables/disables the strategy-1 assertion.
 func (f *ResinSQLFilter) RequireSanitizedMarkers(on bool) {
@@ -119,17 +141,15 @@ func (f *ResinSQLFilter) FilterFunc(ch *core.Channel, args []any) ([]any, error)
 		}
 	}
 
-	var stmt Statement
-	var err error
-	if auto {
-		stmt, err = ParseAutoSanitized(q)
-	} else {
-		stmt, err = Parse(q)
-	}
+	// Tokenize, then resolve through the plan cache: a repeated query
+	// shape binds its literals into the cached template without ever
+	// reaching the parser.
+	plans := f.planner()
+	stmt, plan, err := plans.prepareQuery(q, auto)
 	if err != nil {
 		return nil, err
 	}
-	res, err := executeWithPolicies(engine, stmt)
+	res, err := executePlanned(plans, plan, engine, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -232,39 +252,104 @@ func (r *Result) Get(i int, name string) Cell {
 // Len returns the number of rows.
 func (r *Result) Len() int { return len(r.Rows) }
 
+// stmtPolicyTable names the table whose policy-column set the rewrite
+// of stmt consults; needs is false for statements rewritten without it.
+func stmtPolicyTable(stmt Statement) (table string, needs bool) {
+	switch s := stmt.(type) {
+	case *Insert:
+		return s.Table, true
+	case *Update:
+		return s.Table, true
+	case *Select:
+		return s.Table, !s.Star
+	}
+	return "", false
+}
+
 // executeWithPolicies rewrites stmt to persist/fetch policy columns,
-// executes it, and re-attaches policies to the result (Figure 4).
+// executes it, and re-attaches policies to the result (Figure 4). It is
+// the unplanned path (transaction views, diagnostics); queries arriving
+// through the filter use executePlanned, which caches the schema-derived
+// rewrite state on the plan.
 func executeWithPolicies(engine *Engine, stmt Statement) (*Result, error) {
+	var pcols map[string]bool
+	if table, needs := stmtPolicyTable(stmt); needs {
+		pcols = policyColSet(engine, table)
+	}
+	return execWithPCols(engine, stmt, pcols)
+}
+
+// executePlanned is executeWithPolicies for plan-cached statements: the
+// policy-column set comes from the plan, recompiled only when the
+// engine's schema generation moved since compilation.
+func executePlanned(plans *planCache, plan *cachedPlan, engine *Engine, stmt Statement) (*Result, error) {
+	var pcols map[string]bool
+	if table, needs := stmtPolicyTable(stmt); needs {
+		if plan != nil {
+			pcols = plans.pcolsFor(plan, engine, table)
+		} else {
+			pcols = policyColSet(engine, table)
+		}
+	}
+	return execWithPCols(engine, stmt, pcols)
+}
+
+// execWithPCols rewrites stmt against the given policy-column set,
+// executes it, and re-attaches policies to SELECT results.
+func execWithPCols(engine *Engine, stmt Statement, pcols map[string]bool) (*Result, error) {
+	rewritten, err := rewriteWithPCols(stmt, pcols)
+	if err != nil {
+		return nil, err
+	}
+	raw, affected, err := engine.ExecuteRaw(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	if _, isSelect := stmt.(*Select); isSelect {
+		return fromRaw(raw, 0, true)
+	}
+	return fromRaw(nil, affected, false)
+}
+
+// RewriteWithPolicies returns the statement the RESIN filter hands the
+// engine in place of stmt: CREATE TABLE grows a shadow policy column
+// per data column, INSERT and UPDATE store each value's serialized
+// policy, SELECT fetches policy columns alongside data columns. DROP,
+// DELETE, and the index statements pass through unchanged. The worked
+// Figure 4 example in docs/SQL.md is pinned to this function's output
+// by a test.
+func RewriteWithPolicies(engine *Engine, stmt Statement) (Statement, error) {
+	var pcols map[string]bool
+	if table, needs := stmtPolicyTable(stmt); needs {
+		pcols = policyColSet(engine, table)
+	}
+	return rewriteWithPCols(stmt, pcols)
+}
+
+// rewriteWithPCols is the pure policy-persistence rewrite (Figure 4).
+func rewriteWithPCols(stmt Statement, pcols map[string]bool) (Statement, error) {
 	switch s := stmt.(type) {
 	case *CreateTable:
-		return execCreate(engine, s)
+		return rewriteCreate(s), nil
 	case *Insert:
-		return execInsert(engine, s)
+		return rewriteInsert(s, pcols)
 	case *Select:
-		return execSelect(engine, s)
+		return rewriteSelect(s, pcols), nil
 	case *Update:
-		return execUpdate(engine, s)
-	default: // DropTable, Delete need no rewriting.
-		raw, affected, err := engine.ExecuteRaw(stmt)
-		if err != nil {
-			return nil, err
-		}
-		return fromRaw(raw, affected, false)
+		return rewriteUpdate(s, pcols)
+	default: // DropTable, Delete, CreateIndex, DropIndex need no rewriting.
+		return stmt, nil
 	}
 }
 
-// execCreate adds one TEXT policy column per data column.
-func execCreate(engine *Engine, s *CreateTable) (*Result, error) {
+// rewriteCreate adds one TEXT policy column per data column.
+func rewriteCreate(s *CreateTable) *CreateTable {
 	cols := make([]ColumnDef, 0, 2*len(s.Cols))
 	cols = append(cols, s.Cols...)
 	for _, c := range s.Cols {
 		cols = append(cols, ColumnDef{Name: policyColName(c.Name), Type: ColText})
 	}
-	_, affected, err := engine.ExecuteRaw(&CreateTable{Table: s.Table, Cols: cols})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Affected: affected}, nil
+	return &CreateTable{Table: s.Table, Cols: cols}
 }
 
 // annotationFor serializes the policy spans of a literal's stored form.
@@ -309,9 +394,9 @@ func policyColSet(engine *Engine, table string) map[string]bool {
 	return out
 }
 
-// execInsert augments each row with the serialized policy of each value.
-func execInsert(engine *Engine, s *Insert) (*Result, error) {
-	pcols := policyColSet(engine, s.Table)
+// rewriteInsert augments each row with the serialized policy of each
+// value.
+func rewriteInsert(s *Insert, pcols map[string]bool) (*Insert, error) {
 	cols := append([]string(nil), s.Columns...)
 	augment := make([]bool, len(s.Columns))
 	for i, c := range s.Columns {
@@ -335,16 +420,11 @@ func execInsert(engine *Engine, s *Insert) (*Result, error) {
 		}
 		rows = append(rows, out)
 	}
-	_, affected, err := engine.ExecuteRaw(&Insert{Table: s.Table, Columns: cols, Rows: rows})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Affected: affected}, nil
+	return &Insert{Table: s.Table, Columns: cols, Rows: rows}, nil
 }
 
-// execUpdate augments each SET clause with its policy column.
-func execUpdate(engine *Engine, s *Update) (*Result, error) {
-	pcols := policyColSet(engine, s.Table)
+// rewriteUpdate augments each SET clause with its policy column.
+func rewriteUpdate(s *Update, pcols map[string]bool) (*Update, error) {
 	set := append([]Assignment(nil), s.Set...)
 	for _, a := range s.Set {
 		if IsPolicyColumn(a.Column) || !pcols[policyColName(a.Column)] {
@@ -356,34 +436,25 @@ func execUpdate(engine *Engine, s *Update) (*Result, error) {
 		}
 		set = append(set, Assignment{Column: policyColName(a.Column), Value: ann})
 	}
-	_, affected, err := engine.ExecuteRaw(&Update{Table: s.Table, Set: set, Where: s.Where})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Affected: affected}, nil
+	return &Update{Table: s.Table, Set: set, Where: s.Where}, nil
 }
 
-// execSelect fetches the policy column alongside each selected data
-// column, attaches the de-serialized policies to each cell, and hides the
-// policy columns from the visible result.
-func execSelect(engine *Engine, s *Select) (*Result, error) {
+// rewriteSelect fetches the policy column alongside each selected data
+// column; fromRaw later attaches the de-serialized policies to each
+// cell and hides the policy columns from the visible result.
+func rewriteSelect(s *Select, pcols map[string]bool) *Select {
+	if s.Star {
+		return s
+	}
 	sel := *s
-	if !s.Star {
-		pcols := policyColSet(engine, s.Table)
-		cols := append([]string(nil), s.Columns...)
-		for _, c := range s.Columns {
-			if !IsPolicyColumn(c) && pcols[policyColName(c)] {
-				cols = append(cols, policyColName(c))
-			}
+	cols := append([]string(nil), s.Columns...)
+	for _, c := range s.Columns {
+		if !IsPolicyColumn(c) && pcols[policyColName(c)] {
+			cols = append(cols, policyColName(c))
 		}
-		sel.Columns = cols
-		sel.Star = false
 	}
-	raw, _, err := engine.ExecuteRaw(&sel)
-	if err != nil {
-		return nil, err
-	}
-	return fromRaw(raw, 0, true)
+	sel.Columns = cols
+	return &sel
 }
 
 // fromRaw converts an engine result to a tracked Result. When attach is
@@ -416,20 +487,50 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 		visible = append(visible, i)
 		visibleCols = append(visibleCols, c)
 	}
+	// Resolve each visible column's policy column once; the row loop
+	// then indexes by position instead of re-lowering names per cell.
+	visPolicy := make([]int, len(visible))
+	for vi := range visible {
+		visPolicy[vi] = -1
+		if pi, ok := policyIdx[strings.ToLower(visibleCols[vi])]; ok {
+			visPolicy[vi] = pi
+		}
+	}
+	// Batched shadow-policy decode: each distinct annotation in the
+	// result set is compiled (JSON-parsed, policies instantiated, sets
+	// interned) exactly once — core.CompileAnnotation memoizes globally
+	// and the local map short-circuits even that lookup — then applied
+	// per cell. A SELECT returning N rows over a handful of distinct
+	// policies does O(distinct annotations) decodes, not O(N·cols).
 	res := &Result{Columns: visibleCols, Affected: affected}
+	var compiled map[string]*core.CompiledAnnotation
+	compileAnn := func(ann string) (*core.CompiledAnnotation, error) {
+		if c, ok := compiled[ann]; ok {
+			return c, nil
+		}
+		c, err := core.CompileAnnotation([]byte(ann))
+		if err != nil {
+			return nil, err
+		}
+		if compiled == nil {
+			compiled = make(map[string]*core.CompiledAnnotation, 4)
+		}
+		compiled[ann] = c
+		return c, nil
+	}
 	for _, row := range raw.rows {
 		out := make([]Cell, 0, len(visible))
 		for vi, i := range visible {
 			v := row[i]
-			var ann []byte
-			if pi, ok := policyIdx[strings.ToLower(visibleCols[vi])]; ok && !row[pi].null && row[pi].s != "" {
-				ann = []byte(row[pi].s)
+			var comp *core.CompiledAnnotation
+			if pi := visPolicy[vi]; pi >= 0 && !row[pi].null && row[pi].s != "" {
+				var err error
+				comp, err = compileAnn(row[pi].s)
+				if err != nil {
+					return nil, err
+				}
 			}
-			cell, err := makeCell(v, ann)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, cell)
+			out = append(out, makeCell(v, comp))
 		}
 		res.Rows = append(res.Rows, out)
 	}
@@ -437,19 +538,16 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 }
 
 // makeCell builds a tracked cell from a stored value and its optional
-// serialized policy annotation. Repeated reads of the same stored
-// bytes share one immutable tracked string: core.DecodeSpans memoizes
-// per (value, annotation) pair, which keeps per-column policy
-// propagation on the pointer-comparison fast paths instead of
-// re-parsing JSON and re-instantiating policies per row per query.
-func makeCell(v value, ann []byte) (Cell, error) {
+// compiled policy annotation. The compiled annotation is shared across
+// every cell (and every query) storing the same annotation bytes, so
+// the per-cell work is a span attach over already-interned policy sets
+// — the pointer-comparison fast paths — never JSON parsing or policy
+// instantiation.
+func makeCell(v value, comp *core.CompiledAnnotation) Cell {
 	if v.null {
-		return Cell{Null: true}, nil
+		return Cell{Null: true}
 	}
-	tracked, err := core.DecodeSpans(v.String(), ann)
-	if err != nil {
-		return Cell{}, err
-	}
+	tracked := comp.Apply(v.String())
 	if v.isInt {
 		n := core.NewInt(v.i)
 		// The annotation was stored against the digit string; merge all
@@ -457,9 +555,9 @@ func makeCell(v value, ann []byte) (Cell, error) {
 		if tracked.IsTainted() {
 			n = n.WithPolicy(tracked.Policies().Policies()...)
 		}
-		return Cell{IsInt: true, Int: n}, nil
+		return Cell{IsInt: true, Int: n}
 	}
-	return Cell{Str: tracked}, nil
+	return Cell{Str: tracked}
 }
 
 // DB couples an engine with its RESIN SQL channel. Applications issue
@@ -513,8 +611,9 @@ func (db *DB) Query(q core.String) (*Result, error) {
 			return res, nil
 		}
 	}
-	// Tracking disabled (or no filter consumed the call): execute raw.
-	stmt, err := Parse(q)
+	// Tracking disabled (or no filter consumed the call): execute raw,
+	// still through the plan cache so repeated shapes skip the parser.
+	stmt, _, err := db.filter.planner().prepareQuery(q, false)
 	if err != nil {
 		return nil, err
 	}

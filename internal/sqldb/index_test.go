@@ -1,0 +1,253 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"resin/internal/core"
+)
+
+// seedTable builds a table with n rows and an optional index on id.
+func seedTable(t testing.TB, indexed bool, n int) *DB {
+	t.Helper()
+	db := openDB2(t)
+	db.MustExec("CREATE TABLE items (id INT, name TEXT, grp INT)")
+	if indexed {
+		db.MustExec("CREATE INDEX ON items (id)")
+		db.MustExec("CREATE INDEX ON items (grp)")
+	}
+	for i := 0; i < n; i += 50 {
+		q := "INSERT INTO items (id, name, grp) VALUES "
+		for j := i; j < i+50 && j < n; j++ {
+			if j > i {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, 'item-%d', %d)", j, j, j%10)
+		}
+		db.MustExec(q)
+	}
+	return db
+}
+
+func openDB2(t testing.TB) *DB {
+	if tt, ok := t.(*testing.T); ok {
+		return openDB(tt)
+	}
+	return Open(core.NewRuntime())
+}
+
+// TestIndexedSelectMatchesScan runs the same queries against an indexed
+// and an unindexed copy of the table and requires identical results,
+// including row order.
+func TestIndexedSelectMatchesScan(t *testing.T) {
+	const n = 200
+	indexed := seedTable(t, true, n)
+	scan := seedTable(t, false, n)
+
+	queries := []string{
+		"SELECT name FROM items WHERE id = 7",
+		"SELECT name FROM items WHERE id = 199",
+		"SELECT name FROM items WHERE id = 12345",           // no match
+		"SELECT id, name FROM items WHERE grp = 3",          // multi-row bucket
+		"SELECT id FROM items WHERE grp = 3 AND id = 13",    // two usable conjuncts
+		"SELECT id FROM items WHERE 13 = id",                // reversed operands
+		"SELECT id FROM items WHERE id = 5 OR id = 6",       // OR: scan fallback
+		"SELECT id FROM items WHERE NOT id = 5 AND grp = 1", // NOT conjunct + index
+		"SELECT id FROM items WHERE id = '17'",              // string literal vs int column
+		"SELECT id FROM items WHERE grp = 2 ORDER BY id DESC LIMIT 3",
+		"SELECT id FROM items WHERE id = NULL", // NULL equality matches nothing
+	}
+	for _, q := range queries {
+		a, err := indexed.QueryRaw(q)
+		if err != nil {
+			t.Fatalf("%s (indexed): %v", q, err)
+		}
+		b, err := scan.QueryRaw(q)
+		if err != nil {
+			t.Fatalf("%s (scan): %v", q, err)
+		}
+		if a.Len() != b.Len() {
+			t.Errorf("%s: indexed %d rows, scan %d rows", q, a.Len(), b.Len())
+			continue
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				av, bv := a.Rows[i][j].Text().Raw(), b.Rows[i][j].Text().Raw()
+				if av != bv {
+					t.Errorf("%s: row %d col %d: indexed %q, scan %q", q, i, j, av, bv)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexMaintainedByWrites(t *testing.T) {
+	db := seedTable(t, true, 100)
+
+	// UPDATE moves a row to a different bucket.
+	if _, err := db.QueryRaw("UPDATE items SET id = 1000 WHERE id = 42"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryRaw("SELECT name FROM items WHERE id = 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Get(0, "name").Str.Raw() != "item-42" {
+		t.Fatalf("update-by-key not visible through index: %d rows", res.Len())
+	}
+	if res, _ := db.QueryRaw("SELECT id FROM items WHERE id = 42"); res.Len() != 0 {
+		t.Error("old index bucket still matches after UPDATE")
+	}
+
+	// DELETE shifts positions; indexes must be rebuilt.
+	if _, err := db.QueryRaw("DELETE FROM items WHERE grp = 0"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.QueryRaw("SELECT name FROM items WHERE id = 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Get(0, "name").Str.Raw() != "item-99" {
+		t.Fatalf("index stale after DELETE: %d rows", res.Len())
+	}
+	if res, _ := db.QueryRaw("SELECT id FROM items WHERE grp = 0"); res.Len() != 0 {
+		t.Error("deleted rows still reachable through index")
+	}
+
+	// INSERT lands in the right bucket.
+	db.MustExec("INSERT INTO items (id, name, grp) VALUES (555, 'new', 5)")
+	res, err = db.QueryRaw("SELECT name FROM items WHERE id = 555")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("inserted row not reachable through index: %d rows", res.Len())
+	}
+}
+
+func TestIndexDDLErrors(t *testing.T) {
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (a TEXT)")
+	db.MustExec("CREATE INDEX ON t (a)")
+	if _, err := db.QueryRaw("CREATE INDEX ON t (a)"); err == nil {
+		t.Error("duplicate CREATE INDEX must fail")
+	}
+	if _, err := db.QueryRaw("CREATE INDEX ON t (missing)"); err == nil {
+		t.Error("CREATE INDEX on unknown column must fail")
+	}
+	if _, err := db.QueryRaw("CREATE INDEX ON missing (a)"); err == nil {
+		t.Error("CREATE INDEX on unknown table must fail")
+	}
+	if _, err := db.QueryRaw("DROP INDEX ON t (a)"); err != nil {
+		t.Errorf("DROP INDEX: %v", err)
+	}
+	if _, err := db.QueryRaw("DROP INDEX ON t (a)"); err == nil {
+		t.Error("dropping a missing index must fail")
+	}
+	cols, err := db.Engine().Indexes("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 0 {
+		t.Errorf("indexes remain after drop: %v", cols)
+	}
+}
+
+// TestIndexOnPolicyColumnTable checks that indexes coexist with the
+// filter's shadow policy columns: the index is declared on the data
+// column, lookups go through the filter, and policies survive.
+func TestIndexedLookupAttachesPolicies(t *testing.T) {
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (id INT, secret TEXT)")
+	db.MustExec("CREATE INDEX ON t (id)")
+	p := &passwordPolicy{Email: "ix@test"}
+	q := core.Concat(
+		core.NewString("INSERT INTO t (id, secret) VALUES (7, '"),
+		core.NewStringPolicy("hunter2", p),
+		core.NewString("')"),
+	)
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryRaw("SELECT secret FROM t WHERE id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("got %d rows", res.Len())
+	}
+	cell := res.Get(0, "secret")
+	if !cell.Str.IsTainted() {
+		t.Fatal("policy lost through the indexed lookup path")
+	}
+}
+
+// TestConcurrentReadersDuringIndexMaintainingWrites is the -race
+// coverage for the engine's reader/writer split: parallel SELECTs (read
+// lock, index probes) race against writers that insert, update, delete,
+// and create/drop indexes (write lock, index maintenance). The test
+// asserts nothing about interleaving — it exists to let the race
+// detector see the engine under concurrent load.
+func TestConcurrentReadersDuringIndexMaintainingWrites(t *testing.T) {
+	db := seedTable(t, true, 300)
+	const readers = 4
+	const writers = 2
+	const iters = 150
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := fmt.Sprintf("SELECT name FROM items WHERE id = %d", (i*7+r)%400)
+				if _, err := db.QueryRaw(q); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if _, err := db.QueryRaw(fmt.Sprintf("SELECT id FROM items WHERE grp = %d LIMIT 5", i%10)); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				base := 1000 + w*iters + i
+				if _, err := db.QueryRaw(fmt.Sprintf("INSERT INTO items (id, name, grp) VALUES (%d, 'w', %d)", base, i%10)); err != nil {
+					t.Errorf("writer insert: %v", err)
+					return
+				}
+				if _, err := db.QueryRaw(fmt.Sprintf("UPDATE items SET grp = %d WHERE id = %d", (i+1)%10, base)); err != nil {
+					t.Errorf("writer update: %v", err)
+					return
+				}
+				if i%10 == 9 {
+					if _, err := db.QueryRaw(fmt.Sprintf("DELETE FROM items WHERE id = %d", base-5)); err != nil {
+						t.Errorf("writer delete: %v", err)
+						return
+					}
+				}
+				if w == 0 && i%50 == 25 {
+					// DDL churn: drop and recreate an index mid-flight
+					// (only one writer, so the pair never collides with
+					// itself).
+					if _, err := db.QueryRaw("DROP INDEX ON items (grp)"); err != nil {
+						t.Errorf("drop index: %v", err)
+						return
+					}
+					if _, err := db.QueryRaw("CREATE INDEX ON items (grp)"); err != nil {
+						t.Errorf("create index: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -3,9 +3,19 @@ package sqldb
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"resin/internal/core"
 )
+
+// parseCalls counts ParseTokens invocations. The plan cache's contract is
+// that a cache hit never parses; tests and benchmarks observe the counter
+// through ParseCount to pin that down.
+var parseCalls atomic.Uint64
+
+// ParseCount returns the number of ParseTokens invocations so far in this
+// process (including those made through Parse and ParseAutoSanitized).
+func ParseCount() uint64 { return parseCalls.Load() }
 
 // ParseError is a syntax error with the offending token.
 type ParseError struct {
@@ -32,6 +42,7 @@ func Parse(q core.String) (Statement, error) {
 // ParseTokens parses an already-lexed token stream; the auto-sanitizing
 // filter mode uses it with the taint-aware tokenizer.
 func ParseTokens(toks []Token) (Statement, error) {
+	parseCalls.Add(1)
 	p := &parser{toks: toks}
 	stmt, err := p.parseStatement()
 	if err != nil {
@@ -313,6 +324,13 @@ func (p *parser) parseDelete() (Statement, error) {
 
 func (p *parser) parseCreate() (Statement, error) {
 	p.next() // CREATE
+	if p.acceptKeyword("INDEX") {
+		table, col, err := p.parseIndexTarget()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateIndex{Table: table, Column: col}, nil
+	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
@@ -358,6 +376,13 @@ func (p *parser) parseCreate() (Statement, error) {
 
 func (p *parser) parseDrop() (Statement, error) {
 	p.next() // DROP
+	if p.acceptKeyword("INDEX") {
+		table, col, err := p.parseIndexTarget()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Table: table, Column: col}, nil
+	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
@@ -366,6 +391,29 @@ func (p *parser) parseDrop() (Statement, error) {
 		return nil, err
 	}
 	return &DropTable{Table: table}, nil
+}
+
+// parseIndexTarget parses the "ON t (col)" tail shared by CREATE INDEX
+// and DROP INDEX.
+func (p *parser) parseIndexTarget() (table, col string, err error) {
+	if err := p.expectKeyword("ON"); err != nil {
+		return "", "", err
+	}
+	table, err = p.expectIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return "", "", err
+	}
+	col, err = p.expectIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return "", "", err
+	}
+	return table, col, nil
 }
 
 // Expression grammar: or-expr := and-expr (OR and-expr)* ;
@@ -474,6 +522,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case TokIdent:
 		p.next()
 		return &ColumnRef{Name: t.Text}, nil
+	case TokParam:
+		p.next()
+		return &Param{Idx: t.ParamIdx}, nil
 	case TokKeyword:
 		if t.Keyword() == "NULL" {
 			p.next()

@@ -1,0 +1,377 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"resin/internal/core"
+)
+
+// The plan cache: prepared statements without a prepare API.
+//
+// Applications in this codebase (and the PHP applications the paper
+// interposes on) issue the same query *shapes* over and over with
+// different literal values — HotCRP's per-row SELECTs, the forum's
+// per-message lookups. The seed engine re-tokenized and re-parsed every
+// one. The plan cache instead keys on the canonical token stream with
+// string and number literals replaced by parameter slots, parses that
+// parameterized stream once into a template AST, and on every later hit
+// binds the current literal tokens into a fresh statement — no parser
+// involved (ParseCount pins this down in tests).
+//
+// Literal values still flow through per execution, carrying their
+// per-character policies, so taint tracking and policy persistence are
+// unaffected by caching: only the *structure* is reused, and structure
+// is exactly the part the injection assertions require to be untrusted-
+// free.
+//
+// Schema-derived state (which policy columns exist for the statement's
+// table) is cached per plan keyed on the engine's schema generation;
+// any CREATE/DROP of a table or index stamps a fresh generation, so
+// plans recompile their schema conclusions instead of reusing stale
+// ones (see docs/SQL.md for the invalidation rules).
+
+// planCacheCap bounds the number of cached templates. Applications use a
+// fixed set of query shapes, so the cap exists only to keep adversarial
+// or generated workloads from growing the table without bound; at cap
+// the cache is flushed wholesale (the established idiom here: churn
+// costs a periodic re-warm, never a permanently disabled cache).
+const planCacheCap = 1024
+
+// planModeStandard and planModeAutoSanitize prefix cache keys so the two
+// tokenizers (Lex and LexAutoSanitize) never share a template: the same
+// raw bytes can tokenize differently under the auto-sanitizing lexer.
+const (
+	planModeStandard     = 'n'
+	planModeAutoSanitize = 'a'
+)
+
+// PlanCacheStats reports plan cache effectiveness. Invalidations counts
+// schema-generation misses: executions that found a cached template but
+// had to recompute its schema-derived state because a CREATE/DROP ran
+// since it was compiled.
+type PlanCacheStats struct {
+	Hits, Misses, Invalidations uint64
+}
+
+// cachedPlan is one compiled query template.
+type cachedPlan struct {
+	tmpl  Statement // parameterized AST; shared, never mutated
+	nlits int
+
+	// Schema-derived compilation state, guarded by mu: pcols is the
+	// policy-column set of the statement's table as of generation gen.
+	mu    sync.Mutex
+	gen   uint64
+	pcols map[string]bool
+}
+
+// planCache maps parameterized token-stream keys to compiled templates.
+// The map is read-mostly (every query looks up, only compiles insert),
+// so lookups take the read lock and concurrent cached SELECTs stay
+// parallel end to end — the engine's own read path runs under RLock too.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[string]*cachedPlan
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[string]*cachedPlan, 64)}
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// reset empties the cache (tests and benchmarks).
+func (c *planCache) reset() {
+	c.mu.Lock()
+	c.m = make(map[string]*cachedPlan, 64)
+	c.mu.Unlock()
+}
+
+// literalSlots classifies which tokens of a stream are bindable literal
+// slots. It is the single source of truth for planKey and parameterize:
+// both derive from it, so slot numbering in templates can never drift
+// from the key's '?' positions. String and number literals are slots,
+// except LIMIT counts — the parser folds those into the plan itself, so
+// they cannot be bound per execution; distinct limits simply get
+// distinct plans.
+func literalSlots(toks []Token) []bool {
+	slots := make([]bool, len(toks))
+	prevLimit := false
+	for i, t := range toks {
+		slots[i] = t.Type == TokString || (t.Type == TokNumber && !prevLimit)
+		prevLimit = t.Type == TokKeyword && t.Keyword() == "LIMIT"
+	}
+	return slots
+}
+
+// planKey renders the canonical parameterized form of a token stream:
+// keywords upper-cased, identifiers lower-cased, literal slots replaced
+// by '?' (their tokens collected into lits), tokens separated by NUL.
+func planKey(toks []Token, mode byte) (key string, lits []Token) {
+	slots := literalSlots(toks)
+	var b strings.Builder
+	b.Grow(len(toks) * 8)
+	b.WriteByte(mode)
+	for i, t := range toks {
+		if t.Type == TokEOF {
+			break
+		}
+		b.WriteByte(0)
+		switch {
+		case slots[i]:
+			b.WriteByte('?')
+			lits = append(lits, t)
+		case t.Type == TokKeyword:
+			b.WriteString(t.Keyword())
+		case t.Type == TokIdent:
+			b.WriteString(strings.ToLower(t.Text))
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), lits
+}
+
+// parameterize rewrites the literal slots of a stream into TokParam
+// tokens numbered in stream order (the same order planKey collects
+// lits, by construction from the shared literalSlots classification).
+func parameterize(toks []Token) []Token {
+	slots := literalSlots(toks)
+	out := make([]Token, len(toks))
+	idx := 0
+	for i, t := range toks {
+		if slots[i] {
+			out[i] = Token{Type: TokParam, Text: "?", Start: t.Start, End: t.End, ParamIdx: idx}
+			idx++
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// litExpr converts a literal token into its AST node, exactly as
+// parsePrimary would have: the tracked Value carries the literal's
+// per-character policies into the statement.
+func litExpr(t Token) (Expr, error) {
+	switch t.Type {
+	case TokString:
+		return &StringLit{Val: t.Value}, nil
+	case TokNumber:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &ParseError{Offset: t.Start, Msg: fmt.Sprintf("bad number %q", t.Text)}
+		}
+		return &IntLit{Val: v, Src: t.Value}, nil
+	default:
+		return nil, fmt.Errorf("sqldb: plan literal slot bound to %s token", t.Type)
+	}
+}
+
+// bindExpr clones an expression template, substituting Param slots with
+// the current literal tokens. Literal-free subtrees are shared — the
+// engine never mutates statements.
+func bindExpr(ex Expr, lits []Token) (Expr, error) {
+	switch v := ex.(type) {
+	case nil:
+		return nil, nil
+	case *Param:
+		if v.Idx < 0 || v.Idx >= len(lits) {
+			return nil, fmt.Errorf("sqldb: plan parameter ?%d out of range", v.Idx)
+		}
+		return litExpr(lits[v.Idx])
+	case *Binary:
+		l, err := bindExpr(v.L, lits)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(v.R, lits)
+		if err != nil {
+			return nil, err
+		}
+		if l == v.L && r == v.R {
+			return v, nil
+		}
+		return &Binary{Op: v.Op, L: l, R: r}, nil
+	case *Unary:
+		x, err := bindExpr(v.X, lits)
+		if err != nil {
+			return nil, err
+		}
+		if x == v.X {
+			return v, nil
+		}
+		return &Unary{Op: v.Op, X: x}, nil
+	default:
+		return ex, nil
+	}
+}
+
+// bindStatement instantiates a plan template with the literal tokens of
+// the current query.
+func bindStatement(tmpl Statement, lits []Token) (Statement, error) {
+	switch s := tmpl.(type) {
+	case *Select:
+		w, err := bindExpr(s.Where, lits)
+		if err != nil {
+			return nil, err
+		}
+		if w == s.Where {
+			return s, nil
+		}
+		out := *s
+		out.Where = w
+		return &out, nil
+	case *Insert:
+		rows := make([][]Expr, len(s.Rows))
+		for i, row := range s.Rows {
+			out := make([]Expr, len(row))
+			for j, ex := range row {
+				b, err := bindExpr(ex, lits)
+				if err != nil {
+					return nil, err
+				}
+				out[j] = b
+			}
+			rows[i] = out
+		}
+		return &Insert{Table: s.Table, Columns: s.Columns, Rows: rows}, nil
+	case *Update:
+		set := make([]Assignment, len(s.Set))
+		for i, a := range s.Set {
+			v, err := bindExpr(a.Value, lits)
+			if err != nil {
+				return nil, err
+			}
+			set[i] = Assignment{Column: a.Column, Value: v}
+		}
+		w, err := bindExpr(s.Where, lits)
+		if err != nil {
+			return nil, err
+		}
+		return &Update{Table: s.Table, Set: set, Where: w}, nil
+	case *Delete:
+		w, err := bindExpr(s.Where, lits)
+		if err != nil {
+			return nil, err
+		}
+		if w == s.Where {
+			return s, nil
+		}
+		return &Delete{Table: s.Table, Where: w}, nil
+	default:
+		// CREATE/DROP TABLE and CREATE/DROP INDEX carry no literal
+		// slots; the template is the statement.
+		return tmpl, nil
+	}
+}
+
+// prepare resolves a token stream to an executable statement, through
+// the cache when possible. On a hit the parser is never invoked; on a
+// miss the parameterized stream is parsed once and the template cached.
+// Any template trouble (a shape the binder cannot reconstruct, a parse
+// error against the parameterized stream) falls back to parsing the
+// original tokens directly, so the cache can only ever add performance,
+// never change behavior — including error messages, which come from the
+// original token stream.
+func (c *planCache) prepare(toks []Token, mode byte) (Statement, *cachedPlan, error) {
+	key, lits := planKey(toks, mode)
+
+	c.mu.RLock()
+	plan := c.m[key]
+	c.mu.RUnlock()
+	if plan != nil {
+		if plan.nlits == len(lits) {
+			if stmt, err := bindStatement(plan.tmpl, lits); err == nil {
+				c.hits.Add(1)
+				return stmt, plan, nil
+			}
+		}
+		// Bind failure: fall through to a fresh parse of the original
+		// tokens (and leave the entry; a transient literal problem like
+		// an overflowing number must not evict a good template).
+	}
+	c.misses.Add(1)
+
+	tmpl, err := ParseTokens(parameterize(toks))
+	if err != nil {
+		// Report errors against the original stream so messages match
+		// the uncached parser exactly.
+		stmt, err := ParseTokens(toks)
+		return stmt, nil, err
+	}
+	stmt, err := bindStatement(tmpl, lits)
+	if err != nil {
+		stmt, err := ParseTokens(toks)
+		return stmt, nil, err
+	}
+	plan = &cachedPlan{tmpl: tmpl, nlits: len(lits)}
+	c.mu.Lock()
+	if len(c.m) >= planCacheCap {
+		c.m = make(map[string]*cachedPlan, 64)
+	}
+	if existing, ok := c.m[key]; ok {
+		plan = existing // racing compile: keep the installed one
+	} else {
+		c.m[key] = plan
+	}
+	c.mu.Unlock()
+	return stmt, plan, nil
+}
+
+// prepareQuery lexes q with the requested tokenizer and resolves it
+// through the cache, with the same error semantics as Parse /
+// ParseAutoSanitized.
+func (c *planCache) prepareQuery(q core.String, auto bool) (Statement, *cachedPlan, error) {
+	if auto {
+		toks, err := LexAutoSanitize(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		stmt, plan, err := c.prepare(toks, planModeAutoSanitize)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sqldb: auto-sanitized parse: %w", err)
+		}
+		return stmt, plan, nil
+	}
+	toks, err := Lex(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.prepare(toks, planModeStandard)
+}
+
+// pcolsFor returns the cached policy-column set of the plan's table for
+// engine's current schema, recompiling it when the schema generation
+// moved (the plan-cache invalidation rule: any CREATE/DROP of a table
+// or index invalidates every plan's schema-derived state).
+func (c *planCache) pcolsFor(plan *cachedPlan, engine *Engine, table string) map[string]bool {
+	gen := engine.SchemaGen()
+	plan.mu.Lock()
+	defer plan.mu.Unlock()
+	if plan.gen != gen || plan.pcols == nil {
+		if plan.gen != 0 {
+			c.invalidations.Add(1)
+		}
+		plan.pcols = policyColSet(engine, table)
+		if plan.pcols == nil {
+			plan.pcols = map[string]bool{}
+		}
+		plan.gen = gen
+	}
+	return plan.pcols
+}

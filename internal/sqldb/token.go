@@ -8,6 +8,13 @@
 // The lexer operates on tracked strings so every token knows the byte
 // range it came from; that is what lets the filter ask "do any characters
 // in the query's *structure* carry the UntrustedData policy?".
+//
+// Execution goes through a query-planning layer: a plan cache keyed on
+// the parameterized token stream (plan.go) skips re-parsing repeated
+// query shapes, and equality hash indexes declared with CREATE INDEX
+// (engine.go) serve `col = literal` point lookups without scanning. The
+// supported dialect, the shadow policy-column encoding, and the plan
+// cache and index semantics are specified in docs/SQL.md.
 package sqldb
 
 import (
@@ -33,6 +40,9 @@ const (
 	TokRParen
 	TokStar
 	TokSemi
+	// TokParam is a literal slot in a parameterized plan-template token
+	// stream (see plan.go); the lexers never produce it from query text.
+	TokParam
 )
 
 func (t TokenType) String() string {
@@ -59,6 +69,8 @@ func (t TokenType) String() string {
 		return "*"
 	case TokSemi:
 		return ";"
+	case TokParam:
+		return "parameter"
 	default:
 		return "unknown"
 	}
@@ -88,6 +100,8 @@ type Token struct {
 	Value core.String
 	// Start and End delimit the token's byte range in the query source.
 	Start, End int
+	// ParamIdx is the literal slot index for TokParam tokens.
+	ParamIdx int
 }
 
 // Keyword returns the upper-cased text for keyword comparison.
@@ -103,6 +117,7 @@ var keywords = map[string]bool{
 	"LIMIT": true, "AND": true, "OR": true, "NOT": true,
 	"NULL": true, "LIKE": true, "TEXT": true,
 	"INT": true, "INTEGER": true,
+	"INDEX": true, "ON": true,
 }
 
 // LexError is a tokenization error with its byte offset.

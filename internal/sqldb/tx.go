@@ -43,19 +43,33 @@ func (v *View) Query(q core.String) (*Result, error) {
 func (v *View) QueryRaw(q string) (*Result, error) { return v.Query(core.NewString(q)) }
 
 // Clone deep-copies the engine's tables (rows copied, values are plain
-// data).
+// data), including their hash indexes. The clone keeps the source's
+// schema generation: the schemas are identical, so cached plans compiled
+// against the source stay valid for the clone until either side runs
+// DDL (which stamps a fresh process-unique generation).
 func (e *Engine) Clone() *Engine {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	out := NewEngine()
 	for key, t := range e.tables {
-		nt := &table{name: t.name, cols: append([]ColumnDef(nil), t.cols...)}
+		nt := newTable(t.name, append([]ColumnDef(nil), t.cols...))
 		nt.rows = make([][]value, len(t.rows))
 		for i, row := range t.rows {
 			nt.rows[i] = append([]value(nil), row...)
 		}
+		if len(t.indexes) > 0 {
+			nt.indexes = make(map[int]*hashIndex, len(t.indexes))
+			for ci, ix := range t.indexes {
+				m := make(map[string][]int, len(ix.m))
+				for k, bucket := range ix.m {
+					m[k] = append([]int(nil), bucket...)
+				}
+				nt.indexes[ci] = &hashIndex{m: m}
+			}
+		}
 		out.tables[key] = nt
 	}
+	out.gen.Store(e.gen.Load())
 	return out
 }
 
@@ -123,7 +137,7 @@ func (tx *Tx) Query(q core.String) (*Result, error) {
 			return res, nil
 		}
 	}
-	stmt, err := Parse(q)
+	stmt, _, err := tx.db.filter.planner().prepareQuery(q, false)
 	if err != nil {
 		return nil, err
 	}
