@@ -390,6 +390,61 @@ func BenchmarkSQLPlanCache(b *testing.B) {
 	})
 }
 
+// BenchmarkSQLPreparedLookup measures the prepared-statement execution
+// path against the warm text path on the same indexed point lookup.
+// "prepared" binds the key into the compiled plan — the parses/op and
+// tokenizes/op metrics must both be 0 — while "text-warm" re-tokenizes
+// every iteration and resolves through the plan cache (itself already
+// parse-free when warm). Prepared execution must be no slower than the
+// warm plan-cache path.
+func BenchmarkSQLPreparedLookup(b *testing.B) {
+	const nrows = 500
+	b.Run("prepared", func(b *testing.B) {
+		db := newLargeSQLTable(b, nrows, true)
+		stmt, err := db.PrepareRaw("SELECT name, bio FROM users WHERE id = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stmt.Query(0); err != nil { // warm the schema-derived plan state
+			b.Fatal(err)
+		}
+		parse0, lex0 := sqldb.ParseCount(), sqldb.TokenizeCount()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := stmt.Query(i % nrows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() != 1 || !res.Get(0, "name").Str.IsTainted() {
+				b.Fatalf("row %d: %d rows", i%nrows, res.Len())
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sqldb.ParseCount()-parse0)/float64(b.N), "parses/op")
+		b.ReportMetric(float64(sqldb.TokenizeCount()-lex0)/float64(b.N), "tokenizes/op")
+	})
+	b.Run("text-warm", func(b *testing.B) {
+		db := newLargeSQLTable(b, nrows, true)
+		db.MustExec("SELECT name, bio FROM users WHERE id = 0") // compile the plan
+		parse0, lex0 := sqldb.ParseCount(), sqldb.TokenizeCount()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.QueryRaw(fmt.Sprintf("SELECT name, bio FROM users WHERE id = %d", i%nrows))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() != 1 {
+				b.Fatalf("row %d: %d rows", i%nrows, res.Len())
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sqldb.ParseCount()-parse0)/float64(b.N), "parses/op")
+		b.ReportMetric(float64(sqldb.TokenizeCount()-lex0)/float64(b.N), "tokenizes/op")
+	})
+}
+
 // BenchmarkAblation_SQLPolicyColumns measures how the SQL filter's
 // rewriting cost scales with column count (the paper: "RESIN's overhead
 // is related to the size of the query, and the number of columns that

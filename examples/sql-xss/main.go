@@ -39,6 +39,20 @@ func main() {
 	res, err := db.Query(ok)
 	fmt.Printf("properly quoted:       rows=%d err=%v\n", res.Len(), err)
 
+	// The prepared-statement API goes further: the tainted input binds
+	// into a `?` slot as a value, so it cannot reshape the query no
+	// matter what it contains — no quoting call, nothing to forget. The
+	// assertions stay on as defense in depth, and they skip bound slots
+	// by construction (the query text holds only `?`).
+	stmt, err := db.Prepare(core.NewString("SELECT name, role FROM users WHERE name = ?"))
+	if err != nil {
+		panic(err)
+	}
+	res, err = stmt.Query(evil)
+	fmt.Printf("bound via ?:           rows=%d err=%v (payload is just a value)\n", res.Len(), err)
+	res, err = stmt.Query(core.NewString("bob"))
+	fmt.Printf("bound benign lookup:   rows=%d err=%v\n", res.Len(), err)
+
 	// Strategy 1 additionally demands the sanitized marker everywhere.
 	db.Filter().RequireSanitizedMarkers(true)
 	benign := sanitize.Taint(core.NewString("bob"), "form:name")

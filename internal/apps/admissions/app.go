@@ -26,6 +26,15 @@ type App struct {
 	Server *httpd.Server
 
 	assertions bool
+
+	// Prepared statements for the correctly-written pages: binding
+	// makes injection through these structurally impossible, and the
+	// strategy-2 assertion skips bound slots by construction (the
+	// query text holds only `?`). The three buggy committee handlers
+	// below keep their faithful string splicing — they are what the
+	// assertion is evaluated against.
+	selView  *sqldb.Stmt
+	selScore *sqldb.Stmt
 }
 
 // New builds the admissions system: applicant records plus the internal
@@ -44,6 +53,8 @@ func New(rt *core.Runtime, withAssertions bool) *App {
 		"(1, 'alice chen', '4.9', 91, 'strong systems background'), " +
 		"(2, 'bob iyer', '4.7', 84, 'great letters'), " +
 		"(3, 'carol novak', '4.8', 88, 'TOP SECRET: borderline case')")
+	a.selView = a.DB.MustPrepare("SELECT name, score, comment FROM applicants WHERE name = ?")
+	a.selScore = a.DB.MustPrepare("SELECT score FROM applicants WHERE id = ?")
 	if withAssertions {
 		a.enableInjectionAssertion()
 	}
@@ -112,12 +123,11 @@ func (a *App) handleComment(req *httpd.Request, resp *httpd.Response) error {
 	return resp.WriteRaw(fmt.Sprintf("updated %d", res.Affected))
 }
 
-// handleView is a correctly written page (quoting via the sanitizer), for
-// checking that the assertion does not break legitimate queries.
+// handleView is a correctly written page (the applicant name binds as a
+// value), for checking that the assertion does not break legitimate
+// queries.
 func (a *App) handleView(req *httpd.Request, resp *httpd.Response) error {
-	q := core.Format("SELECT name, score, comment FROM applicants WHERE name = %s",
-		sanitize.SQLQuote(req.Param("name")))
-	res, err := a.DB.Query(q)
+	res, err := a.selView.Query(req.Param("name"))
 	if err != nil {
 		return err
 	}
@@ -133,7 +143,7 @@ func (a *App) handleView(req *httpd.Request, resp *httpd.Response) error {
 
 // Score returns an applicant's current score (test helper).
 func (a *App) Score(id int) int64 {
-	res, err := a.DB.Query(core.Format("SELECT score FROM applicants WHERE id = %d", int64(id)))
+	res, err := a.selScore.Query(id)
 	if err != nil || res.Len() == 0 {
 		return -1
 	}

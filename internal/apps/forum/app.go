@@ -53,6 +53,20 @@ type App struct {
 	nextID int
 
 	assertions bool
+
+	// Prepared statements for the hot paths (docs/SQL.md §6): user
+	// input binds as values into `?` slots, so none of these can be
+	// reshaped by it — the remaining Table 4 bugs in this app are
+	// access-control and XSS bugs, which binding does not paper over.
+	insForum   *sqldb.Stmt
+	selReaders *sqldb.Stmt
+	insMessage *sqldb.Stmt
+	selMessage *sqldb.Stmt
+	selTopic   *sqldb.Stmt
+	insUser    *sqldb.Stmt
+	updSig     *sqldb.Stmt
+	selSig     *sqldb.Stmt
+	selSearch  *sqldb.Stmt
 }
 
 // New builds a forum over rt: schema, seed data, and handlers (including
@@ -74,6 +88,16 @@ func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
 	a.DB.MustExec("CREATE INDEX ON users (name)")
 	a.DB.MustExec("CREATE INDEX ON forums (id)")
 	a.DB.MustExec("CREATE INDEX ON messages (forum)")
+
+	a.insForum = a.DB.MustPrepare("INSERT INTO forums (id, name, readers) VALUES (?, ?, ?)")
+	a.selReaders = a.DB.MustPrepare("SELECT readers FROM forums WHERE id = ?")
+	a.insMessage = a.DB.MustPrepare("INSERT INTO messages (id, forum, author, subject, body) VALUES (?, ?, ?, ?, ?)")
+	a.selMessage = a.DB.MustPrepare("SELECT forum, author, subject, body FROM messages WHERE id = ?")
+	a.selTopic = a.DB.MustPrepare("SELECT subject, body, author FROM messages WHERE forum = ? ORDER BY id")
+	a.insUser = a.DB.MustPrepare("INSERT INTO users (name, signature) VALUES (?, '')")
+	a.updSig = a.DB.MustPrepare("UPDATE users SET signature = ? WHERE name = ?")
+	a.selSig = a.DB.MustPrepare("SELECT signature FROM users WHERE name = ?")
+	a.selSearch = a.DB.MustPrepare("SELECT subject, body FROM messages WHERE body LIKE ? ORDER BY id")
 
 	if withAssertions {
 		a.enableXSSAssertion()
@@ -105,17 +129,14 @@ func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
 
 // AddForum stores a forum definition.
 func (a *App) AddForum(f Forum) {
-	q := core.Format("INSERT INTO forums (id, name, readers) VALUES (%d, %s, %s)",
-		int64(f.ID), sanitize.SQLQuote(core.NewString(f.Name)),
-		sanitize.SQLQuote(core.NewString(strings.Join(f.Readers, ","))))
-	if _, err := a.DB.Query(q); err != nil {
+	if _, err := a.insForum.Exec(f.ID, f.Name, strings.Join(f.Readers, ",")); err != nil {
 		panic(fmt.Sprintf("forum: seed forum: %v", err))
 	}
 }
 
 // forumReaders returns a forum's reader list.
 func (a *App) forumReaders(id int) ([]string, error) {
-	res, err := a.DB.Query(core.Format("SELECT readers FROM forums WHERE id = %d", int64(id)))
+	res, err := a.selReaders.Query(id)
 	if err != nil {
 		return nil, err
 	}
@@ -152,10 +173,7 @@ func (a *App) storeMessage(m Message, subject, body core.String) (int, error) {
 		subject = a.RT.PolicyAdd(subject, mp)
 		body = a.RT.PolicyAdd(body, mp)
 	}
-	q := core.Format("INSERT INTO messages (id, forum, author, subject, body) VALUES (%d, %d, %s, %s, %s)",
-		int64(id), int64(m.Forum), sanitize.SQLQuote(core.NewString(m.Author)),
-		sanitize.SQLQuote(subject), sanitize.SQLQuote(body))
-	if _, err := a.DB.Query(q); err != nil {
+	if _, err := a.insMessage.Exec(id, m.Forum, m.Author, subject, body); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -169,8 +187,7 @@ func (a *App) seedMessage(m Message) {
 
 // fetchMessage returns (forum, author, subject, body) for a message id.
 func (a *App) fetchMessage(id int) (int, string, core.String, core.String, error) {
-	res, err := a.DB.Query(core.Format(
-		"SELECT forum, author, subject, body FROM messages WHERE id = %d", int64(id)))
+	res, err := a.selMessage.Query(id)
 	if err != nil {
 		return 0, "", core.String{}, core.String{}, err
 	}
@@ -196,10 +213,8 @@ func intParam(req *httpd.Request, name string) (int, error) {
 
 // handleRegister creates an account.
 func (a *App) handleRegister(req *httpd.Request, resp *httpd.Response) error {
-	name := req.Param("name")
-	q := core.Format("INSERT INTO users (name, signature) VALUES (%s, '')",
-		sanitize.SQLQuote(name))
-	if _, err := a.DB.Query(q); err != nil {
+	// The (tainted) name binds as a value; no quoting call needed.
+	if _, err := a.insUser.Exec(req.Param("name")); err != nil {
 		return err
 	}
 	return resp.WriteRaw("registered")
@@ -209,9 +224,7 @@ func (a *App) handleRegister(req *httpd.Request, resp *httpd.Response) error {
 // persisted with its taint).
 func (a *App) handleSetSig(req *httpd.Request, resp *httpd.Response) error {
 	user := annotate(req, resp)
-	q := core.Format("UPDATE users SET signature = %s WHERE name = %s",
-		sanitize.SQLQuote(req.Param("sig")), sanitize.SQLQuote(core.NewString(user)))
-	if _, err := a.DB.Query(q); err != nil {
+	if _, err := a.updSig.Exec(req.Param("sig"), user); err != nil {
 		return err
 	}
 	return resp.WriteRaw("saved")
@@ -260,8 +273,7 @@ func (a *App) handleTopic(req *httpd.Request, resp *httpd.Response) error {
 		resp.Status = 403
 		return fmt.Errorf("forum: %s may not read forum %d", user, forumID)
 	}
-	res, err := a.DB.Query(core.Format(
-		"SELECT subject, body, author FROM messages WHERE forum = %d ORDER BY id", int64(forumID)))
+	res, err := a.selTopic.Query(forumID)
 	if err != nil {
 		return err
 	}
@@ -356,8 +368,7 @@ func (a *App) handlePrintView(req *httpd.Request, resp *httpd.Response) error {
 // (known XSS #1).
 func (a *App) handleProfile(req *httpd.Request, resp *httpd.Response) error {
 	annotate(req, resp)
-	res, err := a.DB.Query(core.Format("SELECT signature FROM users WHERE name = %s",
-		sanitize.SQLQuote(req.Param("user"))))
+	res, err := a.selSig.Query(req.Param("user"))
 	if err != nil {
 		return err
 	}
@@ -416,9 +427,7 @@ func (a *App) pluginSearch(req *httpd.Request, resp *httpd.Response) error {
 	if werr := resp.Write(core.Format("<h2>Results for %s</h2>", q)); werr != nil {
 		return werr
 	}
-	res, err := a.DB.Query(core.Format(
-		"SELECT subject, body FROM messages WHERE body LIKE %s ORDER BY id",
-		sanitize.SQLQuote(core.Concat(core.NewString("%"), q, core.NewString("%")))))
+	res, err := a.selSearch.Query(core.Concat(core.NewString("%"), q, core.NewString("%")))
 	if err != nil {
 		return err
 	}

@@ -63,21 +63,24 @@ func init() {
 // Call before adding reviews.
 func (a *App) EnableReviews() {
 	a.DB.MustExec("CREATE TABLE reviews (paper INT, reviewer TEXT, body TEXT)")
+	a.insReview = a.DB.MustPrepare("INSERT INTO reviews (paper, reviewer, body) VALUES (?, ?, ?)")
+	a.selReviews = a.DB.MustPrepare("SELECT reviewer, body FROM reviews WHERE paper = ?")
 	a.Server.Handle("/reviews", a.handleReviews)
 }
 
 // AddReview stores a review; with assertions on, text and reviewer carry
 // their policies into the database.
 func (a *App) AddReview(paperID int, reviewer, text string) error {
+	if a.insReview == nil {
+		return errors.New("hotcrp: reviews not enabled (call EnableReviews first)")
+	}
 	rv := core.NewString(reviewer)
 	tx := core.NewString(text)
 	if a.assertions {
 		rv = a.RT.PolicyAdd(rv, &ReviewerIdentityPolicy{PaperID: paperID})
 		tx = a.RT.PolicyAdd(tx, &ReviewPolicy{PaperID: paperID})
 	}
-	q := core.Format("INSERT INTO reviews (paper, reviewer, body) VALUES (%d, %s, %s)",
-		int64(paperID), sanitize.SQLQuote(rv), sanitize.SQLQuote(tx))
-	_, err := a.DB.Query(q)
+	_, err := a.insReview.Exec(paperID, rv, tx)
 	return err
 }
 
@@ -93,8 +96,7 @@ func (a *App) handleReviews(req *httpd.Request, resp *httpd.Response) error {
 		resp.Status = 400
 		return fmt.Errorf("hotcrp: bad paper id %q", req.ParamRaw("id"))
 	}
-	res, err := a.DB.Query(core.Format(
-		"SELECT reviewer, body FROM reviews WHERE paper = %d", int64(id)))
+	res, err := a.selReviews.Query(id)
 	if err != nil {
 		return err
 	}

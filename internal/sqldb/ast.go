@@ -140,6 +140,12 @@ type NullLit struct{}
 // The engine rejects unbound parameters.
 type Param struct{ Idx int }
 
+// Placeholder is a `?` binding placeholder from query text: a slot the
+// prepared-statement API fills with a bound argument (tracked or plain)
+// at execution time, numbered by its zero-based ordinal in text order.
+// The engine rejects placeholders that were never bound.
+type Placeholder struct{ Ord int }
+
 // Binary is a binary expression: comparison, AND, OR, LIKE.
 type Binary struct {
 	Op   string // "=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"
@@ -152,13 +158,14 @@ type Unary struct {
 	X  Expr
 }
 
-func (*ColumnRef) exprNode() {}
-func (*StringLit) exprNode() {}
-func (*IntLit) exprNode()    {}
-func (*NullLit) exprNode()   {}
-func (*Param) exprNode()     {}
-func (*Binary) exprNode()    {}
-func (*Unary) exprNode()     {}
+func (*ColumnRef) exprNode()   {}
+func (*StringLit) exprNode()   {}
+func (*IntLit) exprNode()      {}
+func (*NullLit) exprNode()     {}
+func (*Param) exprNode()       {}
+func (*Placeholder) exprNode() {}
+func (*Binary) exprNode()      {}
+func (*Unary) exprNode()       {}
 
 // SQL renderers. Literal strings re-quote with the dialect's escaping.
 
@@ -179,13 +186,14 @@ func quoteSQL(s string) string {
 	return b.String()
 }
 
-func (e *ColumnRef) SQL() string { return e.Name }
-func (e *StringLit) SQL() string { return quoteSQL(e.Val.Raw()) }
-func (e *IntLit) SQL() string    { return strconv.FormatInt(e.Val, 10) }
-func (e *NullLit) SQL() string   { return "NULL" }
-func (e *Param) SQL() string     { return "?" + strconv.Itoa(e.Idx) }
-func (e *Binary) SQL() string    { return "(" + e.L.SQL() + " " + e.Op + " " + e.R.SQL() + ")" }
-func (e *Unary) SQL() string     { return "(" + e.Op + " " + e.X.SQL() + ")" }
+func (e *ColumnRef) SQL() string   { return e.Name }
+func (e *StringLit) SQL() string   { return quoteSQL(e.Val.Raw()) }
+func (e *IntLit) SQL() string      { return strconv.FormatInt(e.Val, 10) }
+func (e *NullLit) SQL() string     { return "NULL" }
+func (e *Param) SQL() string       { return "?" + strconv.Itoa(e.Idx) }
+func (e *Placeholder) SQL() string { return "?" }
+func (e *Binary) SQL() string      { return "(" + e.L.SQL() + " " + e.Op + " " + e.R.SQL() + ")" }
+func (e *Unary) SQL() string       { return "(" + e.Op + " " + e.X.SQL() + ")" }
 
 func (s *CreateTable) SQL() string {
 	var b strings.Builder

@@ -131,9 +131,94 @@ func TestSQLDocCoversEveryStatementForm(t *testing.T) {
 		"CREATE TABLE", "DROP TABLE", "CREATE INDEX", "DROP INDEX",
 		"INSERT INTO", "SELECT", "UPDATE", "DELETE FROM",
 		"ORDER BY", "LIMIT", "WHERE", "LIKE", "NULL",
+		// The binding surface of §6 and the driver facade of §7.
+		"placeholder", "Prepare", "Stmt.Query", "Stmt.Exec",
+		"NumArgs", "resinsql", "sql.Register",
 	} {
 		if !strings.Contains(text, form) {
 			t.Errorf("docs/SQL.md does not document %s", form)
 		}
+	}
+}
+
+// TestFigure4PreparedExampleRoundTrips pins docs/SQL.md §6's prepared
+// worked example: parsing the documented prepared text, binding the
+// documented arguments, and running the Figure 4 rewrite must produce
+// exactly the documented engine-side statement — byte for byte the
+// same INSERT the spliced example produces, proving bound values and
+// spliced literals persist policies identically.
+func TestFigure4PreparedExampleRoundTrips(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SQL.md")
+	if err != nil {
+		t.Fatalf("docs/SQL.md must exist: %v", err)
+	}
+	text := string(data)
+	start := strings.Index(text, "<!-- figure4-prepared:begin -->")
+	end := strings.Index(text, "<!-- figure4-prepared:end -->")
+	if start < 0 || end < 0 || end < start {
+		t.Fatal("docs/SQL.md lost its figure4-prepared:begin/end markers")
+	}
+	var prepared, handed string
+	state := 0
+	for _, line := range strings.Split(text[start:end], "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "-- application prepares:":
+			state = 1
+		case line == "-- the filter hands the engine:":
+			state = 2
+		case strings.HasPrefix(line, "--"), line == "", strings.HasPrefix(line, "```"), strings.HasPrefix(line, "<!--"):
+		default:
+			switch state {
+			case 1:
+				prepared = line
+			case 2:
+				handed = line
+			}
+			state = 0
+		}
+	}
+	if prepared == "" || handed == "" {
+		t.Fatal("figure4-prepared block must pin a prepared statement and its rewrite")
+	}
+
+	// Build the engine state the example assumes (the §3 CREATE).
+	engine := NewEngine()
+	create, err := Parse(core.NewString("CREATE TABLE users (email TEXT, password TEXT)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewrittenCreate, err := RewriteWithPolicies(engine, create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.ExecuteRaw(rewrittenCreate); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the documented prepared text and bind the documented
+	// arguments: a plain email, a tracked password.
+	stmt, err := Parse(core.NewString(prepared))
+	if err != nil {
+		t.Fatalf("documented prepared text does not parse: %v", err)
+	}
+	pol := &docPasswordPolicy{Email: "u@example.org"}
+	bound, err := argExprs([]any{"u@example.org", core.NewStringPolicy("s3cretpw", pol)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err = bindStatement(stmt, nil, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, err := RewriteWithPolicies(engine, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rewritten.SQL(); got != handed {
+		t.Errorf("bound rewrite renders\n  %s\nbut docs/SQL.md pins\n  %s", got, handed)
+	}
+	if _, _, err := engine.ExecuteRaw(rewritten); err != nil {
+		t.Fatalf("execute rewritten: %v", err)
 	}
 }

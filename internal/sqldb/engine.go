@@ -54,7 +54,7 @@ func (v value) String() string {
 type table struct {
 	name    string
 	cols    []ColumnDef
-	colIdx  map[string]int     // lower-cased column name → position
+	colIdx  map[string]int // lower-cased column name → position
 	rows    [][]value
 	indexes map[int]*hashIndex // column position → equality hash index
 }
@@ -335,6 +335,8 @@ func literalValue(ex Expr, typ ColType) (value, error) {
 			return intValue(v.Val), nil
 		}
 		return textValue(strconv.FormatInt(v.Val, 10)), nil
+	case *Placeholder:
+		return value{}, fmt.Errorf("sqldb: unbound placeholder ?%d", v.Ord)
 	default:
 		return value{}, fmt.Errorf("sqldb: expected literal, got %T", ex)
 	}
@@ -609,6 +611,8 @@ func validateExpr(ex Expr, t *table) error {
 		return validateExpr(v.R, t)
 	case *Param:
 		return fmt.Errorf("sqldb: unbound plan parameter ?%d", v.Idx)
+	case *Placeholder:
+		return fmt.Errorf("sqldb: unbound placeholder ?%d", v.Ord)
 	default:
 		return fmt.Errorf("sqldb: unsupported expression %T", ex)
 	}
@@ -656,6 +660,8 @@ func eval(ex Expr, t *table, row []value) (value, error) {
 		return evalBinary(v, t, row)
 	case *Param:
 		return value{}, fmt.Errorf("sqldb: unbound plan parameter ?%d", v.Idx)
+	case *Placeholder:
+		return value{}, fmt.Errorf("sqldb: unbound placeholder ?%d", v.Ord)
 	default:
 		return value{}, fmt.Errorf("sqldb: unsupported expression %T", ex)
 	}

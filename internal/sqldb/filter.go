@@ -31,12 +31,24 @@ type InjectionError struct {
 }
 
 func (e *InjectionError) Error() string {
-	snippet := e.Query
-	if e.End <= len(snippet) && e.Start <= e.End {
-		snippet = snippet[e.Start:e.End]
+	// Clamp both ends into the query's bounds: assertion sites report
+	// offsets from lexers and span walks, and a hostile or truncated
+	// query must render a diagnostic, never panic the error path.
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i > len(e.Query) {
+			return len(e.Query)
+		}
+		return i
+	}
+	start, end := clamp(e.Start), clamp(e.End)
+	if start > end {
+		start = end
 	}
 	return fmt.Sprintf("sqldb: SQL injection assertion (%s) rejected query: untrusted bytes %d..%d (%q)",
-		e.Strategy, e.Start, e.End, snippet)
+		e.Strategy, e.Start, e.End, e.Query[start:end])
 }
 
 // ResinSQLFilter is the default filter object RESIN attaches to the
@@ -112,10 +124,15 @@ func (f *ResinSQLFilter) flags() (s1, s2, auto bool) {
 }
 
 // FilterFunc interposes on the query function: args is {query
-// core.String, engine *Engine}; on success it returns {result *Result}.
+// core.String, engine *Engine} with an optional third element carrying
+// bound `?`-placeholder arguments — either the []Expr of a variadic
+// DB.Query/Tx.Query call, or the *preparedExec of a Stmt execution. On
+// success it returns {result *Result}. Bound arguments travel as
+// values, never as text, so the injection assertions — which inspect
+// the query text — skip bound slots by construction.
 func (f *ResinSQLFilter) FilterFunc(ch *core.Channel, args []any) ([]any, error) {
-	if len(args) != 2 {
-		return nil, fmt.Errorf("sqldb: filter expects (query, engine), got %d args", len(args))
+	if len(args) != 2 && len(args) != 3 {
+		return nil, fmt.Errorf("sqldb: filter expects (query, engine[, bound]), got %d args", len(args))
 	}
 	q, ok := args[0].(core.String)
 	if !ok {
@@ -124,6 +141,17 @@ func (f *ResinSQLFilter) FilterFunc(ch *core.Channel, args []any) ([]any, error)
 	engine, ok := args[1].(*Engine)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: filter arg 1 must be *Engine, got %T", args[1])
+	}
+	var bound []Expr
+	if len(args) == 3 {
+		switch v := args[2].(type) {
+		case *preparedExec:
+			return f.execPrepared(ch, engine, v)
+		case []Expr:
+			bound = v
+		default:
+			return nil, fmt.Errorf("sqldb: filter arg 2 must be bound arguments, got %T", args[2])
+		}
 	}
 
 	s1, s2, auto := f.flags()
@@ -135,21 +163,87 @@ func (f *ResinSQLFilter) FilterFunc(ch *core.Channel, args []any) ([]any, error)
 			}
 		}
 	}
-	if s2 {
-		if err := checkTaintedStructure(q); err != nil {
-			return nil, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: err}
-		}
-	}
 
 	// Tokenize, then resolve through the plan cache: a repeated query
-	// shape binds its literals into the cached template without ever
-	// reaching the parser.
+	// shape binds its literals — and its bound arguments — into the
+	// cached template without ever reaching the parser. The strategy-2
+	// check always judges the standard token stream; on the non-auto
+	// path it shares the single lex with execution.
 	plans := f.planner()
-	stmt, plan, err := plans.prepareQuery(q, auto)
+	var stmt Statement
+	var plan *cachedPlan
+	var err error
+	if auto {
+		if s2 {
+			if cerr := checkTaintedStructure(q); cerr != nil {
+				return nil, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: cerr}
+			}
+		}
+		stmt, plan, err = plans.prepareQuery(q, true, bound)
+	} else {
+		toks, lerr := Lex(q)
+		if s2 {
+			cerr := lerr
+			if cerr == nil {
+				cerr = checkTaintedStructureTokens(q, toks)
+			}
+			if cerr != nil {
+				return nil, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: cerr}
+			}
+		}
+		if lerr != nil {
+			return nil, lerr
+		}
+		stmt, plan, err = plans.prepare(toks, planModeStandard, bound)
+	}
 	if err != nil {
 		return nil, err
 	}
 	res, err := executePlanned(plans, plan, engine, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return []any{res}, nil
+}
+
+// execPrepared executes a prepared statement through the filter: the
+// assertion verdicts were precomputed against the immutable prepared
+// text, binding substitutes argument values into the cached template,
+// and neither the tokenizer nor the parser runs.
+func (f *ResinSQLFilter) execPrepared(ch *core.Channel, engine *Engine, p *preparedExec) ([]any, error) {
+	s1, s2, auto := f.flags()
+	st := p.stmt
+	if s1 && st.s1Found {
+		return nil, &core.AssertionError{
+			Context: ch.Context(), Op: "export_check",
+			Err: &InjectionError{Strategy: "sanitized-markers", Query: st.query.Raw(), Start: st.s1Start, End: st.s1End},
+		}
+	}
+	if s2 && st.s2Err != nil {
+		return nil, &core.AssertionError{Context: ch.Context(), Op: "export_check", Err: st.s2Err}
+	}
+	if auto && st.textUntrusted {
+		// The prepared text itself carries untrusted bytes and the
+		// auto-sanitizing tokenizer is on: re-lex under taint-aware
+		// rules so the untrusted bytes are neutralized exactly as on
+		// the text path. (Prepared text is normally programmer-authored
+		// and untainted; this path trades speed for fidelity.)
+		plans := f.planner()
+		stmt, plan, err := plans.prepareQuery(st.query, true, p.bound)
+		if err != nil {
+			return nil, err
+		}
+		res, err := executePlanned(plans, plan, engine, stmt)
+		if err != nil {
+			return nil, err
+		}
+		return []any{res}, nil
+	}
+	stmt, err := st.bind(p.bound)
+	if err != nil {
+		return nil, err
+	}
+	res, err := executePlanned(f.planner(), st.plan, engine, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +259,12 @@ func checkTaintedStructure(q core.String) error {
 	if err != nil {
 		return err
 	}
+	return checkTaintedStructureTokens(q, toks)
+}
+
+// checkTaintedStructureTokens is checkTaintedStructure over an
+// already-lexed stream (Prepare reuses its one tokenize).
+func checkTaintedStructureTokens(q core.String, toks []Token) error {
 	// Collect the byte ranges occupied by value literals; every tainted
 	// byte must fall inside one of them.
 	type rng struct{ start, end int }
@@ -363,6 +463,8 @@ func annotationFor(e Expr) (Expr, error) {
 		tracked = v.Src
 	case *NullLit:
 		return &NullLit{}, nil
+	case *Placeholder:
+		return nil, fmt.Errorf("sqldb: unbound placeholder ?%d", v.Ord)
 	default:
 		return nil, fmt.Errorf("sqldb: expected literal, got %T", e)
 	}
@@ -600,9 +702,17 @@ func (db *DB) Engine() *Engine {
 }
 
 // Query parses and executes one statement built as a tracked string.
-func (db *DB) Query(q core.String) (*Result, error) {
+// args bind the statement's `?` placeholders by position — tracked
+// values (core.String, core.Int) keep their policies, plain Go values
+// bind untainted, and no argument is ever spliced into the query text.
+// The historical zero-argument form is the args-free call.
+func (db *DB) Query(q core.String, args ...any) (*Result, error) {
 	engine := db.Engine()
-	out, err := db.channel.Call([]any{q, engine})
+	bound, err := argExprs(args)
+	if err != nil {
+		return nil, err
+	}
+	out, err := db.channel.Call(queryCallArgs(q, engine, bound))
 	if err != nil {
 		return nil, err
 	}
@@ -613,7 +723,7 @@ func (db *DB) Query(q core.String) (*Result, error) {
 	}
 	// Tracking disabled (or no filter consumed the call): execute raw,
 	// still through the plan cache so repeated shapes skip the parser.
-	stmt, _, err := db.filter.planner().prepareQuery(q, false)
+	stmt, _, err := db.filter.planner().prepareQuery(q, false, bound)
 	if err != nil {
 		return nil, err
 	}
@@ -624,8 +734,31 @@ func (db *DB) Query(q core.String) (*Result, error) {
 	return fromRaw(raw, affected, false)
 }
 
+// queryCallArgs builds the channel-call argument list for a text query:
+// the historical {query, engine} pair, plus the bound arguments when
+// the variadic form was used.
+func queryCallArgs(q core.String, engine *Engine, bound []Expr) []any {
+	if bound == nil {
+		return []any{q, engine}
+	}
+	return []any{q, engine, bound}
+}
+
 // QueryRaw is a convenience wrapper for untracked query text.
-func (db *DB) QueryRaw(q string) (*Result, error) { return db.Query(core.NewString(q)) }
+func (db *DB) QueryRaw(q string, args ...any) (*Result, error) {
+	return db.Query(core.NewString(q), args...)
+}
+
+// Exec runs a statement and returns only the number of rows affected —
+// the right-sized result for INSERT/UPDATE/DELETE callers that were
+// discarding the *Result.
+func (db *DB) Exec(q core.String, args ...any) (int, error) {
+	res, err := db.Query(q, args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
 
 // MustExec runs a query and panics on error; used by application setup
 // code for schema creation.

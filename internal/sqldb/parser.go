@@ -525,6 +525,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case TokParam:
 		p.next()
 		return &Param{Idx: t.ParamIdx}, nil
+	case TokPlaceholder:
+		p.next()
+		return &Placeholder{Ord: t.ParamIdx}, nil
 	case TokKeyword:
 		if t.Keyword() == "NULL" {
 			p.next()

@@ -105,17 +105,32 @@ func (c *planCache) reset() {
 // slots. It is the single source of truth for planKey and parameterize:
 // both derive from it, so slot numbering in templates can never drift
 // from the key's '?' positions. String and number literals are slots,
-// except LIMIT counts — the parser folds those into the plan itself, so
-// they cannot be bound per execution; distinct limits simply get
-// distinct plans.
+// and so are `?` binding placeholders — a spliced query and its prepared
+// form therefore share one cache key and one template. LIMIT counts are
+// the exception: the parser folds those into the plan itself, so they
+// cannot be bound per execution; distinct limits simply get distinct
+// plans (and `LIMIT ?` is rejected by the parser on both the template
+// and the fallback path).
 func literalSlots(toks []Token) []bool {
 	slots := make([]bool, len(toks))
 	prevLimit := false
 	for i, t := range toks {
-		slots[i] = t.Type == TokString || (t.Type == TokNumber && !prevLimit)
+		slots[i] = t.Type == TokString || t.Type == TokPlaceholder || (t.Type == TokNumber && !prevLimit)
 		prevLimit = t.Type == TokKeyword && t.Keyword() == "LIMIT"
 	}
 	return slots
+}
+
+// countPlaceholders returns the number of `?` binding placeholders in a
+// token stream.
+func countPlaceholders(toks []Token) int {
+	n := 0
+	for _, t := range toks {
+		if t.Type == TokPlaceholder {
+			n++
+		}
+	}
+	return n
 }
 
 // planKey renders the canonical parameterized form of a token stream:
@@ -182,24 +197,57 @@ func litExpr(t Token) (Expr, error) {
 	}
 }
 
+// literalBinds converts the literal-slot tokens of a stream into the
+// per-slot expressions a template is bound with: inline string/number
+// literals convert as parsePrimary would, and `?` placeholder slots take
+// the next bound-argument expression in ordinal order. The caller has
+// already checked arity (placeholder count == len(bound)).
+func literalBinds(lits []Token, bound []Expr) ([]Expr, error) {
+	binds := make([]Expr, len(lits))
+	ord := 0
+	for i, t := range lits {
+		if t.Type == TokPlaceholder {
+			if ord >= len(bound) {
+				return nil, fmt.Errorf("sqldb: placeholder ?%d has no bound argument", ord)
+			}
+			binds[i] = bound[ord]
+			ord++
+			continue
+		}
+		ex, err := litExpr(t)
+		if err != nil {
+			return nil, err
+		}
+		binds[i] = ex
+	}
+	return binds, nil
+}
+
 // bindExpr clones an expression template, substituting Param slots with
-// the current literal tokens. Literal-free subtrees are shared — the
-// engine never mutates statements.
-func bindExpr(ex Expr, lits []Token) (Expr, error) {
+// the per-slot bound expressions and Placeholder slots (present only on
+// the direct-parse fallback path, where the statement never went through
+// parameterize) with the bound-argument expressions. Substitution-free
+// subtrees are shared — the engine never mutates statements.
+func bindExpr(ex Expr, binds, ph []Expr) (Expr, error) {
 	switch v := ex.(type) {
 	case nil:
 		return nil, nil
 	case *Param:
-		if v.Idx < 0 || v.Idx >= len(lits) {
+		if v.Idx < 0 || v.Idx >= len(binds) {
 			return nil, fmt.Errorf("sqldb: plan parameter ?%d out of range", v.Idx)
 		}
-		return litExpr(lits[v.Idx])
+		return binds[v.Idx], nil
+	case *Placeholder:
+		if v.Ord < 0 || v.Ord >= len(ph) {
+			return nil, fmt.Errorf("sqldb: placeholder ?%d has no bound argument", v.Ord)
+		}
+		return ph[v.Ord], nil
 	case *Binary:
-		l, err := bindExpr(v.L, lits)
+		l, err := bindExpr(v.L, binds, ph)
 		if err != nil {
 			return nil, err
 		}
-		r, err := bindExpr(v.R, lits)
+		r, err := bindExpr(v.R, binds, ph)
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +256,7 @@ func bindExpr(ex Expr, lits []Token) (Expr, error) {
 		}
 		return &Binary{Op: v.Op, L: l, R: r}, nil
 	case *Unary:
-		x, err := bindExpr(v.X, lits)
+		x, err := bindExpr(v.X, binds, ph)
 		if err != nil {
 			return nil, err
 		}
@@ -221,12 +269,13 @@ func bindExpr(ex Expr, lits []Token) (Expr, error) {
 	}
 }
 
-// bindStatement instantiates a plan template with the literal tokens of
-// the current query.
-func bindStatement(tmpl Statement, lits []Token) (Statement, error) {
+// bindStatement instantiates a statement template: binds fills Param
+// slots (the plan-cache path), ph fills Placeholder slots by ordinal
+// (the direct-parse path, where `?` tokens survived into the AST).
+func bindStatement(tmpl Statement, binds, ph []Expr) (Statement, error) {
 	switch s := tmpl.(type) {
 	case *Select:
-		w, err := bindExpr(s.Where, lits)
+		w, err := bindExpr(s.Where, binds, ph)
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +290,7 @@ func bindStatement(tmpl Statement, lits []Token) (Statement, error) {
 		for i, row := range s.Rows {
 			out := make([]Expr, len(row))
 			for j, ex := range row {
-				b, err := bindExpr(ex, lits)
+				b, err := bindExpr(ex, binds, ph)
 				if err != nil {
 					return nil, err
 				}
@@ -253,19 +302,19 @@ func bindStatement(tmpl Statement, lits []Token) (Statement, error) {
 	case *Update:
 		set := make([]Assignment, len(s.Set))
 		for i, a := range s.Set {
-			v, err := bindExpr(a.Value, lits)
+			v, err := bindExpr(a.Value, binds, ph)
 			if err != nil {
 				return nil, err
 			}
 			set[i] = Assignment{Column: a.Column, Value: v}
 		}
-		w, err := bindExpr(s.Where, lits)
+		w, err := bindExpr(s.Where, binds, ph)
 		if err != nil {
 			return nil, err
 		}
 		return &Update{Table: s.Table, Set: set, Where: w}, nil
 	case *Delete:
-		w, err := bindExpr(s.Where, lits)
+		w, err := bindExpr(s.Where, binds, ph)
 		if err != nil {
 			return nil, err
 		}
@@ -280,24 +329,87 @@ func bindStatement(tmpl Statement, lits []Token) (Statement, error) {
 	}
 }
 
-// prepare resolves a token stream to an executable statement, through
-// the cache when possible. On a hit the parser is never invoked; on a
-// miss the parameterized stream is parsed once and the template cached.
-// Any template trouble (a shape the binder cannot reconstruct, a parse
-// error against the parameterized stream) falls back to parsing the
-// original tokens directly, so the cache can only ever add performance,
-// never change behavior — including error messages, which come from the
-// original token stream.
-func (c *planCache) prepare(toks []Token, mode byte) (Statement, *cachedPlan, error) {
+// bindArity checks that a token stream's placeholder count matches the
+// bound-argument count. Queries without placeholders and without bound
+// arguments (the historical zero-arg form) pass trivially.
+func bindArity(toks []Token, nbound int) error {
+	if nph := countPlaceholders(toks); nph != nbound {
+		return fmt.Errorf("sqldb: statement has %d placeholder(s) but %d bound argument(s)", nph, nbound)
+	}
+	return nil
+}
+
+// compile resolves a token stream to its cached plan template without
+// binding, compiling and installing the template on a miss. It is the
+// shared front half of prepare and of Stmt preparation: both paths
+// therefore share templates (a spliced query shape and its prepared
+// form have identical keys). The returned lits are the current literal
+// slot tokens in slot order; cached reports whether the template came
+// from the cache. Callers count hits/misses — a hit is only a hit once
+// binding has actually succeeded.
+func (c *planCache) compile(toks []Token, mode byte) (plan *cachedPlan, lits []Token, cached bool, err error) {
 	key, lits := planKey(toks, mode)
 
 	c.mu.RLock()
-	plan := c.m[key]
+	plan = c.m[key]
 	c.mu.RUnlock()
-	if plan != nil {
-		if plan.nlits == len(lits) {
-			if stmt, err := bindStatement(plan.tmpl, lits); err == nil {
-				c.hits.Add(1)
+	if plan != nil && plan.nlits == len(lits) {
+		return plan, lits, true, nil
+	}
+
+	tmpl, err := ParseTokens(parameterize(toks))
+	if err != nil {
+		return nil, lits, false, err
+	}
+	plan = &cachedPlan{tmpl: tmpl, nlits: len(lits)}
+	c.mu.Lock()
+	if len(c.m) >= planCacheCap {
+		c.m = make(map[string]*cachedPlan, 64)
+	}
+	if existing, ok := c.m[key]; ok && existing.nlits == len(lits) {
+		plan = existing // racing compile: keep the installed one
+	} else {
+		c.m[key] = plan
+	}
+	c.mu.Unlock()
+	return plan, lits, false, nil
+}
+
+// parseAndBind parses an original (non-parameterized) token stream and
+// binds its `?` placeholders by ordinal — the shared direct-parse path
+// used by the plan cache's fallback and by View.Query.
+func parseAndBind(toks []Token, bound []Expr) (Statement, error) {
+	if err := bindArity(toks, len(bound)); err != nil {
+		return nil, err
+	}
+	stmt, err := ParseTokens(toks)
+	if err != nil {
+		return nil, err
+	}
+	return bindStatement(stmt, nil, bound)
+}
+
+// prepare resolves a token stream plus bound-argument expressions to an
+// executable statement, through the cache when possible. On a hit the
+// parser is never invoked; on a miss the parameterized stream is parsed
+// once and the template cached. Any template trouble (a shape the
+// binder cannot reconstruct, a parse error against the parameterized
+// stream) falls back to parsing the original tokens directly, so the
+// cache can only ever add performance, never change behavior —
+// including error messages, which come from the original token stream.
+func (c *planCache) prepare(toks []Token, mode byte, bound []Expr) (Statement, *cachedPlan, error) {
+	if err := bindArity(toks, len(bound)); err != nil {
+		return nil, nil, err
+	}
+	plan, lits, cached, cerr := c.compile(toks, mode)
+	if cerr == nil {
+		if binds, err := literalBinds(lits, bound); err == nil {
+			if stmt, err := bindStatement(plan.tmpl, binds, nil); err == nil {
+				if cached {
+					c.hits.Add(1)
+				} else {
+					c.misses.Add(1)
+				}
 				return stmt, plan, nil
 			}
 		}
@@ -306,43 +418,24 @@ func (c *planCache) prepare(toks []Token, mode byte) (Statement, *cachedPlan, er
 		// an overflowing number must not evict a good template).
 	}
 	c.misses.Add(1)
-
-	tmpl, err := ParseTokens(parameterize(toks))
-	if err != nil {
-		// Report errors against the original stream so messages match
-		// the uncached parser exactly.
-		stmt, err := ParseTokens(toks)
-		return stmt, nil, err
-	}
-	stmt, err := bindStatement(tmpl, lits)
-	if err != nil {
-		stmt, err := ParseTokens(toks)
-		return stmt, nil, err
-	}
-	plan = &cachedPlan{tmpl: tmpl, nlits: len(lits)}
-	c.mu.Lock()
-	if len(c.m) >= planCacheCap {
-		c.m = make(map[string]*cachedPlan, 64)
-	}
-	if existing, ok := c.m[key]; ok {
-		plan = existing // racing compile: keep the installed one
-	} else {
-		c.m[key] = plan
-	}
-	c.mu.Unlock()
-	return stmt, plan, nil
+	// Report errors against the original stream so messages match the
+	// uncached parser exactly; `?` tokens become Placeholder nodes here,
+	// bound by ordinal.
+	stmt, err := parseAndBind(toks, bound)
+	return stmt, nil, err
 }
 
 // prepareQuery lexes q with the requested tokenizer and resolves it
 // through the cache, with the same error semantics as Parse /
-// ParseAutoSanitized.
-func (c *planCache) prepareQuery(q core.String, auto bool) (Statement, *cachedPlan, error) {
+// ParseAutoSanitized. bound carries the `?`-placeholder argument
+// expressions (nil for the zero-arg form).
+func (c *planCache) prepareQuery(q core.String, auto bool, bound []Expr) (Statement, *cachedPlan, error) {
 	if auto {
 		toks, err := LexAutoSanitize(q)
 		if err != nil {
 			return nil, nil, err
 		}
-		stmt, plan, err := c.prepare(toks, planModeAutoSanitize)
+		stmt, plan, err := c.prepare(toks, planModeAutoSanitize, bound)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sqldb: auto-sanitized parse: %w", err)
 		}
@@ -352,7 +445,7 @@ func (c *planCache) prepareQuery(q core.String, auto bool) (Statement, *cachedPl
 	if err != nil {
 		return nil, nil, err
 	}
-	return c.prepare(toks, planModeStandard)
+	return c.prepare(toks, planModeStandard, bound)
 }
 
 // pcolsFor returns the cached policy-column set of the plan's table for

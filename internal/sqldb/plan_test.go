@@ -203,7 +203,7 @@ func TestPlanCacheBoundedFlush(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := c.prepare(toks, planModeStandard); err != nil {
+		if _, _, err := c.prepare(toks, planModeStandard, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -315,7 +315,11 @@ func TestParameterizeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bound, err := bindStatement(tmpl, lits)
+	binds, err := literalBinds(lits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := bindStatement(tmpl, binds, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

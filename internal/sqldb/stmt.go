@@ -1,0 +1,341 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// Prepared statements: the query API the paper's string-splicing filter
+// grew into. A Stmt is compiled once — one tokenize, one parse — from
+// query text containing `?` binding placeholders; every execution binds
+// argument *values* (tracked or plain) into the cached plan template.
+// Bound values never appear in query text, so they cannot reshape the
+// statement: injection through a bound slot is structurally impossible,
+// and the §5.3 injection assertions skip bound slots by construction
+// (they inspect the text, and the text holds only `?`). Policies on
+// bound values flow into shadow policy columns exactly as literal
+// policies do (Figure 4), because binding produces the same literal
+// expressions the parser would have.
+//
+// Repeated executions run at 0 tokenizes and 0 parses per operation —
+// TokenizeCount and ParseCount pin this in tests and in
+// BenchmarkSQLPreparedLookup.
+
+// argExpr converts one bound argument into the literal expression the
+// parser would have produced for it: tracked values keep their policy
+// sets (core.String per-character; core.Int whole-value, rendered onto
+// its digits for policy-column persistence), plain Go values bind
+// untainted.
+func argExpr(a any) (Expr, error) {
+	switch v := a.(type) {
+	case nil:
+		return &NullLit{}, nil
+	case core.String:
+		return &StringLit{Val: v}, nil
+	case core.Int:
+		return &IntLit{Val: v.Value(), Src: v.ToString()}, nil
+	case string:
+		return &StringLit{Val: core.NewString(v)}, nil
+	case []byte:
+		return &StringLit{Val: core.NewString(string(v))}, nil
+	case int:
+		return &IntLit{Val: int64(v)}, nil
+	case int64:
+		return &IntLit{Val: v}, nil
+	case int32:
+		return &IntLit{Val: int64(v)}, nil
+	case int16:
+		return &IntLit{Val: int64(v)}, nil
+	case int8:
+		return &IntLit{Val: int64(v)}, nil
+	case uint8:
+		return &IntLit{Val: int64(v)}, nil
+	case uint16:
+		return &IntLit{Val: int64(v)}, nil
+	case uint32:
+		return &IntLit{Val: int64(v)}, nil
+	case bool:
+		if v {
+			return &IntLit{Val: 1}, nil
+		}
+		return &IntLit{Val: 0}, nil
+	default:
+		return nil, fmt.Errorf("sqldb: cannot bind %T (want core.String, core.Int, string, []byte, integer, bool, or nil)", a)
+	}
+}
+
+// argExprs converts a bound-argument list; index i of the result binds
+// placeholder ?i.
+func argExprs(args []any) ([]Expr, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]Expr, len(args))
+	for i, a := range args {
+		ex, err := argExpr(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w (argument %d)", err, i)
+		}
+		out[i] = ex
+	}
+	return out, nil
+}
+
+// Stmt is a prepared statement: query text compiled once, executed many
+// times with bound arguments. Create one with DB.Prepare or Tx.Prepare;
+// a Stmt is safe for concurrent use (its compiled state is immutable;
+// per-execution state lives on the stack).
+type Stmt struct {
+	db *DB
+	tx *Tx // non-nil when prepared inside a transaction
+
+	query   core.String
+	plan    *cachedPlan // shared template via the filter's plan cache
+	fixed   []Expr      // per-slot inline-literal expressions; nil at placeholder slots
+	phSlots []int       // placeholder ordinal → slot index, fixed at Prepare
+	nargs   int         // number of `?` placeholders
+
+	// direct is the fallback when the parameterized template could not
+	// be compiled (e.g. a shape the template parser rejects): the
+	// original token stream parsed as-is, with Placeholder nodes bound
+	// per execution. Still 0 parses per op.
+	direct Statement
+
+	// Assertion verdicts precomputed against the immutable query text,
+	// so executions consult flags without re-tokenizing: the strategy-1
+	// unsanitized range and the strategy-2 tainted-structure error.
+	s1Start, s1End int
+	s1Found        bool
+	s2Err          error
+	// textUntrusted notes untrusted bytes in the prepared text itself;
+	// with auto-sanitize enabled such text must re-lex per execution
+	// under the taint-aware tokenizer (the slow, faithful path).
+	textUntrusted bool
+	// lexErr defers a standard-lexer failure on untrusted-tainted text
+	// to execution time: under auto-sanitize the taint-aware tokenizer
+	// may accept what the standard lexer rejects (e.g. an unbalanced
+	// untrusted quote), so the verdict belongs to the mode active at
+	// execution, exactly as on the text path.
+	lexErr error
+}
+
+// prepareStmt compiles query text into a Stmt against db's plan cache.
+// The text is tokenized exactly once here; executions tokenize zero
+// times (TokenizeCount pins both).
+func prepareStmt(db *DB, tx *Tx, q core.String) (*Stmt, error) {
+	s := &Stmt{db: db, tx: tx, query: q}
+	_, _, s.textUntrusted = q.FindPolicy(sanitize.IsUntrusted)
+	s.s1Start, s.s1End, s.s1Found = sanitize.UnsanitizedSQL(q)
+
+	toks, err := Lex(q)
+	if err != nil {
+		if !s.textUntrusted {
+			return nil, err
+		}
+		// Untrusted bytes broke the standard lexer; the auto-sanitizing
+		// tokenizer may still accept this text as inert values, so keep
+		// the statement and let each execution's active mode decide.
+		s.lexErr = err
+		s.s2Err = err
+		return s, nil
+	}
+	s.nargs = countPlaceholders(toks)
+	s.s2Err = checkTaintedStructureTokens(q, toks)
+
+	plans := db.filter.planner()
+	plan, cerr := s.compileTemplate(plans, toks)
+	if cerr != nil {
+		// Template trouble: parse the original stream once and keep the
+		// statement with its Placeholder nodes for per-exec binding.
+		// Errors come from the original stream, matching Parse exactly.
+		direct, derr := ParseTokens(toks)
+		if derr != nil {
+			return nil, derr
+		}
+		s.direct = direct
+		s.plan = &cachedPlan{tmpl: direct}
+	} else {
+		s.plan = plan
+	}
+	return s, nil
+}
+
+// compileTemplate resolves the prepared text's plan template,
+// pre-converts every inline-literal slot to its expression, and records
+// the placeholder slot positions, so executions do no token work at
+// all.
+func (s *Stmt) compileTemplate(plans *planCache, toks []Token) (*cachedPlan, error) {
+	plan, lits, cached, err := plans.compile(toks, planModeStandard)
+	if err != nil {
+		return nil, err
+	}
+	s.fixed = make([]Expr, len(lits))
+	for i, t := range lits {
+		if t.Type == TokPlaceholder {
+			s.phSlots = append(s.phSlots, i)
+			continue
+		}
+		ex, lerr := litExpr(t)
+		if lerr != nil {
+			return nil, lerr
+		}
+		s.fixed[i] = ex
+	}
+	if cached {
+		plans.hits.Add(1)
+	} else {
+		plans.misses.Add(1)
+	}
+	return plan, nil
+}
+
+// NumArgs returns the number of `?` placeholders the statement binds.
+func (s *Stmt) NumArgs() int { return s.nargs }
+
+// Text returns the prepared query text.
+func (s *Stmt) Text() core.String { return s.query }
+
+// bind instantiates the statement with the given bound-argument
+// expressions. No tokenizer and no parser run here.
+func (s *Stmt) bind(bound []Expr) (Statement, error) {
+	if s.lexErr != nil {
+		// Deferred standard-lexer failure: without the auto-sanitizing
+		// mode (which routes execution through the text path before
+		// bind is reached), the text is as unexecutable as it was on
+		// the text path.
+		return nil, s.lexErr
+	}
+	if len(bound) != s.nargs {
+		return nil, fmt.Errorf("sqldb: statement has %d placeholder(s) but %d bound argument(s)", s.nargs, len(bound))
+	}
+	if s.direct != nil {
+		return bindStatement(s.direct, nil, bound)
+	}
+	binds := s.fixed
+	if s.nargs > 0 {
+		binds = make([]Expr, len(s.fixed))
+		copy(binds, s.fixed)
+		for ord, slot := range s.phSlots {
+			binds[slot] = bound[ord]
+		}
+	}
+	return bindStatement(s.plan.tmpl, binds, nil)
+}
+
+// preparedExec is the value the prepared-statement API routes through
+// the SQL channel in place of query text: the compiled statement plus
+// its bound arguments, already converted to literal expressions. The
+// RESIN filter recognizes it and executes the bound plan — arguments
+// travel as values, never as text.
+type preparedExec struct {
+	stmt  *Stmt
+	bound []Expr
+}
+
+// Query executes the prepared statement with the given arguments bound
+// into its `?` placeholders and returns the tracked result.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	bound, err := argExprs(args)
+	if err != nil {
+		return nil, err
+	}
+	if s.tx != nil {
+		return s.tx.queryPrepared(s, bound)
+	}
+	return s.db.queryPrepared(s, bound)
+}
+
+// Exec executes the prepared statement and returns the number of rows
+// affected (INSERT/UPDATE/DELETE; 0 for other statements).
+func (s *Stmt) Exec(args ...any) (int, error) {
+	res, err := s.Query(args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
+
+// Prepare compiles query text — with `?` binding placeholders — into a
+// Stmt executing against this database. The text is tokenized and
+// parsed exactly once; see the package comment in this file for the
+// binding and assertion semantics.
+func (db *DB) Prepare(q core.String) (*Stmt, error) {
+	return prepareStmt(db, nil, q)
+}
+
+// PrepareRaw is Prepare for untracked query text.
+func (db *DB) PrepareRaw(q string) (*Stmt, error) { return db.Prepare(core.NewString(q)) }
+
+// MustPrepare compiles untracked query text and panics on error; used
+// by application startup code preparing its hot statements.
+func (db *DB) MustPrepare(q string) *Stmt {
+	st, err := db.PrepareRaw(q)
+	if err != nil {
+		panic(fmt.Sprintf("sqldb: prepare %s: %v", q, err))
+	}
+	return st
+}
+
+// queryPrepared executes a prepared statement against the database,
+// through the channel's filter chain when tracking is enabled.
+func (db *DB) queryPrepared(s *Stmt, bound []Expr) (*Result, error) {
+	engine := db.Engine()
+	out, err := db.channel.Call([]any{s.query, engine, &preparedExec{stmt: s, bound: bound}})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 1 {
+		if res, ok := out[0].(*Result); ok {
+			return res, nil
+		}
+	}
+	// Tracking disabled (or no filter consumed the call): bind and
+	// execute raw — still 0 tokenizes / 0 parses.
+	return execPreparedRaw(s, bound, engine)
+}
+
+// execPreparedRaw binds and executes without policy persistence (the
+// untracked path).
+func execPreparedRaw(s *Stmt, bound []Expr, engine *Engine) (*Result, error) {
+	stmt, err := s.bind(bound)
+	if err != nil {
+		return nil, err
+	}
+	raw, affected, err := engine.ExecuteRaw(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return fromRaw(raw, affected, false)
+}
+
+// Prepare compiles query text into a Stmt executing against this
+// transaction's speculative state. The Stmt becomes unusable once the
+// transaction commits or rolls back (ErrTxDone).
+func (tx *Tx) Prepare(q core.String) (*Stmt, error) {
+	return prepareStmt(tx.db, tx, q)
+}
+
+// PrepareRaw is Prepare for untracked query text.
+func (tx *Tx) PrepareRaw(q string) (*Stmt, error) { return tx.Prepare(core.NewString(q)) }
+
+// queryPrepared executes a prepared statement against the transaction's
+// speculative engine.
+func (tx *Tx) queryPrepared(s *Stmt, bound []Expr) (*Result, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	out, err := tx.db.channel.Call([]any{s.query, tx.spec, &preparedExec{stmt: s, bound: bound}})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 1 {
+		if res, ok := out[0].(*Result); ok {
+			return res, nil
+		}
+	}
+	return execPreparedRaw(s, bound, tx.spec)
+}

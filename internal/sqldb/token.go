@@ -12,17 +12,33 @@
 // Execution goes through a query-planning layer: a plan cache keyed on
 // the parameterized token stream (plan.go) skips re-parsing repeated
 // query shapes, and equality hash indexes declared with CREATE INDEX
-// (engine.go) serve `col = literal` point lookups without scanning. The
-// supported dialect, the shadow policy-column encoding, and the plan
-// cache and index semantics are specified in docs/SQL.md.
+// (engine.go) serve `col = literal` point lookups without scanning.
+// Prepared statements (stmt.go) compile `?`-placeholder text once and
+// bind argument values — tracked or plain — into the cached template
+// per execution, at zero tokenizes and zero parses per operation; the
+// resinsql package (top of the repo) adapts that API to database/sql.
+// The supported dialect, the shadow policy-column encoding, the plan
+// cache and index semantics, and the binding rules are specified in
+// docs/SQL.md.
 package sqldb
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"resin/internal/core"
 )
+
+// lexCalls counts tokenizer invocations (Lex and LexAutoSanitize). The
+// prepared-statement contract is that repeated executions never re-lex
+// the query text; tests and benchmarks observe the counter through
+// TokenizeCount to pin that down, alongside ParseCount for the parser.
+var lexCalls atomic.Uint64
+
+// TokenizeCount returns the number of tokenizer invocations so far in
+// this process (both the standard and the auto-sanitizing lexer).
+func TokenizeCount() uint64 { return lexCalls.Load() }
 
 // TokenType classifies SQL tokens.
 type TokenType int
@@ -43,6 +59,12 @@ const (
 	// TokParam is a literal slot in a parameterized plan-template token
 	// stream (see plan.go); the lexers never produce it from query text.
 	TokParam
+	// TokPlaceholder is a `?` binding placeholder in query text (the
+	// prepared-statement API): it marks a slot that an argument of
+	// Stmt.Query / Stmt.Exec (or the variadic DB.Query form) is bound
+	// into as a value, never as text. ParamIdx carries the placeholder's
+	// zero-based ordinal in text order.
+	TokPlaceholder
 )
 
 func (t TokenType) String() string {
@@ -71,6 +93,8 @@ func (t TokenType) String() string {
 		return ";"
 	case TokParam:
 		return "parameter"
+	case TokPlaceholder:
+		return "placeholder"
 	default:
 		return "unknown"
 	}
@@ -79,10 +103,12 @@ func (t TokenType) String() string {
 // Structural reports whether tokens of this type form the query's
 // structure (keywords, identifiers, operators, punctuation) as opposed to
 // its values (string and number literals). The strategy-2 injection check
-// rejects structural tokens containing untrusted characters.
+// rejects structural tokens containing untrusted characters. A `?`
+// placeholder counts as structure: it introduces a binding slot and so
+// reshapes the statement, which untrusted bytes must never do.
 func (t TokenType) Structural() bool {
 	switch t {
-	case TokKeyword, TokIdent, TokOp, TokComma, TokLParen, TokRParen, TokStar, TokSemi:
+	case TokKeyword, TokIdent, TokOp, TokComma, TokLParen, TokRParen, TokStar, TokSemi, TokPlaceholder:
 		return true
 	}
 	return false
@@ -135,6 +161,7 @@ func (e *LexError) Error() string {
 // comment. The returned tokens carry source ranges into q and decoded
 // string values carry the source characters' policies.
 func Lex(q core.String) ([]Token, error) {
+	lexCalls.Add(1)
 	src := q.Raw()
 	var toks []Token
 	i := 0
@@ -145,9 +172,23 @@ func Lex(q core.String) ([]Token, error) {
 		}
 		toks = append(toks, tok)
 		if tok.Type == TokEOF {
+			numberPlaceholders(toks)
 			return toks, nil
 		}
 		i = next
+	}
+}
+
+// numberPlaceholders stamps each TokPlaceholder with its zero-based
+// ordinal in text order — the index into the bound-argument list that
+// placeholder binds.
+func numberPlaceholders(toks []Token) {
+	ord := 0
+	for i := range toks {
+		if toks[i].Type == TokPlaceholder {
+			toks[i].ParamIdx = ord
+			ord++
+		}
 	}
 }
 
@@ -194,6 +235,8 @@ func scanToken(q core.String, src string, i, limit int) (Token, int, error) {
 			return Token{Type: TokStar, Text: "*", Value: q.Slice(i, i+1), Start: i, End: i + 1}, i + 1, nil
 		case c == ';':
 			return Token{Type: TokSemi, Text: ";", Value: q.Slice(i, i+1), Start: i, End: i + 1}, i + 1, nil
+		case c == '?':
+			return Token{Type: TokPlaceholder, Text: "?", Value: q.Slice(i, i+1), Start: i, End: i + 1}, i + 1, nil
 		case c == '=' || c == '<' || c == '>' || c == '!':
 			j := i + 1
 			if j < limit && (src[j] == '=' || (c == '<' && src[j] == '>')) {

@@ -30,9 +30,18 @@ type View struct {
 }
 
 // Query runs a SELECT (or any statement — assertions should read only)
-// against the speculative state, with policies attached as usual.
-func (v *View) Query(q core.String) (*Result, error) {
-	stmt, err := Parse(q)
+// against the speculative state, with policies attached as usual. args
+// bind `?` placeholders by position, as in DB.Query.
+func (v *View) Query(q core.String, args ...any) (*Result, error) {
+	bound, err := argExprs(args)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := Lex(q)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := parseAndBind(toks, bound)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +49,19 @@ func (v *View) Query(q core.String) (*Result, error) {
 }
 
 // QueryRaw is Query for untracked text.
-func (v *View) QueryRaw(q string) (*Result, error) { return v.Query(core.NewString(q)) }
+func (v *View) QueryRaw(q string, args ...any) (*Result, error) {
+	return v.Query(core.NewString(q), args...)
+}
+
+// MustExec runs a query against the speculative state and panics on
+// error — parity with DB.MustExec for assertion and test setup code.
+func (v *View) MustExec(q string) *Result {
+	res, err := v.QueryRaw(q)
+	if err != nil {
+		panic(fmt.Sprintf("sqldb: %s: %v", q, err))
+	}
+	return res
+}
 
 // Clone deep-copies the engine's tables (rows copied, values are plain
 // data), including their hash indexes. The clone keeps the source's
@@ -121,14 +142,19 @@ func (db *DB) Begin() *Tx {
 
 // Query executes a statement inside the transaction: the speculative
 // state absorbs writes and serves reads, through the same filter chain
-// (injection assertions and policy persistence included).
-func (tx *Tx) Query(q core.String) (*Result, error) {
+// (injection assertions and policy persistence included). args bind
+// `?` placeholders by position, as in DB.Query.
+func (tx *Tx) Query(q core.String, args ...any) (*Result, error) {
+	bound, err := argExprs(args)
+	if err != nil {
+		return nil, err
+	}
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.done {
 		return nil, ErrTxDone
 	}
-	out, err := tx.db.channel.Call([]any{q, tx.spec})
+	out, err := tx.db.channel.Call(queryCallArgs(q, tx.spec, bound))
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +163,7 @@ func (tx *Tx) Query(q core.String) (*Result, error) {
 			return res, nil
 		}
 	}
-	stmt, _, err := tx.db.filter.planner().prepareQuery(q, false)
+	stmt, _, err := tx.db.filter.planner().prepareQuery(q, false, bound)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +175,29 @@ func (tx *Tx) Query(q core.String) (*Result, error) {
 }
 
 // QueryRaw is Query for untracked text.
-func (tx *Tx) QueryRaw(q string) (*Result, error) { return tx.Query(core.NewString(q)) }
+func (tx *Tx) QueryRaw(q string, args ...any) (*Result, error) {
+	return tx.Query(core.NewString(q), args...)
+}
+
+// Exec runs a statement inside the transaction and returns only the
+// number of rows affected — parity with DB.Exec.
+func (tx *Tx) Exec(q core.String, args ...any) (int, error) {
+	res, err := tx.Query(q, args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
+
+// MustExec runs a query inside the transaction and panics on error —
+// parity with DB.MustExec for schema and seed statements in tests.
+func (tx *Tx) MustExec(q string) *Result {
+	res, err := tx.QueryRaw(q)
+	if err != nil {
+		panic(fmt.Sprintf("sqldb: %s: %v", q, err))
+	}
+	return res
+}
 
 // Commit checks every integrity assertion against the speculative state
 // and, if all pass, installs it as the database state. Commits are

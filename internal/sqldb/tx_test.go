@@ -19,7 +19,7 @@ func txDB(t *testing.T) *DB {
 }
 
 func balance(t *testing.T, q interface {
-	QueryRaw(string) (*Result, error)
+	QueryRaw(string, ...any) (*Result, error)
 }, owner string) int64 {
 	t.Helper()
 	res, err := q.QueryRaw(fmt.Sprintf("SELECT balance FROM accounts WHERE owner = '%s'", owner))

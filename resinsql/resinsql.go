@@ -1,0 +1,331 @@
+// Package resinsql is a database/sql driver facade over the RESIN
+// tracked database (internal/sqldb): it lets code written against the
+// standard library's database/sql API — sql.Open, Prepare, Query, Exec,
+// transactions — run on a RESIN database while policy annotations
+// survive the driver boundary in both directions.
+//
+//   - Inbound, bound arguments may be tracked values (resin.String /
+//     resin.Int, i.e. core.String / core.Int): a NamedValueChecker
+//     passes them through the driver untouched, so their policy sets
+//     reach the SQL filter and persist into shadow policy columns
+//     exactly as on the native API (paper §3.4.1, Figure 4).
+//
+//   - Outbound, result cells that carry policies surface as tracked
+//     values; scan them with the String / Int scanner wrappers in this
+//     package. Untainted cells surface as plain driver values, so
+//     policy-oblivious code keeps working unchanged.
+//
+// The driver registers itself as "resin". Data source names resolve
+// through an explicit registry: call Bind(name, db) with a *sqldb.DB,
+// then sql.Open("resin", name). Statements use `?` placeholders; see
+// docs/SQL.md §6 for the binding semantics.
+package resinsql
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"resin/internal/core"
+	"resin/internal/sqldb"
+)
+
+// DriverName is the name this package registers with database/sql.
+const DriverName = "resin"
+
+func init() { sql.Register(DriverName, &Driver{}) }
+
+// registry maps data source names to bound RESIN databases.
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]*sqldb.DB
+}{m: make(map[string]*sqldb.DB)}
+
+// Bind associates a data source name with a RESIN database, so
+// sql.Open("resin", name) connects to it. Rebinding a name replaces the
+// previous association; open connections keep their database.
+func Bind(name string, db *sqldb.DB) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.m[name] = db
+}
+
+// Unbind removes a data source name from the registry.
+func Unbind(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.m, name)
+}
+
+// NewDB creates a fresh tracked database over rt (resin.NewRuntime()),
+// binds it under name, and returns the native handle. Consumers outside
+// this module cannot import internal/sqldb to build one themselves, but
+// they can hold the returned handle and call its methods (Filter
+// configuration, native Prepare/Query, transactions) — this constructor
+// is their entry point, paired with sql.Open(DriverName, name) for the
+// database/sql view of the same store.
+func NewDB(name string, rt *core.Runtime) *sqldb.DB {
+	db := sqldb.Open(rt)
+	Bind(name, db)
+	return db
+}
+
+// Driver implements driver.Driver over the registry.
+type Driver struct{}
+
+// Open connects to the database bound to the given data source name.
+func (*Driver) Open(name string) (driver.Conn, error) {
+	registry.mu.RLock()
+	db := registry.m[name]
+	registry.mu.RUnlock()
+	if db == nil {
+		return nil, fmt.Errorf("resinsql: no database bound to %q (call resinsql.Bind first)", name)
+	}
+	return &conn{db: db}, nil
+}
+
+// conn is one database/sql connection. The underlying *sqldb.DB is safe
+// for concurrent use, so connections are cheap handles; a connection
+// additionally tracks its open transaction, because database/sql routes
+// sql.Tx statements through the connection that began the transaction.
+type conn struct {
+	db *sqldb.DB
+	tx *sqldb.Tx
+}
+
+// Prepare compiles the query once on the RESIN side; inside a
+// transaction the statement executes against the speculative state.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	var st *sqldb.Stmt
+	var err error
+	if c.tx != nil {
+		st, err = c.tx.PrepareRaw(query)
+	} else {
+		st, err = c.db.PrepareRaw(query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{st: st}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+// Begin opens a RESIN transaction (speculative copy, integrity
+// assertions checked at commit — see sqldb.Tx).
+func (c *conn) Begin() (driver.Tx, error) {
+	if c.tx != nil {
+		return nil, errors.New("resinsql: transaction already open on this connection")
+	}
+	c.tx = c.db.Begin()
+	return &tx{c: c}, nil
+}
+
+// CheckNamedValue admits tracked values (core.String, core.Int) across
+// the driver boundary unconverted — this is the inbound half of policy
+// preservation — and defers everything else to the default converter.
+func (c *conn) CheckNamedValue(nv *driver.NamedValue) error {
+	return checkNamedValue(nv)
+}
+
+func checkNamedValue(nv *driver.NamedValue) error {
+	switch nv.Value.(type) {
+	case core.String, core.Int:
+		return nil
+	}
+	v, err := driver.DefaultParameterConverter.ConvertValue(nv.Value)
+	if err != nil {
+		return err
+	}
+	nv.Value = v
+	return nil
+}
+
+// tx adapts sqldb.Tx to driver.Tx.
+type tx struct{ c *conn }
+
+func (t *tx) Commit() error {
+	st := t.c.tx
+	t.c.tx = nil
+	if st == nil {
+		return sqldb.ErrTxDone
+	}
+	return st.Commit()
+}
+
+func (t *tx) Rollback() error {
+	st := t.c.tx
+	t.c.tx = nil
+	if st == nil {
+		return sqldb.ErrTxDone
+	}
+	return st.Rollback()
+}
+
+// stmt adapts sqldb.Stmt to driver.Stmt.
+type stmt struct{ st *sqldb.Stmt }
+
+func (s *stmt) Close() error { return nil }
+
+// NumInput reports the placeholder count, letting database/sql enforce
+// argument arity before the driver sees the call.
+func (s *stmt) NumInput() int { return s.st.NumArgs() }
+
+// CheckNamedValue mirrors the connection's converter (database/sql
+// consults the statement first when it implements the interface).
+func (s *stmt) CheckNamedValue(nv *driver.NamedValue) error {
+	return checkNamedValue(nv)
+}
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	affected, err := s.st.Exec(anyArgs(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: int64(affected)}, nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	res, err := s.st.Query(anyArgs(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+func anyArgs(args []driver.Value) []any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]any, len(args))
+	for i, a := range args {
+		out[i] = a
+	}
+	return out
+}
+
+// result adapts an affected-row count to driver.Result.
+type result struct{ affected int64 }
+
+func (result) LastInsertId() (int64, error) {
+	return 0, errors.New("resinsql: LastInsertId is not supported")
+}
+
+func (r result) RowsAffected() (int64, error) { return r.affected, nil }
+
+// rows adapts a tracked sqldb.Result to driver.Rows. Cells with
+// policies cross the boundary as tracked values (scan them with the
+// String / Int wrappers below); untainted cells cross as plain values.
+type rows struct {
+	res *sqldb.Result
+	i   int
+}
+
+func (r *rows) Columns() []string { return r.res.Columns }
+
+func (r *rows) Close() error { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= r.res.Len() {
+		return io.EOF
+	}
+	for ci := range r.res.Columns {
+		cell := r.res.Rows[r.i][ci]
+		switch {
+		case cell.Null:
+			dest[ci] = nil
+		case cell.IsInt:
+			if cell.Int.IsTainted() {
+				dest[ci] = cell.Int
+			} else {
+				dest[ci] = cell.Int.Value()
+			}
+		default:
+			if cell.Str.IsTainted() {
+				dest[ci] = cell.Str
+			} else {
+				dest[ci] = cell.Str.Raw()
+			}
+		}
+	}
+	r.i++
+	return nil
+}
+
+// String is a sql.Scanner that preserves policy annotations: scanning a
+// tracked cell keeps its core.String (policies included); scanning a
+// plain value wraps it untainted. Valid follows the sql.NullString
+// convention — false when the scanned cell was SQL NULL — so NULL is
+// never conflated with a stored empty string.
+type String struct {
+	V     core.String
+	Valid bool
+}
+
+// Scan implements sql.Scanner.
+func (s *String) Scan(src any) error {
+	s.Valid = src != nil
+	switch v := src.(type) {
+	case nil:
+		s.V = core.String{}
+	case core.String:
+		s.V = v
+	case core.Int:
+		s.V = v.ToString()
+	case string:
+		s.V = core.NewString(v)
+	case []byte:
+		s.V = core.NewString(string(v))
+	case int64:
+		s.V = core.NewString(strconv.FormatInt(v, 10))
+	default:
+		return fmt.Errorf("resinsql: cannot scan %T into resinsql.String", src)
+	}
+	return nil
+}
+
+// Int is a sql.Scanner that preserves policy annotations on integer
+// cells, mirroring String (including the NULL-distinguishing Valid
+// flag).
+type Int struct {
+	V     core.Int
+	Valid bool
+}
+
+// Scan implements sql.Scanner.
+func (n *Int) Scan(src any) error {
+	n.Valid = src != nil
+	switch v := src.(type) {
+	case nil:
+		n.V = core.Int{}
+	case core.Int:
+		n.V = v
+	case int64:
+		n.V = core.NewInt(v)
+	case core.String:
+		parsed, err := v.ToInt()
+		if err != nil {
+			return fmt.Errorf("resinsql: cannot scan %q into resinsql.Int", v.Raw())
+		}
+		n.V = parsed
+	case string:
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("resinsql: cannot scan %q into resinsql.Int", v)
+		}
+		n.V = core.NewInt(parsed)
+	case []byte:
+		parsed, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return fmt.Errorf("resinsql: cannot scan %q into resinsql.Int", v)
+		}
+		n.V = core.NewInt(parsed)
+	default:
+		return fmt.Errorf("resinsql: cannot scan %T into resinsql.Int", src)
+	}
+	return nil
+}
