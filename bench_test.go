@@ -549,3 +549,97 @@ func BenchmarkAblation_TaintedStructureCheck(b *testing.B) {
 		}
 	})
 }
+
+// ---- SQL durability: the write-ahead log ----
+
+// BenchmarkSQLWALAppend measures the durable-insert path (docs/SQL.md
+// §8): "memory" is the no-WAL baseline, "sync" fsyncs every mutation
+// before acknowledging it (the default durability contract), and
+// "group64" batches up to 64 mutations per fsync — the group-commit
+// knob the issue's durability/throughput trade rides on.
+func BenchmarkSQLWALAppend(b *testing.B) {
+	run := func(b *testing.B, path string, group int) {
+		rt := core.NewRuntime()
+		db, err := sqldb.OpenDB(rt, path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		db.MustExec("CREATE TABLE t (id INT, val TEXT)")
+		if group > 1 {
+			db.SetWALGroupCommit(group)
+		}
+		ins, err := db.PrepareRaw("INSERT INTO t (id, val) VALUES (?, ?)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := core.NewStringPolicy("payload-bytes", &ablationPolicy{ID: 7})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ins.Exec(i, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, "", 0) })
+	b.Run("sync", func(b *testing.B) { run(b, b.TempDir()+"/sync.wal", 0) })
+	b.Run("group64", func(b *testing.B) { run(b, b.TempDir()+"/group.wal", 64) })
+}
+
+// BenchmarkSQLWALReplay measures recovery: reopening a database whose
+// log holds 1000 annotated inserts ("history"), against the same state
+// after compaction ("compacted") — the snapshot's batched INSERTs make
+// replay state-shaped instead of history-shaped.
+func BenchmarkSQLWALReplay(b *testing.B) {
+	build := func(b *testing.B, compact bool) string {
+		path := b.TempDir() + "/replay.wal"
+		rt := core.NewRuntime()
+		db, err := sqldb.OpenDB(rt, path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.MustExec("CREATE TABLE t (id INT, val TEXT)")
+		db.MustExec("CREATE INDEX ON t (id)")
+		db.SetWALGroupCommit(256)
+		payload := core.NewStringPolicy("payload-bytes", &ablationPolicy{ID: 7})
+		ins, err := db.PrepareRaw("INSERT INTO t (id, val) VALUES (?, ?)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := ins.Exec(i, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if compact {
+			if err := db.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return path
+	}
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"history", false}, {"compacted", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			path := build(b, mode.compact)
+			rt := core.NewRuntime()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, err := sqldb.OpenDB(rt, path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				db.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -73,21 +73,34 @@ type App struct {
 // the vulnerable plugins). whoisSrv is the external whois service the
 // /whois page queries.
 func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
+	return NewWithDB(rt, whoisSrv, withAssertions, sqldb.Open(rt))
+}
+
+// NewWithDB is New over a caller-supplied database — in particular a
+// WAL-backed one from sqldb.OpenDB, so a forum can restart from its
+// persisted state (messages, signatures, and the shadow policy columns
+// carrying MessagePolicy/UntrustedData annotations all survive). A
+// database that already holds the schema skips creation and seeding and
+// resumes the message-id counter from the stored messages.
+func NewWithDB(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool, db *sqldb.DB) *App {
 	a := &App{
 		RT:         rt,
-		DB:         sqldb.Open(rt),
+		DB:         db,
 		Server:     httpd.NewServer(rt),
 		Whois:      whois.NewClient(rt, whoisSrv),
 		assertions: withAssertions,
 	}
-	a.DB.MustExec("CREATE TABLE users (name TEXT, signature TEXT)")
-	a.DB.MustExec("CREATE TABLE forums (id INT, name TEXT, readers TEXT)")
-	a.DB.MustExec("CREATE TABLE messages (id INT, forum INT, author TEXT, subject TEXT, body TEXT)")
-	// Point lookups dominate: forum ACLs by id, message listings by
-	// forum, signatures by user name.
-	a.DB.MustExec("CREATE INDEX ON users (name)")
-	a.DB.MustExec("CREATE INDEX ON forums (id)")
-	a.DB.MustExec("CREATE INDEX ON messages (forum)")
+	// Schema setup is idempotent per table/index rather than gated on an
+	// all-or-nothing freshness probe: with a WAL-backed database each
+	// statement is durable on its own, so a crash mid-setup leaves a
+	// partial schema on disk — the next boot must fill in what is
+	// missing, not skip creation (or it would panic preparing statements
+	// against absent tables). Point lookups dominate (forum ACLs by id,
+	// message listings by forum, signatures by user name), hence the
+	// hash indexes.
+	ensureSchema(a.DB, "users", "CREATE TABLE users (name TEXT, signature TEXT)", "name")
+	ensureSchema(a.DB, "forums", "CREATE TABLE forums (id INT, name TEXT, readers TEXT)", "id")
+	ensureSchema(a.DB, "messages", "CREATE TABLE messages (id INT, forum INT, author TEXT, subject TEXT, body TEXT)", "forum")
 
 	a.insForum = a.DB.MustPrepare("INSERT INTO forums (id, name, readers) VALUES (?, ?, ?)")
 	a.selReaders = a.DB.MustPrepare("SELECT readers FROM forums WHERE id = ?")
@@ -103,15 +116,27 @@ func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
 		a.enableXSSAssertion()
 	}
 
-	for _, f := range []Forum{
-		{ID: 1, Name: "general", Readers: []string{"*"}},
-		{ID: 2, Name: "staff", Readers: []string{"admin", "mod"}},
-	} {
-		a.AddForum(f)
+	// Seeding is likewise self-healing: empty tables get their seed rows
+	// whether the database is brand new or recovered from a boot that
+	// crashed between schema and seeds; populated tables resume as-is.
+	if empty(a.DB, "forums") {
+		for _, f := range []Forum{
+			{ID: 1, Name: "general", Readers: []string{"*"}},
+			{ID: 2, Name: "staff", Readers: []string{"admin", "mod"}},
+		} {
+			a.AddForum(f)
+		}
 	}
-	a.seedMessage(Message{Forum: 1, Author: "admin", Subject: "welcome", Body: "welcome to the board"})
-	a.seedMessage(Message{Forum: 2, Author: "admin", Subject: "ops",
-		Body: "the staff backup password is root123"})
+	if empty(a.DB, "messages") {
+		a.seedMessage(Message{Forum: 1, Author: "admin", Subject: "welcome", Body: "welcome to the board"})
+		a.seedMessage(Message{Forum: 2, Author: "admin", Subject: "ops",
+			Body: "the staff backup password is root123"})
+	} else {
+		// Recovered state: resume the id counter past the stored messages.
+		if res, err := a.DB.QueryRaw("SELECT id FROM messages ORDER BY id DESC LIMIT 1"); err == nil && res.Len() > 0 {
+			a.nextID = int(res.Get(0, "id").Int.Value())
+		}
+	}
 
 	a.Server.Handle("/register", a.handleRegister)
 	a.Server.Handle("/setsig", a.handleSetSig)
@@ -125,6 +150,37 @@ func New(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool) *App {
 	a.Server.Handle("/plugin/latest", a.pluginLatest)
 	a.Server.Handle("/plugin/search", a.pluginSearch)
 	return a
+}
+
+// ensureSchema creates a table and its hash index only where missing,
+// so boot is safe to repeat over any partial state a crash left behind.
+func ensureSchema(db *sqldb.DB, table, createSQL, indexCol string) {
+	exists := false
+	for _, n := range db.Engine().Tables() {
+		if n == table {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		db.MustExec(createSQL)
+	}
+	indexed, err := db.Engine().Indexes(table)
+	if err != nil {
+		panic(fmt.Sprintf("forum: schema: %v", err))
+	}
+	for _, c := range indexed {
+		if c == indexCol {
+			return
+		}
+	}
+	db.MustExec("CREATE INDEX ON " + table + " (" + indexCol + ")")
+}
+
+// empty reports whether a table has no rows.
+func empty(db *sqldb.DB, table string) bool {
+	res, err := db.QueryRaw("SELECT * FROM " + table + " LIMIT 1")
+	return err == nil && res.Len() == 0
 }
 
 // AddForum stores a forum definition.

@@ -1,0 +1,128 @@
+package forum
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+	"resin/internal/sqldb"
+	"resin/internal/whois"
+)
+
+// TestForumBootsFromPersistedDB restarts the forum from a WAL-backed
+// database: messages stored before the restart — including the
+// MessagePolicy annotations the SQL filter persisted into shadow policy
+// columns, and the UntrustedData taint on a user-supplied signature —
+// come back with their policies, the id counter resumes past the stored
+// messages, and the read-ACL assertion keeps enforcing reader lists it
+// learned entirely from recovered state.
+func TestForumBootsFromPersistedDB(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "forum.wal")
+	rt := core.NewRuntime()
+	ws := whois.NewServer()
+
+	db, err := sqldb.OpenDB(rt, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := NewWithDB(rt, ws, true, db)
+	secretID, err := app.storeMessage(Message{Forum: 2, Author: "admin"},
+		core.NewString("q3 plans"), core.NewString("the staff-only roadmap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := sanitize.Taint(core.NewString("<script>alert(1)</script>"), "form:sig")
+	if _, err := app.insUser.Exec(core.NewString("admin")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.updSig.Exec(sig, "admin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh runtime and a recovered database; NewWithDB must
+	// skip schema creation and seeding and resume the id counter.
+	rt2 := core.NewRuntime()
+	db2, err := sqldb.OpenDB(rt2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	app2 := NewWithDB(rt2, ws, true, db2)
+
+	_, _, subject, body, err := app2.fetchMessage(secretID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subject.Raw() != "q3 plans" || body.Raw() != "the staff-only roadmap" {
+		t.Fatalf("recovered message = %q / %q", subject.Raw(), body.Raw())
+	}
+	var mp *MessagePolicy
+	for _, p := range body.Policies().Policies() {
+		if m, ok := p.(*MessagePolicy); ok {
+			mp = m
+		}
+	}
+	if mp == nil {
+		t.Fatalf("recovered body lost its MessagePolicy: %s", body.Describe())
+	}
+	if len(mp.Readers) != 2 || mp.Readers[0] != "admin" || mp.Readers[1] != "mod" {
+		t.Errorf("recovered reader list = %v, want [admin mod]", mp.Readers)
+	}
+
+	res, err := app2.selSig.Query("admin")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("signature lookup after restart: %d rows, %v", res.Len(), err)
+	}
+	recovered := res.Get(0, "signature").Str
+	start, _, found := recovered.FindPolicy(sanitize.IsUntrusted)
+	if !found || start != 0 {
+		t.Errorf("recovered signature lost its taint: %s", recovered.Describe())
+	}
+
+	// The id counter resumed: a new post gets a fresh id, not a reused one.
+	newID, err := app2.storeMessage(Message{Forum: 1, Author: "admin"},
+		core.NewString("after restart"), core.NewString("still here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= secretID {
+		t.Errorf("post-restart id %d did not resume past %d", newID, secretID)
+	}
+}
+
+// TestForumRecoversFromPartialBoot: a crash between the schema
+// statements of a first boot leaves some tables missing; the next boot
+// must fill in the rest and seed, not panic preparing statements
+// against absent tables.
+func TestForumRecoversFromPartialBoot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.wal")
+	rt := core.NewRuntime()
+	db, err := sqldb.OpenDB(rt, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: only the first schema statement landed.
+	db.MustExec("CREATE TABLE users (name TEXT, signature TEXT)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := sqldb.OpenDB(rt, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	app := NewWithDB(rt, whois.NewServer(), true, db2) // must not panic
+	res, err := app.selReaders.Query(1)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("seeded forum 1 after partial boot: %d rows, %v", res.Len(), err)
+	}
+	if _, err := app.storeMessage(Message{Forum: 1, Author: "admin"},
+		core.NewString("healed"), core.NewString("boot completed")); err != nil {
+		t.Fatal(err)
+	}
+}

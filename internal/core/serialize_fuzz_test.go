@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+)
+
+// fuzzSpanPolicy is a registered policy class for the annotation
+// round-trip fuzz; its one data field makes field serialization part of
+// what the fuzz exercises.
+type fuzzSpanPolicy struct {
+	Tag string `json:"tag"`
+}
+
+func (p *fuzzSpanPolicy) ExportCheck(ctx *Context) error { return nil }
+
+func init() {
+	RegisterPolicyClass("test.FuzzSpanPolicy", &fuzzSpanPolicy{})
+}
+
+// FuzzCompileAnnotation fuzzes the two halves of the stored-annotation
+// contract the SQL filter and the WAL both lean on:
+//
+//  1. decoding arbitrary annotation bytes (CompileAnnotation and its
+//     Apply) never panics — it either yields a compiled annotation or an
+//     error;
+//  2. a real annotation round-trips: EncodeSpans of a tainted string,
+//     decoded and re-applied to the same raw bytes, re-encodes to the
+//     identical annotation.
+func FuzzCompileAnnotation(f *testing.F) {
+	f.Add([]byte(`not json`), "raw data", uint8(0), uint8(4))
+	f.Add([]byte(`[]`), "", uint8(0), uint8(0))
+	f.Add([]byte(`[{"start":0,"end":8,"policies":[{"class":"test.FuzzSpanPolicy","fields":{"tag":"x"}}]}]`),
+		"s3cretpw", uint8(2), uint8(6))
+	f.Add([]byte(`[{"start":-5,"end":999999,"policies":[{"class":"nope","fields":{}}]}]`), "abc", uint8(1), uint8(2))
+	f.Add([]byte(`[{"start":3,"end":1,"policies":null}]`), "xyzw", uint8(3), uint8(3))
+
+	f.Fuzz(func(t *testing.T, ann []byte, raw string, a, b uint8) {
+		// 1. Arbitrary bytes: decode must not panic; a successful compile
+		// must apply cleanly to any raw value.
+		if c, err := CompileAnnotation(ann); err == nil {
+			_ = c.Apply(raw)
+			_ = c.Apply("")
+		}
+
+		// 2. Round-trip: taint raw over a clipped [start, end) range,
+		// encode, decode, re-apply, re-encode — byte-identical.
+		start, end := int(a), int(b)
+		if start > len(raw) {
+			start = len(raw)
+		}
+		if end > len(raw) {
+			end = len(raw)
+		}
+		if end <= start {
+			return
+		}
+		tainted := NewString(raw).WithPolicyRange(start, end, &fuzzSpanPolicy{Tag: "rt"})
+		enc, err := EncodeSpans(tainted)
+		if err != nil {
+			t.Fatalf("EncodeSpans of a registered policy: %v", err)
+		}
+		comp, err := CompileAnnotation(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding %s: %v", enc, err)
+		}
+		enc2, err := EncodeSpans(comp.Apply(raw))
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("annotation round-trip diverged:\n first: %s\nsecond: %s", enc, enc2)
+		}
+	})
+}

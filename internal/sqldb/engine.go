@@ -148,6 +148,28 @@ type Engine struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	gen    atomic.Uint64
+
+	// wal, when non-nil, is the write-ahead log this engine appends every
+	// successful mutation to — inside the write-lock critical section, so
+	// a mutation is durable (per the sync policy) before its ack leaves
+	// the engine. See wal.go / recover.go.
+	wal *wal
+
+	// logSeq counts records this engine appended to its wal. Tx.Commit
+	// compares it against the value captured at Begin to detect direct
+	// writes that were logged (and acked durable) while the transaction
+	// ran: those writes survive in the log but are discarded from memory
+	// by the engine swap, so a conflicted commit rewrites the log from
+	// the committed state instead of appending — keeping recovered state
+	// equal to live state. Guarded by mu like the table state.
+	logSeq uint64
+
+	// recordRedo makes the engine keep the dialect text of every
+	// successful mutation in redo: a transaction's speculative engine
+	// records its writes so Commit can log them as one begin..commit
+	// group (see tx.go). Guarded by mu like the table state.
+	recordRedo bool
+	redo       []string
 }
 
 // NewEngine returns an empty database engine.
@@ -184,27 +206,74 @@ func (e *Engine) ExecuteRaw(stmt Statement) (res *rawResult, affected int, err e
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.wal != nil {
+		// Refuse up front rather than validate work the log cannot ack
+		// (closed database, or a log that already failed a write).
+		if werr := e.wal.usable(); werr != nil {
+			return nil, 0, werr
+		}
+	}
+	n, apply, err := e.validateMutation(stmt)
+	if err != nil {
+		// A statement that failed validation was never applied and must
+		// leave the log byte-identical (tested by
+		// TestRejectedStatementLeavesWALUntouched).
+		return nil, 0, err
+	}
+	// Write-ahead for real: the record is durable (per the sync policy)
+	// before the infallible apply step mutates memory, so a failed
+	// append — disk full, closed log — rejects the statement with both
+	// memory and log unchanged, and a crash between append and return
+	// replays a statement the engine had fully validated.
+	if logMutation(stmt, n) {
+		if e.wal != nil {
+			if werr := e.wal.appendStmt(stmt.SQL()); werr != nil {
+				return nil, 0, werr
+			}
+			e.logSeq++
+		}
+		if e.recordRedo {
+			e.redo = append(e.redo, stmt.SQL())
+		}
+	}
+	apply()
+	return nil, n, nil
+}
+
+// validateMutation checks a non-SELECT statement under the held write
+// lock and returns the affected-row count plus an apply step that
+// cannot fail: every error surfaces here, before the WAL logs the
+// statement, so a logged record always replays.
+func (e *Engine) validateMutation(stmt Statement) (int, func(), error) {
 	switch s := stmt.(type) {
 	case *CreateTable:
-		return nil, 0, e.createTable(s)
+		return e.createTable(s)
 	case *DropTable:
-		return nil, 0, e.dropTable(s)
+		return e.dropTable(s)
 	case *CreateIndex:
-		return nil, 0, e.createIndex(s)
+		return e.createIndex(s)
 	case *DropIndex:
-		return nil, 0, e.dropIndex(s)
+		return e.dropIndex(s)
 	case *Insert:
-		n, err := e.insert(s)
-		return nil, n, err
+		return e.insert(s)
 	case *Update:
-		n, err := e.update(s)
-		return nil, n, err
+		return e.update(s)
 	case *Delete:
-		n, err := e.delete(s)
-		return nil, n, err
+		return e.delete(s)
 	default:
-		return nil, 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+		return 0, nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 	}
+}
+
+// logMutation reports whether a successful mutation needs a log record:
+// everything except UPDATE/DELETE that matched nothing (replaying a
+// no-op is sound but would grow the log for nothing).
+func logMutation(stmt Statement, affected int) bool {
+	switch stmt.(type) {
+	case *Update, *Delete:
+		return affected > 0
+	}
+	return true
 }
 
 // Schema returns the column definitions of a table.
@@ -230,73 +299,77 @@ func (e *Engine) Tables() []string {
 	return out
 }
 
-func (e *Engine) createTable(s *CreateTable) error {
+func (e *Engine) createTable(s *CreateTable) (int, func(), error) {
 	key := strings.ToLower(s.Table)
 	if _, ok := e.tables[key]; ok {
-		return fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrTableExists, s.Table)
 	}
 	seen := make(map[string]bool)
 	for _, c := range s.Cols {
 		k := strings.ToLower(c.Name)
 		if seen[k] {
-			return fmt.Errorf("sqldb: duplicate column %q", c.Name)
+			return 0, nil, fmt.Errorf("sqldb: duplicate column %q", c.Name)
 		}
 		seen[k] = true
 	}
-	e.tables[key] = newTable(s.Table, append([]ColumnDef(nil), s.Cols...))
-	e.bumpSchemaGen()
-	return nil
+	return 0, func() {
+		e.tables[key] = newTable(s.Table, append([]ColumnDef(nil), s.Cols...))
+		e.bumpSchemaGen()
+	}, nil
 }
 
-func (e *Engine) dropTable(s *DropTable) error {
+func (e *Engine) dropTable(s *DropTable) (int, func(), error) {
 	key := strings.ToLower(s.Table)
 	if _, ok := e.tables[key]; !ok {
-		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
-	delete(e.tables, key)
-	e.bumpSchemaGen()
-	return nil
+	return 0, func() {
+		delete(e.tables, key)
+		e.bumpSchemaGen()
+	}, nil
 }
 
-func (e *Engine) createIndex(s *CreateIndex) error {
+func (e *Engine) createIndex(s *CreateIndex) (int, func(), error) {
 	t, ok := e.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	ci := t.colIndex(s.Column)
 	if ci < 0 {
-		return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Column)
+		return 0, nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Column)
 	}
 	if _, ok := t.indexes[ci]; ok {
-		return fmt.Errorf("%w: %s (%s)", ErrIndexExists, s.Table, s.Column)
+		return 0, nil, fmt.Errorf("%w: %s (%s)", ErrIndexExists, s.Table, s.Column)
 	}
-	if t.indexes == nil {
-		t.indexes = make(map[int]*hashIndex, 1)
-	}
-	ix := &hashIndex{m: make(map[string][]int, len(t.rows))}
-	for pos, row := range t.rows {
-		ix.add(row[ci], pos)
-	}
-	t.indexes[ci] = ix
-	e.bumpSchemaGen()
-	return nil
+	return 0, func() {
+		if t.indexes == nil {
+			t.indexes = make(map[int]*hashIndex, 1)
+		}
+		ix := &hashIndex{m: make(map[string][]int, len(t.rows))}
+		for pos, row := range t.rows {
+			ix.add(row[ci], pos)
+		}
+		t.indexes[ci] = ix
+		e.bumpSchemaGen()
+	}, nil
 }
 
-func (e *Engine) dropIndex(s *DropIndex) error {
+func (e *Engine) dropIndex(s *DropIndex) (int, func(), error) {
 	t, ok := e.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	ci := t.colIndex(s.Column)
 	if ci < 0 {
-		return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Column)
+		return 0, nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.Column)
 	}
 	if _, ok := t.indexes[ci]; !ok {
-		return fmt.Errorf("%w: %s (%s)", ErrNoIndex, s.Table, s.Column)
+		return 0, nil, fmt.Errorf("%w: %s (%s)", ErrNoIndex, s.Table, s.Column)
 	}
-	delete(t.indexes, ci)
-	e.bumpSchemaGen()
-	return nil
+	return 0, func() {
+		delete(t.indexes, ci)
+		e.bumpSchemaGen()
+	}, nil
 }
 
 // Indexes returns the names of the indexed columns of a table, sorted.
@@ -342,19 +415,22 @@ func literalValue(ex Expr, typ ColType) (value, error) {
 	}
 }
 
-func (e *Engine) insert(s *Insert) (int, error) {
+func (e *Engine) insert(s *Insert) (int, func(), error) {
 	t, ok := e.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	idx := make([]int, len(s.Columns))
 	for i, name := range s.Columns {
 		ci := t.colIndex(name)
 		if ci < 0 {
-			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, name)
+			return 0, nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, name)
 		}
 		idx[i] = ci
 	}
+	// Convert every row in the validate phase, so a bad value in any row
+	// rejects the whole INSERT before a single row (or WAL record) lands.
+	rows := make([][]value, 0, len(s.Rows))
 	for _, exprs := range s.Rows {
 		row := make([]value, len(t.cols))
 		for i := range row {
@@ -363,17 +439,21 @@ func (e *Engine) insert(s *Insert) (int, error) {
 		for i, ex := range exprs {
 			v, err := literalValue(ex, t.cols[idx[i]].Type)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			row[idx[i]] = v
 		}
-		pos := len(t.rows)
-		t.rows = append(t.rows, row)
-		for ci, ix := range t.indexes {
-			ix.add(row[ci], pos)
-		}
+		rows = append(rows, row)
 	}
-	return len(s.Rows), nil
+	return len(s.Rows), func() {
+		for _, row := range rows {
+			pos := len(t.rows)
+			t.rows = append(t.rows, row)
+			for ci, ix := range t.indexes {
+				ix.add(row[ci], pos)
+			}
+		}
+	}, nil
 }
 
 // indexCandidates walks the AND spine of a WHERE expression looking for
@@ -519,13 +599,13 @@ func (e *Engine) selectRows(s *Select) (*rawResult, error) {
 	return out, nil
 }
 
-func (e *Engine) update(s *Update) (int, error) {
+func (e *Engine) update(s *Update) (int, func(), error) {
 	t, ok := e.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	if err := validateExpr(s.Where, t); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	type setOp struct {
 		ci  int
@@ -535,60 +615,62 @@ func (e *Engine) update(s *Update) (int, error) {
 	for _, a := range s.Set {
 		ci := t.colIndex(a.Column)
 		if ci < 0 {
-			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, a.Column)
+			return 0, nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, a.Column)
 		}
 		v, err := literalValue(a.Value, t.cols[ci].Type)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		ops = append(ops, setOp{ci, v})
 	}
 	positions, err := t.matchPositions(s.Where)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	for _, pos := range positions {
-		row := t.rows[pos]
-		for _, op := range ops {
-			if ix := t.indexes[op.ci]; ix != nil && indexKey(row[op.ci]) != indexKey(op.val) {
-				ix.remove(row[op.ci], pos)
-				ix.add(op.val, pos)
+	return len(positions), func() {
+		for _, pos := range positions {
+			row := t.rows[pos]
+			for _, op := range ops {
+				if ix := t.indexes[op.ci]; ix != nil && indexKey(row[op.ci]) != indexKey(op.val) {
+					ix.remove(row[op.ci], pos)
+					ix.add(op.val, pos)
+				}
+				row[op.ci] = op.val
 			}
-			row[op.ci] = op.val
 		}
-	}
-	return len(positions), nil
+	}, nil
 }
 
-func (e *Engine) delete(s *Delete) (int, error) {
+func (e *Engine) delete(s *Delete) (int, func(), error) {
 	t, ok := e.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	if err := validateExpr(s.Where, t); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	positions, err := t.matchPositions(s.Where)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	if len(positions) == 0 {
-		return 0, nil
-	}
-	// Removing rows shifts the positions of everything after them, so
-	// deletes rebuild the table's indexes rather than patching buckets.
-	kept := make([][]value, 0, len(t.rows)-len(positions))
-	next := 0
-	for pos, row := range t.rows {
-		if next < len(positions) && positions[next] == pos {
-			next++
-			continue
+	return len(positions), func() {
+		if len(positions) == 0 {
+			return
 		}
-		kept = append(kept, row)
-	}
-	t.rows = kept
-	t.rebuildIndexes()
-	return len(positions), nil
+		// Removing rows shifts the positions of everything after them, so
+		// deletes rebuild the table's indexes rather than patching buckets.
+		kept := make([][]value, 0, len(t.rows)-len(positions))
+		next := 0
+		for pos, row := range t.rows {
+			if next < len(positions) && positions[next] == pos {
+				next++
+				continue
+			}
+			kept = append(kept, row)
+		}
+		t.rows = kept
+		t.rebuildIndexes()
+	}, nil
 }
 
 // validateExpr checks that every column reference in an expression names

@@ -1,0 +1,134 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"resin/internal/core"
+)
+
+// Snapshot + compaction: the log grows with every mutation, so replay
+// cost is history-shaped until compaction rewrites it as the minimal
+// statement sequence that rebuilds the *current* state — one CREATE
+// TABLE per table (shadow policy columns included, since they are
+// ordinary columns by the time they reach the engine), batched INSERTs
+// of the live rows, and one CREATE INDEX per index. The rewrite goes to
+// a temp file first and renames over the log, so a crash during
+// compaction leaves either the old log or the new one, never a mix.
+
+// snapshotBatchRows and snapshotBatchBytes bound one dumped INSERT —
+// by row count and by approximate rendered size — so a large or wide
+// table compacts into records comfortably inside walMaxRecord.
+const (
+	snapshotBatchRows  = 256
+	snapshotBatchBytes = 1 << 20
+)
+
+// ErrNoWAL is returned by Compact on an in-memory database.
+var ErrNoWAL = errors.New("sqldb: in-memory database has no WAL")
+
+func (e *Engine) compactWAL() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal == nil {
+		return ErrNoWAL
+	}
+	if err := e.wal.usable(); err != nil {
+		return err
+	}
+	return e.wal.rewrite(e.dumpStatements())
+}
+
+// dumpStatements serializes the engine's state as replayable dialect
+// text, in deterministic order (tables and index columns sorted).
+func (e *Engine) dumpStatements() []string {
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, key := range names {
+		t := e.tables[key]
+		out = append(out, (&CreateTable{Table: t.name, Cols: t.cols}).SQL())
+		cols := make([]string, len(t.cols))
+		for i, c := range t.cols {
+			cols[i] = c.Name
+		}
+		ins := &Insert{Table: t.name, Columns: cols}
+		batchBytes := 0
+		flush := func() {
+			if len(ins.Rows) > 0 {
+				out = append(out, ins.SQL())
+			}
+			ins = &Insert{Table: t.name, Columns: cols}
+			batchBytes = 0
+		}
+		for _, row := range t.rows {
+			exprs := make([]Expr, len(row))
+			for i, v := range row {
+				exprs[i] = valueExpr(v)
+				batchBytes += len(v.s) + 24 // quoting/framing slop
+			}
+			ins.Rows = append(ins.Rows, exprs)
+			if len(ins.Rows) >= snapshotBatchRows || batchBytes >= snapshotBatchBytes {
+				flush()
+			}
+		}
+		flush()
+		var ixCols []string
+		for ci := range t.indexes {
+			ixCols = append(ixCols, t.cols[ci].Name)
+		}
+		sort.Strings(ixCols)
+		for _, c := range ixCols {
+			out = append(out, (&CreateIndex{Table: t.name, Column: c}).SQL())
+		}
+	}
+	return out
+}
+
+// valueExpr renders a stored cell back into the literal expression that
+// recreates it (the dialect's coercion makes this lossless: ints render
+// as digits into INT columns, text stays text).
+func valueExpr(v value) Expr {
+	switch {
+	case v.null:
+		return &NullLit{}
+	case v.isInt:
+		return &IntLit{Val: v.i}
+	default:
+		return &StringLit{Val: core.NewString(v.s)}
+	}
+}
+
+// rewrite atomically replaces the log's contents with stmts: write a
+// temp file, fsync it, rename over the log path, fsync the directory,
+// then swap file handles. Called under the owning engine's write lock,
+// so no append can interleave.
+func (w *wal) rewrite(stmts []string) error {
+	tmp := w.path + ".compact"
+	f, size, err := writeWALFile(tmp, stmts)
+	if err != nil {
+		return fmt.Errorf("sqldb: compact: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: compact rename: %w", err)
+	}
+	// Persist the rename; best-effort on filesystems without directory
+	// handles. The data itself is already fsynced.
+	if dir, derr := os.Open(filepath.Dir(w.path)); derr == nil {
+		dir.Sync() //nolint:errcheck
+		dir.Close()
+	}
+	w.f.Close() //nolint:errcheck // old log fd; its inode is now unlinked
+	w.f = f
+	w.size = size
+	w.pending = 0
+	return nil
+}

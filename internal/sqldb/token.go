@@ -17,8 +17,11 @@
 // bind argument values — tracked or plain — into the cached template
 // per execution, at zero tokenizes and zero parses per operation; the
 // resinsql package (top of the repo) adapts that API to database/sql.
-// The supported dialect, the shadow policy-column encoding, the plan
-// cache and index semantics, and the binding rules are specified in
+// OpenDB(rt, path) adds durability: a write-ahead log of the rewritten
+// statements (wal.go, recover.go, snapshot.go), so tables and their
+// shadow policy columns survive process restarts. The supported
+// dialect, the shadow policy-column encoding, the plan cache and index
+// semantics, the binding rules, and the WAL format are specified in
 // docs/SQL.md.
 package sqldb
 

@@ -69,6 +69,13 @@ func (v *View) MustExec(q string) *Result {
 // against the source stay valid for the clone until either side runs
 // DDL (which stamps a fresh process-unique generation).
 func (e *Engine) Clone() *Engine {
+	out, _ := e.cloneForTx()
+	return out
+}
+
+// cloneForTx is Clone plus the engine's WAL append count, read under
+// the same lock acquisition (Begin needs the two to be consistent).
+func (e *Engine) cloneForTx() (*Engine, uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	out := NewEngine()
@@ -91,7 +98,7 @@ func (e *Engine) Clone() *Engine {
 		out.tables[key] = nt
 	}
 	out.gen.Store(e.gen.Load())
-	return out
+	return out, e.logSeq
 }
 
 // Transaction errors.
@@ -117,6 +124,12 @@ type Tx struct {
 	mu   sync.Mutex
 	spec *Engine
 	done bool
+
+	// base and baseSeq snapshot the engine (and its WAL record count)
+	// the speculative copy was cloned from; Commit uses them to detect
+	// logged direct writes that the engine swap would discard.
+	base    *Engine
+	baseSeq uint64
 }
 
 // AddIntegrityAssertion registers a named assertion checked before every
@@ -133,11 +146,19 @@ type namedAssertion struct {
 }
 
 // Begin opens a transaction over a speculative copy of the database.
+// The copy records the dialect text of its writes (redo), so Commit can
+// log them to the write-ahead log as one begin..commit group; recovery
+// applies a group only when its commit marker made it to disk.
 func (db *DB) Begin() *Tx {
 	db.txMu.RLock()
 	engine := db.engine
 	db.txMu.RUnlock()
-	return &Tx{db: db, spec: engine.Clone()}
+	// Clone and capture the append count in one critical section: a
+	// direct write slipping between them would be counted in baseSeq yet
+	// missing from the clone, blinding Commit's conflict detection.
+	spec, baseSeq := engine.cloneForTx()
+	spec.recordRedo = true
+	return &Tx{db: db, spec: spec, base: engine, baseSeq: baseSeq}
 }
 
 // Query executes a statement inside the transaction: the speculative
@@ -218,9 +239,68 @@ func (tx *Tx) Commit() error {
 			return &IntegrityError{Assertion: a.name, Err: err}
 		}
 	}
+	// Durability before the swap: move the log from the current engine to
+	// the speculative one, appending the transaction's redo statements
+	// between begin/commit markers on the way. The whole handoff runs
+	// under the current engine's write lock — the same lock every
+	// mutation appends under — so a racing direct write either completes
+	// (logged) before the commit group, or blocks until the handoff is
+	// done; there is no window in which a mutation could be acked
+	// against a silently detached log. If the group cannot be made
+	// durable the commit fails with the database state (and the log,
+	// still attached) unchanged.
+	cur := tx.db.engine
+	if moved, err := tx.moveWAL(cur); err != nil {
+		tx.done = true
+		return fmt.Errorf("sqldb: commit: %w", err)
+	} else if moved != nil {
+		tx.spec.attachWAL(moved)
+	}
+	tx.spec.mu.Lock()
+	tx.spec.recordRedo, tx.spec.redo = false, nil
+	tx.spec.mu.Unlock()
 	tx.db.engine = tx.spec
 	tx.done = true
 	return nil
+}
+
+// moveWAL makes the transaction durable and detaches the log from the
+// source engine, all under the source's write lock. A closed or
+// fail-stopped log refuses the commit up front — the conflicted path
+// rewrites the log file wholesale and must never do that to a database
+// the application has Closed. Anything logged since Begin — a direct
+// write, or another transaction's commit group (which also swapped
+// engines) — is about to be discarded from memory by the engine swap,
+// under the documented last-commit-wins rule; the log must lose it too,
+// or a restart would resurrect it, so a conflicted commit rewrites the
+// log from the committed state instead of appending its redo group.
+func (tx *Tx) moveWAL(cur *Engine) (*wal, error) {
+	cur.mu.Lock()
+	defer cur.mu.Unlock()
+	w := cur.wal
+	if w == nil {
+		return nil, nil
+	}
+	if err := w.usable(); err != nil {
+		return nil, err
+	}
+	var err error
+	if conflicted := cur != tx.base || cur.logSeq != tx.baseSeq; conflicted {
+		// spec is still private to this transaction; taking its lock
+		// inside cur's is safe — no path holds spec.mu and then waits on
+		// cur.mu.
+		tx.spec.mu.Lock()
+		stmts := tx.spec.dumpStatements()
+		tx.spec.mu.Unlock()
+		err = w.rewrite(stmts)
+	} else if len(tx.spec.redo) > 0 {
+		err = w.appendTxGroup(tx.spec.redo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cur.wal = nil
+	return w, nil
 }
 
 // Rollback abandons the transaction.

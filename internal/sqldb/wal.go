@@ -1,0 +1,315 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The write-ahead log: durability for tables and their shadow policy
+// columns (ROADMAP: "so policies survive process restarts the way the
+// paper's MySQL-backed prototype did"). The engine stores plain values
+// and the filter persists policies in shadow columns (docs/SQL.md §3),
+// so one log of the *rewritten* statements the engine executes captures
+// both: replaying the statement sequence rebuilds tables, rows, indexes,
+// and the serialized policy annotations, and the existing batched decode
+// (core.CompileAnnotation) re-interns the policy sets on first read.
+//
+// File format v1 (normative spec in docs/SQL.md §8, pinned byte-for-byte
+// by testdata/wal_v1.golden):
+//
+//	header:  8-byte magic "RESINWAL" + 1 version byte (0x01)
+//	record:  uint32 LE payload length | uint32 LE CRC-32 (IEEE) of the
+//	         payload | payload bytes
+//	payload: 1 type byte + data
+//	types:   'S' statement (data = the statement's dialect text, the
+//	             form Engine executed — post filter rewrite, so shadow
+//	             policy columns and their annotation literals are
+//	             already spliced in)
+//	         'B' transaction begin marker (no data)
+//	         'C' transaction commit marker (no data)
+//
+// Statements outside B..C markers apply on replay as they are read; a
+// B..C group applies atomically at its commit marker, and a group whose
+// commit marker never made it to disk is dropped entirely — recovery
+// drops uncommitted suffixes. Torn tails (a partial record, a checksum
+// mismatch, a zero length from a preallocated tail) truncate the log at
+// the last applied boundary; damage that a crash cannot explain — bad
+// magic, an unknown record type or unparseable statement *protected by a
+// valid checksum* — is reported as a *WALCorruptionError instead of
+// being silently dropped.
+const (
+	walMagic         = "RESINWAL"
+	walVersion       = 0x01
+	walHeaderSize    = len(walMagic) + 1
+	walRecHeaderSize = 8
+	// walMaxRecord bounds one record's payload, enforced symmetrically:
+	// appends refuse a larger payload (ErrWALRecordTooLarge — the
+	// statement is rejected before it mutates anything), and recovery
+	// treats a larger length field as a torn tail, not an allocation
+	// request. Without the append-side check an oversized statement
+	// would be acked as durable and then silently truncated — along
+	// with everything after it — on the next open.
+	walMaxRecord = 64 << 20
+)
+
+// WAL record type bytes.
+const (
+	walRecStmt   = 'S'
+	walRecBegin  = 'B'
+	walRecCommit = 'C'
+)
+
+// ErrDBClosed is returned for mutations against a closed persistent
+// database (DB.Close syncs and closes the log; acknowledging a write
+// afterwards would un-promise durability).
+var ErrDBClosed = errors.New("sqldb: database is closed")
+
+// ErrWALCorrupt is the sentinel matched by errors.Is for every
+// *WALCorruptionError.
+var ErrWALCorrupt = errors.New("sqldb: corrupt WAL")
+
+// ErrWALRecordTooLarge rejects a single statement whose log record
+// would exceed walMaxRecord; the statement is not applied.
+var ErrWALRecordTooLarge = errors.New("sqldb: statement exceeds the WAL record size limit")
+
+// ErrWALBusy reports that another process (or another DB handle in this
+// one) holds the write lock on the log file.
+var ErrWALBusy = errors.New("sqldb: WAL is locked by another database handle")
+
+// WALCorruptionError reports log damage that the torn-tail rule cannot
+// explain away: the bytes up to Offset were intact (checksums passed)
+// but their content is not a valid record sequence.
+type WALCorruptionError struct {
+	Path   string
+	Offset int64
+	Reason string
+	Err    error
+}
+
+func (e *WALCorruptionError) Error() string {
+	msg := fmt.Sprintf("sqldb: corrupt WAL %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *WALCorruptionError) Unwrap() error { return e.Err }
+
+// Is matches the ErrWALCorrupt sentinel.
+func (e *WALCorruptionError) Is(target error) bool { return target == ErrWALCorrupt }
+
+// wal is the open write-ahead log of one persistent engine. All writer
+// state is guarded by the owning Engine's write lock (appends happen
+// inside ExecuteRaw's critical section — a mutation is durable before
+// its ack leaves the engine) except during Tx.Commit, which detaches the
+// wal from the engine before appending the commit group (see tx.go).
+type wal struct {
+	path string
+	f    *os.File
+	size int64
+
+	// groupEvery is the group-commit knob: fsync once per groupEvery
+	// append calls instead of per call. <= 1 means sync every append
+	// (the default: full durability-before-ack). pending counts appends
+	// since the last fsync.
+	groupEvery int
+	pending    int
+
+	closed bool
+	broken error // sticky first write/sync failure; the wal is fail-stop
+}
+
+// usable reports whether the log can accept an append.
+func (w *wal) usable() error {
+	if w.closed {
+		return ErrDBClosed
+	}
+	if w.broken != nil {
+		return fmt.Errorf("sqldb: WAL failed earlier and is write-disabled: %w", w.broken)
+	}
+	return nil
+}
+
+// appendRecord frames one payload into buf.
+func appendRecord(buf []byte, payload []byte) []byte {
+	var hdr [walRecHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// stmtPayload builds the payload of a statement record.
+func stmtPayload(text string) []byte {
+	p := make([]byte, 0, 1+len(text))
+	p = append(p, walRecStmt)
+	return append(p, text...)
+}
+
+// write appends pre-framed bytes and applies the sync policy. On any
+// write or sync failure the wal goes fail-stop: the error is sticky and
+// every later append refuses, so a partially written tail can never be
+// followed by more records (recovery would interleave garbage).
+func (w *wal) write(frame []byte) error {
+	if err := w.usable(); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.broken = err
+		return fmt.Errorf("sqldb: WAL append: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.pending++
+	if w.groupEvery <= 1 || w.pending >= w.groupEvery {
+		return w.syncNow()
+	}
+	return nil
+}
+
+// appendStmt logs one mutating statement.
+func (w *wal) appendStmt(text string) error {
+	if 1+len(text) > walMaxRecord {
+		return fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(text))
+	}
+	return w.write(appendRecord(nil, stmtPayload(text)))
+}
+
+// appendTxGroup logs a committed transaction's redo statements between
+// begin and commit markers, as one contiguous write and one sync — the
+// markers are what lets recovery drop an uncommitted suffix, and the
+// single sync is the transactional flavor of group commit.
+func (w *wal) appendTxGroup(stmts []string) error {
+	buf := appendRecord(nil, []byte{walRecBegin})
+	for _, s := range stmts {
+		if 1+len(s) > walMaxRecord {
+			return fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(s))
+		}
+		buf = appendRecord(buf, stmtPayload(s))
+	}
+	buf = appendRecord(buf, []byte{walRecCommit})
+	if err := w.usable(); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.broken = err
+		return fmt.Errorf("sqldb: WAL commit group: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.pending++
+	return w.syncNow()
+}
+
+// syncNow flushes pending appends to stable storage.
+func (w *wal) syncNow() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = err
+		return fmt.Errorf("sqldb: WAL sync: %w", err)
+	}
+	w.pending = 0
+	return nil
+}
+
+// close syncs pending appends and closes the file. The wal stays
+// attached with closed set, so later mutations fail with ErrDBClosed
+// instead of silently losing durability.
+func (w *wal) close() error {
+	if w.closed {
+		return nil
+	}
+	serr := w.syncNow()
+	cerr := w.f.Close()
+	w.closed = true
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// writeWALFile writes a fresh v1 log containing stmts to path (the
+// compaction writer and the new-file path share it): header, one
+// statement record per entry, fsynced before return.
+func writeWALFile(path string, stmts []string) (*os.File, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The advisory lock follows the inode through the compaction
+	// rename, keeping the single-writer rule intact across the handle
+	// swap (the old fd's lock dies with it).
+	if err := lockWALFile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, fmt.Errorf("%w: %s", ErrWALBusy, path)
+	}
+	buf := make([]byte, 0, walHeaderSize)
+	buf = append(buf, walMagic...)
+	buf = append(buf, walVersion)
+	for _, s := range stmts {
+		if 1+len(s) > walMaxRecord {
+			f.Close()
+			os.Remove(path)
+			return nil, 0, fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(s))
+		}
+		buf = appendRecord(buf, stmtPayload(s))
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, err
+	}
+	return f, int64(len(buf)), nil
+}
+
+// walNextRecord reads one record's framing (length + checksum) at off.
+// ok is false at a torn tail: a partial record header, a zero or
+// oversized length, a truncated payload, or a checksum mismatch. It is
+// the single framing reader — recovery and the boundary scanner both
+// use it, so the torn-tail rule cannot drift between them.
+func walNextRecord(data []byte, off int) (payload []byte, end int, ok bool) {
+	if len(data)-off < walRecHeaderSize {
+		return nil, 0, false
+	}
+	ln := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if ln == 0 || ln > walMaxRecord || off+walRecHeaderSize+ln > len(data) {
+		return nil, 0, false
+	}
+	payload = data[off+walRecHeaderSize : off+walRecHeaderSize+ln]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false
+	}
+	return payload, off + walRecHeaderSize + ln, true
+}
+
+// walRecordEnds scans framing only (no payload interpretation) and
+// returns the end offset of every intact record — the truncation points
+// the crash-recovery property test replays. A valid header contributes
+// walHeaderSize as the first boundary.
+func walRecordEnds(data []byte) []int64 {
+	if len(data) < walHeaderSize || string(data[:len(walMagic)]) != walMagic {
+		return nil
+	}
+	ends := []int64{int64(walHeaderSize)}
+	off := walHeaderSize
+	for off < len(data) {
+		_, end, ok := walNextRecord(data, off)
+		if !ok {
+			break
+		}
+		off = end
+		ends = append(ends, int64(off))
+	}
+	return ends
+}

@@ -1,0 +1,104 @@
+package sqldb
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resin/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWALGoldenEncoding pins the WAL v1 byte format — magic and version
+// byte, record framing (length + CRC), the statement/begin/commit type
+// bytes, and the shadow-policy annotation serialization inside logged
+// statements — against testdata/wal_v1.golden. An accidental format
+// change fails here loudly instead of silently orphaning old logs.
+// Regenerate deliberately with:
+//
+//	go test ./internal/sqldb -run TestWALGoldenEncoding -update
+//
+// and bump walVersion if old logs can no longer replay.
+func TestWALGoldenEncoding(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.wal")
+	rt := core.NewRuntime()
+	db := openWALDB(t, rt, path)
+
+	// The docs/SQL.md §3 worked example, persisted: a CREATE rewritten
+	// with policy columns, an INSERT carrying a serialized annotation, a
+	// rejected-free UPDATE inside a committed transaction (begin/commit
+	// markers), and a standalone DELETE.
+	db.MustExec("CREATE TABLE users (email TEXT, password TEXT)")
+	pw := core.NewStringPolicy("s3cretpw", &passwordPolicy{Email: "u@example.org"})
+	if _, err := db.QueryRaw("INSERT INTO users (email, password) VALUES (?, ?)",
+		"u@example.org", pw); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.QueryRaw("UPDATE users SET password = ? WHERE email = ?",
+		core.NewStringPolicy("n3wpw", &passwordPolicy{Email: "u@example.org"}), "u@example.org"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.QueryRaw("DELETE FROM users WHERE email = ?", "nobody@example.org"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "wal_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("WAL encoding changed (%d bytes, want %d).\ngot:  %s\nwant: %s\n"+
+			"If this is deliberate, bump walVersion, handle the old format in replayWAL, and regenerate with -update.",
+			len(got), len(want), hexPreview(got), hexPreview(want))
+	}
+
+	// The golden bytes must also replay: byte-stability without replay
+	// compatibility would pin the wrong contract.
+	replayPath := filepath.Join(t.TempDir(), "replay.wal")
+	if err := os.WriteFile(replayPath, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openWALDB(t, rt, replayPath)
+	defer db2.Close()
+	res, err := db2.QueryRaw("SELECT password FROM users WHERE email = ?", "u@example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Get(0, "password").Str.Raw() != "n3wpw" {
+		t.Fatalf("golden replay: %d rows, password %q", res.Len(), res.Get(0, "password").Str.Raw())
+	}
+	if !res.Get(0, "password").Str.IsTainted() {
+		t.Error("golden replay lost the annotation")
+	}
+}
+
+func hexPreview(b []byte) string {
+	const n = 64
+	if len(b) > n {
+		return fmt.Sprintf("%q...", b[:n])
+	}
+	return fmt.Sprintf("%q", b)
+}

@@ -1,0 +1,126 @@
+package sqldb
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/sanitize"
+)
+
+// TestWALConcurrentWritersReadersCompaction drives concurrent
+// prepared-statement writers appending to the WAL, readers querying, and
+// snapshot/compaction running mid-flight — the -race CI run watches the
+// lock discipline (appends inside the engine's write critical section,
+// compaction swapping file handles under the same lock). A final
+// restart proves the log stayed coherent under the interleaving.
+func TestWALConcurrentWritersReadersCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "race.wal")
+	rt := core.NewRuntime()
+	db := openWALDB(t, rt, path)
+	db.MustExec("CREATE TABLE t (id INT, val TEXT)")
+	db.MustExec("CREATE INDEX ON t (id)")
+	db.SetWALGroupCommit(8)
+
+	ins := db.MustPrepare("INSERT INTO t (id, val) VALUES (?, ?)")
+	upd := db.MustPrepare("UPDATE t SET val = ? WHERE id = ?")
+	sel := db.MustPrepare("SELECT id, val FROM t WHERE id = ?")
+
+	const writers, perWriter, readers = 4, 40, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				tainted := core.NewStringPolicy("payload", &sanitize.UntrustedData{Source: "race"})
+				if _, err := ins.Exec(id, tainted); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%4 == 0 {
+					if _, err := upd.Exec("updated", id); err != nil {
+						t.Errorf("writer %d update: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWriter*2; i++ {
+				if _, err := sel.Query(i % (writers * perWriter)); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := db.Compact(); err != nil {
+				t.Errorf("mid-flight compaction: %v", err)
+				return
+			}
+		}
+	}()
+	// Transactions committing while direct writers append: the commit's
+	// log handoff runs under the engine write lock, so the race detector
+	// watches the contested path (and conflicted commits exercise the
+	// rewrite-from-state branch).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			tx := db.Begin()
+			if _, err := tx.QueryRaw("INSERT INTO t (id, val) VALUES (?, ?)", 100000+i, "tx"); err != nil {
+				t.Errorf("tx writer: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				if err := tx.Rollback(); err != nil {
+					t.Errorf("tx rollback: %v", err)
+				}
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("tx commit: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	// A quiesced write with a policy, then the real invariant: whatever
+	// interleaving happened (tx swaps may discard racing direct writes
+	// under last-commit-wins), the state recovered from the log must
+	// equal the live state at close.
+	finalVal := core.NewStringPolicy("final", &sanitize.UntrustedData{Source: "race-final"})
+	if _, err := db.QueryRaw("INSERT INTO t (id, val) VALUES (?, ?)", 999999, finalVal); err != nil {
+		t.Fatal(err)
+	}
+	live := dumpEngine(db.Engine())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openWALDB(t, rt, path)
+	defer db2.Close()
+	if got := dumpEngine(db2.Engine()); !reflect.DeepEqual(got, live) {
+		t.Error("recovered state diverges from live state after the concurrent run")
+	}
+	one, err := db2.QueryRaw("SELECT val FROM t WHERE id = ?", 999999)
+	if err != nil || one.Len() != 1 {
+		t.Fatalf("point lookup after restart: %d rows, %v", one.Len(), err)
+	}
+	if !one.Get(0, "val").Str.IsTainted() {
+		t.Error("policy lost across the concurrent run + restart")
+	}
+}

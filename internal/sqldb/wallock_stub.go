@@ -1,0 +1,9 @@
+//go:build !unix
+
+package sqldb
+
+import "os"
+
+// lockWALFile is a no-op on platforms without flock: the single-writer
+// rule is the caller's responsibility there. The unix build enforces it.
+func lockWALFile(f *os.File) error { return nil }

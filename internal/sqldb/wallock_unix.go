@@ -1,0 +1,15 @@
+//go:build unix
+
+package sqldb
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockWALFile takes a non-blocking exclusive advisory lock on the log
+// file, enforcing the single-writer rule across processes (and across
+// DB handles in one process). Released by closing the file.
+func lockWALFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

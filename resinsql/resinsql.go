@@ -17,7 +17,12 @@
 //
 // The driver registers itself as "resin". Data source names resolve
 // through an explicit registry: call Bind(name, db) with a *sqldb.DB,
-// then sql.Open("resin", name). Statements use `?` placeholders; see
+// then sql.Open("resin", name). A DSN of the form "file:PATH" instead
+// names a WAL-backed persistent database (docs/SQL.md §8): OpenFile
+// opens one explicitly over a caller-supplied runtime, and an unbound
+// file: DSN reaching sql.Open is opened lazily over a shared default
+// runtime, so plain database/sql code gets durable policy annotations
+// with nothing but a path. Statements use `?` placeholders; see
 // docs/SQL.md §6 for the binding semantics.
 package resinsql
 
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync"
 
 	"resin/internal/core"
@@ -74,14 +80,113 @@ func NewDB(name string, rt *core.Runtime) *sqldb.DB {
 	return db
 }
 
+// FilePrefix marks a data source name as a WAL file path rather than a
+// registry key: "file:/var/data/app.db".
+const FilePrefix = "file:"
+
+// OpenFile opens (creating or recovering as needed) the WAL-backed
+// database at the path of a "file:PATH" DSN over rt, binds it under the
+// full DSN, and returns the native handle — the persistent counterpart
+// of NewDB. Pair it with sql.Open(DriverName, dsn); when finished, Close
+// the native handle and Unbind the DSN so a later OpenFile re-recovers
+// from disk.
+func OpenFile(dsn string, rt *core.Runtime) (*sqldb.DB, error) {
+	path := strings.TrimPrefix(dsn, FilePrefix)
+	if path == dsn || path == "" {
+		return nil, fmt.Errorf("resinsql: OpenFile wants a %q DSN, got %q", FilePrefix+"PATH", dsn)
+	}
+	db, err := sqldb.OpenDB(rt, path)
+	if err != nil {
+		return nil, err
+	}
+	Bind(dsn, db)
+	return db, nil
+}
+
+// CloseFile syncs and closes the WAL-backed database bound to dsn —
+// whether it was opened explicitly (OpenFile) or lazily through
+// sql.Open — and removes the binding, so a later open re-recovers from
+// disk and can take the file lock. Closing the *sql.DB alone is not
+// enough: database/sql never learns about the WAL, so every file: DSN
+// should be paired with a CloseFile.
+func CloseFile(dsn string) error {
+	registry.mu.Lock()
+	db := registry.m[dsn]
+	delete(registry.m, dsn)
+	registry.mu.Unlock()
+	lazyOpens.mu.Lock()
+	delete(lazyOpens.m, dsn) // a later sql.Open re-recovers from disk
+	lazyOpens.mu.Unlock()
+	if db == nil {
+		return fmt.Errorf("resinsql: no database bound to %q", dsn)
+	}
+	return db.Close()
+}
+
+// defaultRuntime backs file: DSNs opened implicitly through sql.Open
+// (no way to pass a runtime through database/sql): one shared tracked
+// runtime for the process.
+var defaultRuntime = struct {
+	once sync.Once
+	rt   *core.Runtime
+}{}
+
+// lazyOpens serializes implicit file: opens per DSN, so WAL replay — a
+// full file read plus statement re-execution, possibly seconds for a
+// long-history log — runs outside the global registry lock and never
+// stalls connections to other data sources.
+var lazyOpens = struct {
+	mu sync.Mutex
+	m  map[string]*lazyOpen
+}{m: make(map[string]*lazyOpen)}
+
+type lazyOpen struct {
+	once sync.Once
+	db   *sqldb.DB
+	err  error
+}
+
+func openFileLazily(name string) (*sqldb.DB, error) {
+	defaultRuntime.once.Do(func() { defaultRuntime.rt = core.NewRuntime() })
+	lazyOpens.mu.Lock()
+	o := lazyOpens.m[name]
+	if o == nil {
+		o = &lazyOpen{}
+		lazyOpens.m[name] = o
+	}
+	lazyOpens.mu.Unlock()
+	o.once.Do(func() {
+		o.db, o.err = sqldb.OpenDB(defaultRuntime.rt, strings.TrimPrefix(name, FilePrefix))
+		if o.err == nil {
+			Bind(name, o.db)
+		} else {
+			// Leave the entry retryable: a transient failure (e.g. the
+			// previous holder of the file lock still closing) must not
+			// pin this DSN to an error forever.
+			lazyOpens.mu.Lock()
+			delete(lazyOpens.m, name)
+			lazyOpens.mu.Unlock()
+		}
+	})
+	return o.db, o.err
+}
+
 // Driver implements driver.Driver over the registry.
 type Driver struct{}
 
-// Open connects to the database bound to the given data source name.
+// Open connects to the database bound to the given data source name. An
+// unbound name with the file: prefix is opened (recovering the WAL at
+// that path) over a shared default runtime and bound for later calls.
 func (*Driver) Open(name string) (driver.Conn, error) {
 	registry.mu.RLock()
 	db := registry.m[name]
 	registry.mu.RUnlock()
+	if db == nil && strings.HasPrefix(name, FilePrefix) {
+		var err error
+		if db, err = openFileLazily(name); err != nil {
+			return nil, err
+		}
+	}
 	if db == nil {
 		return nil, fmt.Errorf("resinsql: no database bound to %q (call resinsql.Bind first)", name)
 	}

@@ -2,6 +2,7 @@ package resinsql_test
 
 import (
 	"database/sql"
+	"path/filepath"
 	"testing"
 
 	"resin/internal/core"
@@ -230,5 +231,83 @@ func TestDriverTaintedIntRoundTrip(t *testing.T) {
 	}
 	if !got.V.IsTainted() || !got.V.Policies().Any(sanitize.IsUntrusted) {
 		t.Error("integer cell lost its policy across the driver boundary")
+	}
+}
+
+// TestFileDSNRestartPreservesPolicies is the durability acceptance
+// round trip through the driver facade: a file: DSN opens a WAL-backed
+// database, a tracked value inserted before a restart (close + reopen of
+// the same path) still carries its UntrustedData policy after recovery.
+func TestFileDSNRestartPreservesPolicies(t *testing.T) {
+	rt := core.NewRuntime()
+	dsn := resinsql.FilePrefix + filepath.Join(t.TempDir(), "facade.wal")
+
+	native, err := resinsql.OpenFile(dsn, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sql.Open(resinsql.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE notes (id INT, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	tainted := sanitize.Taint(core.NewString("remember me"), "form:body")
+	if _, err := db.Exec("INSERT INTO notes (id, body) VALUES (?, ?)", 7, tainted); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = native // the native handle is owned by the registry; CloseFile closes it
+	if err := resinsql.CloseFile(dsn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: an unbound file: DSN recovers lazily inside the driver —
+	// plain database/sql code, nothing but the path.
+	db2, err := sql.Open(resinsql.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	defer resinsql.CloseFile(dsn) //nolint:errcheck
+	var body resinsql.String
+	if err := db2.QueryRow("SELECT body FROM notes WHERE id = ?", 7).Scan(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Valid || body.V.Raw() != "remember me" {
+		t.Fatalf("recovered body = %q (valid=%v)", body.V.Raw(), body.Valid)
+	}
+	found := false
+	for _, p := range body.V.Policies().Policies() {
+		if u, ok := p.(*sanitize.UntrustedData); ok && u.Source == "form:body" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recovered policies = %s, want UntrustedData{form:body}", body.V.Describe())
+	}
+}
+
+// TestOpenFileRejectsBadDSN pins the error paths of the file: scheme.
+func TestOpenFileRejectsBadDSN(t *testing.T) {
+	rt := core.NewRuntime()
+	if _, err := resinsql.OpenFile("not-a-file-dsn", rt); err == nil {
+		t.Error("OpenFile accepted a DSN without the file: prefix")
+	}
+	if _, err := resinsql.OpenFile(resinsql.FilePrefix, rt); err == nil {
+		t.Error("OpenFile accepted an empty path")
+	}
+	if _, err := sql.Open(resinsql.DriverName, "unbound-name"); err == nil {
+		// driver.Open runs lazily; force a connection.
+		db, _ := sql.Open(resinsql.DriverName, "unbound-name")
+		if db != nil {
+			if err := db.Ping(); err == nil {
+				t.Error("unbound non-file DSN connected")
+			}
+			db.Close()
+		}
 	}
 }
