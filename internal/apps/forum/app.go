@@ -97,10 +97,14 @@ func NewWithDB(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool, db
 	// missing, not skip creation (or it would panic preparing statements
 	// against absent tables). Point lookups dominate (forum ACLs by id,
 	// message listings by forum, signatures by user name), hence the
-	// hash indexes.
+	// indexes; messages additionally index id so the probe-free
+	// ORDER BY id listings — search, the latest-posts plugin, the
+	// restart id probe — run as ordered-index traversals with the
+	// post-filter sort pushed down (docs/SQL.md §4). Topic pages keep
+	// their forum-bucket probe and sort the handful of rows it yields.
 	ensureSchema(a.DB, "users", "CREATE TABLE users (name TEXT, signature TEXT)", "name")
 	ensureSchema(a.DB, "forums", "CREATE TABLE forums (id INT, name TEXT, readers TEXT)", "id")
-	ensureSchema(a.DB, "messages", "CREATE TABLE messages (id INT, forum INT, author TEXT, subject TEXT, body TEXT)", "forum")
+	ensureSchema(a.DB, "messages", "CREATE TABLE messages (id INT, forum INT, author TEXT, subject TEXT, body TEXT)", "forum", "id")
 
 	a.insForum = a.DB.MustPrepare("INSERT INTO forums (id, name, readers) VALUES (?, ?, ?)")
 	a.selReaders = a.DB.MustPrepare("SELECT readers FROM forums WHERE id = ?")
@@ -152,9 +156,9 @@ func NewWithDB(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool, db
 	return a
 }
 
-// ensureSchema creates a table and its hash index only where missing,
-// so boot is safe to repeat over any partial state a crash left behind.
-func ensureSchema(db *sqldb.DB, table, createSQL, indexCol string) {
+// ensureSchema creates a table and its indexes only where missing, so
+// boot is safe to repeat over any partial state a crash left behind.
+func ensureSchema(db *sqldb.DB, table, createSQL string, indexCols ...string) {
 	exists := false
 	for _, n := range db.Engine().Tables() {
 		if n == table {
@@ -169,12 +173,15 @@ func ensureSchema(db *sqldb.DB, table, createSQL, indexCol string) {
 	if err != nil {
 		panic(fmt.Sprintf("forum: schema: %v", err))
 	}
+	have := make(map[string]bool, len(indexed))
 	for _, c := range indexed {
-		if c == indexCol {
-			return
+		have[c] = true
+	}
+	for _, col := range indexCols {
+		if !have[col] {
+			db.MustExec("CREATE INDEX ON " + table + " (" + col + ")")
 		}
 	}
-	db.MustExec("CREATE INDEX ON " + table + " (" + indexCol + ")")
 }
 
 // empty reports whether a table has no rows.

@@ -60,11 +60,15 @@ func init() {
 }
 
 // EnableReviews creates the review store and registers the review page.
-// Call before adding reviews.
+// Call before adding reviews. The paper column is indexed — the review
+// page is a point lookup per paper — and the listing orders by reviewer
+// for a deterministic page regardless of submission order (the bucket
+// probe dominates; the per-paper sort is a handful of rows).
 func (a *App) EnableReviews() {
 	a.DB.MustExec("CREATE TABLE reviews (paper INT, reviewer TEXT, body TEXT)")
+	a.DB.MustExec("CREATE INDEX ON reviews (paper)")
 	a.insReview = a.DB.MustPrepare("INSERT INTO reviews (paper, reviewer, body) VALUES (?, ?, ?)")
-	a.selReviews = a.DB.MustPrepare("SELECT reviewer, body FROM reviews WHERE paper = ?")
+	a.selReviews = a.DB.MustPrepare("SELECT reviewer, body FROM reviews WHERE paper = ? ORDER BY reviewer")
 	a.Server.Handle("/reviews", a.handleReviews)
 }
 

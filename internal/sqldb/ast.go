@@ -48,9 +48,10 @@ type DropTable struct {
 	Table string
 }
 
-// CreateIndex is CREATE INDEX ON t (col): it declares an equality hash
-// index over one column, consulted by the engine's predicate analyzer
-// for `col = literal` WHERE conjuncts (see docs/SQL.md).
+// CreateIndex is CREATE INDEX ON t (col): it declares an ordered index
+// over one column, consulted by the engine's predicate analyzer for
+// equality, range, and LIKE-prefix WHERE conjuncts and by ORDER BY
+// pushdown (see docs/SQL.md §4).
 type CreateIndex struct {
 	Table  string
 	Column string

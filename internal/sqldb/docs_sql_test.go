@@ -222,3 +222,81 @@ func TestFigure4PreparedExampleRoundTrips(t *testing.T) {
 		t.Fatalf("execute rewritten: %v", err)
 	}
 }
+
+// TestOrderedIndexDocExamples pins docs/SQL.md §4's worked examples:
+// the block's setup statements build the documented table, each
+// documented query runs against the indexed engine AND a forced-scan
+// twin (no CREATE INDEX), and both must produce exactly the documented
+// first-column values in the documented order — the doc's range, LIKE,
+// ORDER BY pushdown, NULL-placement, and coercion-fallback claims all
+// stay live.
+func TestOrderedIndexDocExamples(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SQL.md")
+	if err != nil {
+		t.Fatalf("docs/SQL.md must exist: %v", err)
+	}
+	text := string(data)
+	start := strings.Index(text, "<!-- ordered-index:begin -->")
+	end := strings.Index(text, "<!-- ordered-index:end -->")
+	if start < 0 || end < 0 || end < start {
+		t.Fatal("docs/SQL.md lost its ordered-index:begin/end markers")
+	}
+
+	indexed, scan := NewEngine(), NewEngine()
+	exec := func(e *Engine, q string) {
+		t.Helper()
+		stmt, err := Parse(core.NewString(q))
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, _, err := e.ExecuteRaw(stmt); err != nil {
+			t.Fatalf("execute %q: %v", q, err)
+		}
+	}
+
+	var query string
+	checked := 0
+	for _, line := range strings.Split(text[start:end], "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "-- SELECT"):
+			query = strings.TrimPrefix(line, "-- ")
+		case strings.HasPrefix(line, "--   -> "):
+			if query == "" {
+				t.Fatalf("expected values %q without a preceding query", line)
+			}
+			var want []string
+			for _, v := range strings.Split(strings.TrimPrefix(line, "--   -> "), ",") {
+				want = append(want, strings.TrimSpace(v))
+			}
+			for name, e := range map[string]*Engine{"indexed": indexed, "scan": scan} {
+				stmt, err := Parse(core.NewString(query))
+				if err != nil {
+					t.Fatalf("parse %q: %v", query, err)
+				}
+				res, _, err := e.ExecuteRaw(stmt)
+				if err != nil {
+					t.Fatalf("%s: execute %q: %v", name, query, err)
+				}
+				var got []string
+				for _, row := range res.rows {
+					got = append(got, row[0].String())
+				}
+				if strings.Join(got, ", ") != strings.Join(want, ", ") {
+					t.Errorf("%s: %s\n  doc pins %v\n  got      %v", name, query, want, got)
+				}
+			}
+			query = ""
+			checked++
+		case line == "" || strings.HasPrefix(line, "```") || strings.HasPrefix(line, "<!--") || strings.HasPrefix(line, "--"):
+		default: // setup statement
+			exec(indexed, line)
+			if !strings.HasPrefix(line, "CREATE INDEX") {
+				exec(scan, line)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("ordered-index block pins only %d queries; the doc examples shrank", checked)
+	}
+}

@@ -56,7 +56,7 @@ type table struct {
 	cols    []ColumnDef
 	colIdx  map[string]int // lower-cased column name → position
 	rows    [][]value
-	indexes map[int]*hashIndex // column position → equality hash index
+	indexes map[int]*orderedIndex // column position → ordered index (index.go)
 }
 
 func newTable(name string, cols []ColumnDef) *table {
@@ -83,20 +83,12 @@ func (t *table) colIndex(name string) int {
 	return -1
 }
 
-// hashIndex is an equality hash index over one column: the canonical
-// equality key of each cell value maps to the (sorted) positions of the
-// rows holding it. Writers under Engine.mu maintain it on INSERT and
-// UPDATE; DELETE shifts row positions, so it rebuilds the table's
-// indexes instead (see delete).
-type hashIndex struct {
-	m map[string][]int
-}
-
 // indexKey is the canonical equality key of a value: non-null values key
 // by their rendered form, matching valueCompare's MySQL-ish coercion
 // (int 1 and text '1' compare equal and share a key); NULL gets a
 // reserved key that no `col = literal` lookup ever probes, since SQL
-// equality with NULL never matches.
+// equality with NULL never matches. The ordered-index structure itself
+// lives in index.go.
 func indexKey(v value) string {
 	if v.null {
 		return "\x00null"
@@ -104,32 +96,10 @@ func indexKey(v value) string {
 	return "=" + v.String()
 }
 
-func (ix *hashIndex) add(v value, pos int) {
-	k := indexKey(v)
-	ix.m[k] = append(ix.m[k], pos)
-}
-
-func (ix *hashIndex) remove(v value, pos int) {
-	k := indexKey(v)
-	bucket := ix.m[k]
-	for i, p := range bucket {
-		if p == pos {
-			ix.m[k] = append(bucket[:i], bucket[i+1:]...)
-			if len(ix.m[k]) == 0 {
-				delete(ix.m, k)
-			}
-			return
-		}
-	}
-}
-
 // rebuildIndexes recomputes every index of the table from its rows.
 func (t *table) rebuildIndexes() {
-	for ci, ix := range t.indexes {
-		ix.m = make(map[string][]int, len(t.rows))
-		for pos, row := range t.rows {
-			ix.add(row[ci], pos)
-		}
+	for ci := range t.indexes {
+		t.indexes[ci] = buildIndex(t.rows, ci)
 	}
 }
 
@@ -343,13 +313,9 @@ func (e *Engine) createIndex(s *CreateIndex) (int, func(), error) {
 	}
 	return 0, func() {
 		if t.indexes == nil {
-			t.indexes = make(map[int]*hashIndex, 1)
+			t.indexes = make(map[int]*orderedIndex, 1)
 		}
-		ix := &hashIndex{m: make(map[string][]int, len(t.rows))}
-		for pos, row := range t.rows {
-			ix.add(row[ci], pos)
-		}
-		t.indexes[ci] = ix
+		t.indexes[ci] = buildIndex(t.rows, ci)
 		e.bumpSchemaGen()
 	}, nil
 }
@@ -456,79 +422,38 @@ func (e *Engine) insert(s *Insert) (int, func(), error) {
 	}, nil
 }
 
-// indexCandidates walks the AND spine of a WHERE expression looking for
-// a `col = literal` conjunct over an indexed column. On a find it
-// returns the candidate row positions (ascending); the caller still
-// evaluates the full WHERE against each candidate, so the analyzer
-// never computes residual predicates — anything it cannot use falls
-// back to the scan path (ok == false). NULL literals are left to the
-// scan: SQL equality with NULL matches nothing, and the analyzer must
-// not probe the reserved NULL bucket.
-func (t *table) indexCandidates(ex Expr) (cand []int, ok bool) {
-	b, isBin := ex.(*Binary)
-	if !isBin {
-		return nil, false
-	}
-	switch b.Op {
-	case "AND":
-		if cand, ok := t.indexCandidates(b.L); ok {
-			return cand, true
-		}
-		return t.indexCandidates(b.R)
-	case "=":
-		var cr *ColumnRef
-		var lit Expr
-		if c, isCol := b.L.(*ColumnRef); isCol {
-			cr, lit = c, b.R
-		} else if c, isCol := b.R.(*ColumnRef); isCol {
-			cr, lit = c, b.L
-		} else {
-			return nil, false
-		}
-		var lv value
-		switch v := lit.(type) {
-		case *StringLit:
-			lv = textValue(v.Val.Raw())
-		case *IntLit:
-			lv = intValue(v.Val)
-		default:
-			return nil, false
-		}
-		ci := t.colIndex(cr.Name)
-		if ci < 0 {
-			return nil, false // validateExpr reports the bad column
-		}
-		ix := t.indexes[ci]
-		if ix == nil {
-			return nil, false
-		}
-		cand = append([]int(nil), ix.m[indexKey(lv)]...)
-		sort.Ints(cand)
-		return cand, true
-	}
-	return nil, false
-}
-
 // matchPositions returns the positions of rows satisfying where, in
 // ascending order — via an index when the predicate analyzer finds a
-// usable equality conjunct, else by scanning.
+// usable equality, range, or LIKE-prefix conjunct, else by scanning.
 func (t *table) matchPositions(where Expr) ([]int, error) {
-	if cand, usable := t.indexCandidates(where); usable {
-		out := cand[:0]
-		for _, pos := range cand {
-			ok, err := evalBool(where, t, t.rows[pos])
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, pos)
-			}
-		}
-		return out, nil
+	if probe := t.analyzeProbe(where); probe != nil {
+		return t.filterPositions(probe.rowOrderCandidates(), where)
 	}
+	return t.scanPositions(where)
+}
+
+// scanPositions is the index-free path: evaluate where against every
+// row, in row order.
+func (t *table) scanPositions(where Expr) ([]int, error) {
 	var out []int
 	for pos, row := range t.rows {
 		ok, err := evalBool(where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, pos)
+		}
+	}
+	return out, nil
+}
+
+// filterPositions evaluates where against each candidate position,
+// keeping the incoming order (filtering in place).
+func (t *table) filterPositions(cand []int, where Expr) ([]int, error) {
+	out := cand[:0]
+	for _, pos := range cand {
+		ok, err := evalBool(where, t, t.rows[pos])
 		if err != nil {
 			return nil, err
 		}
@@ -564,25 +489,58 @@ func (e *Engine) selectRows(s *Select) (*rawResult, error) {
 	if err := validateExpr(s.Where, t); err != nil {
 		return nil, err
 	}
-	positions, err := t.matchPositions(s.Where)
+	orderCI := -1
+	if s.OrderBy != "" {
+		orderCI = t.colIndex(s.OrderBy)
+		if orderCI < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.OrderBy)
+		}
+	}
+
+	// Pick the access path. `ordered` records that positions already
+	// come out in the requested ORDER BY order, so the post-filter sort
+	// (counted by SortCount) can be skipped — ORDER BY pushdown. Every
+	// path re-evaluates the full WHERE, so the choice affects only cost
+	// and never results (docs/SQL.md §4).
+	probe := t.analyzeProbe(s.Where)
+	var positions []int
+	var err error
+	ordered := false
+	switch {
+	case probe != nil && orderCI == probe.ci:
+		// The probed conjunct is on the ORDER BY column: a key-ordered
+		// traversal of the probe span is already sorted. (An equality
+		// bucket is one key in ascending row order — exactly what the
+		// stable sort would produce for either direction.)
+		positions, err = t.filterPositions(probe.candidates(s.Desc), s.Where)
+		ordered = true
+	case probe != nil:
+		positions, err = t.filterPositions(probe.rowOrderCandidates(), s.Where)
+	case orderCI >= 0 && t.indexes[orderCI] != nil:
+		// ORDER BY pushdown without a probe: traverse the whole ordered
+		// index (NULL bucket first for ASC, last for DESC) and filter.
+		positions, err = t.filterPositions(t.indexes[orderCI].orderedPositions(s.Desc), s.Where)
+		ordered = true
+	default:
+		// The analyzer already came up empty; go straight to the scan
+		// rather than re-analyzing through matchPositions.
+		positions, err = t.scanPositions(s.Where)
+	}
 	if err != nil {
 		return nil, err
 	}
+
 	matched := make([][]value, 0, len(positions))
 	for _, pos := range positions {
 		matched = append(matched, t.rows[pos])
 	}
-	if s.OrderBy != "" {
-		ci := t.colIndex(s.OrderBy)
-		if ci < 0 {
-			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.OrderBy)
-		}
+	if orderCI >= 0 && !ordered {
+		sortCalls.Add(1)
 		sort.SliceStable(matched, func(i, j int) bool {
-			less := valueLess(matched[i][ci], matched[j][ci])
 			if s.Desc {
-				return valueLess(matched[j][ci], matched[i][ci])
+				return valueLess(matched[j][orderCI], matched[i][orderCI])
 			}
-			return less
+			return valueLess(matched[i][orderCI], matched[j][orderCI])
 		})
 	}
 	if s.Limit >= 0 && len(matched) > s.Limit {

@@ -1,0 +1,436 @@
+package sqldb
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Ordered indexes and the predicate analyzer.
+//
+// An orderedIndex keeps the equality bucket map of the original hash
+// index — canonical equality key → row positions — and additionally a
+// key sequence sorted by valueLess, so the same structure answers three
+// kinds of questions:
+//
+//   - equality probes (`col = literal`), by bucket lookup, as before;
+//   - range probes (`<`, `<=`, `>`, `>=`, and `LIKE 'prefix%'`), by
+//     binary-searching the sorted sequence and concatenating the
+//     buckets of the key span;
+//   - ORDER BY pushdown: traversing every bucket in key order emits the
+//     whole table in `ORDER BY col` order (NULL bucket first for ASC,
+//     last for DESC), so the post-filter sort can be skipped.
+//
+// Soundness invariant (docs/SQL.md §4): a probe derived from a conjunct
+// on the WHERE AND spine returns a superset of the rows satisfying that
+// conjunct, and the engine re-evaluates the full WHERE against every
+// candidate. Index use can therefore change only performance — never
+// results, row order, or the shadow policy columns that ride along.
+// index_property_test.go holds a differential harness pinning exactly
+// that against a forced-scan twin.
+
+// sortCalls counts result post-sorts in SELECT execution. ORDER BY
+// pushdown's contract is that an ordered traversal skips the sort;
+// tests and benchmarks observe the counter through SortCount to pin
+// that down, mirroring ParseCount and TokenizeCount.
+var sortCalls atomic.Uint64
+
+// SortCount returns the number of ORDER BY result sorts performed so
+// far in this process. A SELECT served in index order does not move it.
+func SortCount() uint64 { return sortCalls.Load() }
+
+// orderedIndex is an ordered index over one column: equality buckets
+// keyed by canonical equality key, plus the distinct non-null values in
+// valueLess order. Buckets always hold ascending row positions (the
+// order a scan visits them), so candidate lists inherit scan-equivalent
+// row order and stable-sort equivalence without re-sorting buckets.
+// NULLs live only in the reserved bucket: no range ever matches NULL,
+// so the sorted sequence excludes them; ordered traversals splice the
+// NULL bucket in explicitly at the NULLS-first (ASC) or NULLS-last
+// (DESC) end.
+//
+// Writers under Engine.mu maintain the structure on INSERT and UPDATE;
+// DELETE shifts row positions, so it rebuilds the table's indexes
+// instead (see delete). Incremental maintenance and a from-scratch
+// rebuild (CREATE INDEX, WAL replay, snapshot recovery) produce
+// deep-equal structures — wal_race_test.go pins this.
+type orderedIndex struct {
+	m    map[string][]int
+	vals []value // distinct non-null values, sorted by valueLess
+}
+
+// buildIndex constructs an orderedIndex over column ci from scratch:
+// one pass fills the buckets (positions ascend by construction), then
+// the collected distinct values are sorted once.
+func buildIndex(rows [][]value, ci int) *orderedIndex {
+	ix := &orderedIndex{m: make(map[string][]int, len(rows))}
+	for pos, row := range rows {
+		v := row[ci]
+		k := indexKey(v)
+		bucket, ok := ix.m[k]
+		if !ok && !v.null {
+			ix.vals = append(ix.vals, v)
+		}
+		ix.m[k] = append(bucket, pos)
+	}
+	sort.Slice(ix.vals, func(i, j int) bool { return valueLess(ix.vals[i], ix.vals[j]) })
+	return ix
+}
+
+// search returns the first position in vals whose value is >= v.
+func (ix *orderedIndex) search(v value) int {
+	return sort.Search(len(ix.vals), func(i int) bool { return !valueLess(ix.vals[i], v) })
+}
+
+func (ix *orderedIndex) add(v value, pos int) {
+	k := indexKey(v)
+	bucket, ok := ix.m[k]
+	if !ok && !v.null {
+		i := ix.search(v)
+		ix.vals = append(ix.vals, value{})
+		copy(ix.vals[i+1:], ix.vals[i:])
+		ix.vals[i] = v
+	}
+	// Keep positions ascending: INSERT appends monotonically growing
+	// positions (fast path); UPDATE moves an existing row into another
+	// bucket at an arbitrary position (binary insert).
+	if n := len(bucket); n == 0 || bucket[n-1] < pos {
+		ix.m[k] = append(bucket, pos)
+		return
+	}
+	i := sort.SearchInts(bucket, pos)
+	bucket = append(bucket, 0)
+	copy(bucket[i+1:], bucket[i:])
+	bucket[i] = pos
+	ix.m[k] = bucket
+}
+
+func (ix *orderedIndex) remove(v value, pos int) {
+	k := indexKey(v)
+	bucket := ix.m[k]
+	i := sort.SearchInts(bucket, pos)
+	if i >= len(bucket) || bucket[i] != pos {
+		return
+	}
+	bucket = append(bucket[:i], bucket[i+1:]...)
+	if len(bucket) > 0 {
+		ix.m[k] = bucket
+		return
+	}
+	delete(ix.m, k)
+	if !v.null {
+		if j := ix.search(v); j < len(ix.vals) && indexKey(ix.vals[j]) == k {
+			ix.vals = append(ix.vals[:j], ix.vals[j+1:]...)
+		}
+	}
+}
+
+// span returns the half-open vals range [start, end) covered by the
+// given bounds; a nil bound is unbounded on that side.
+func (ix *orderedIndex) span(lo, hi *value, loIncl, hiIncl bool) (int, int) {
+	start := 0
+	if lo != nil {
+		if loIncl {
+			start = ix.search(*lo)
+		} else {
+			start = sort.Search(len(ix.vals), func(i int) bool { return valueLess(*lo, ix.vals[i]) })
+		}
+	}
+	end := len(ix.vals)
+	if hi != nil {
+		if hiIncl {
+			end = sort.Search(len(ix.vals), func(i int) bool { return valueLess(*hi, ix.vals[i]) })
+		} else {
+			end = ix.search(*hi)
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// orderedPositions returns every row position in `ORDER BY col` order:
+// keys ascending (descending for desc), the NULL bucket first for ASC
+// and last for DESC, each bucket in ascending row order — exactly the
+// order a stable sort of the scanned rows produces, which is what makes
+// skipping that sort result-neutral.
+func (ix *orderedIndex) orderedPositions(desc bool) []int {
+	nulls := ix.m[indexKey(nullValue())]
+	out := make([]int, 0, len(ix.vals)+len(nulls))
+	if !desc {
+		out = append(out, nulls...)
+		for _, v := range ix.vals {
+			out = append(out, ix.m[indexKey(v)]...)
+		}
+		return out
+	}
+	for i := len(ix.vals) - 1; i >= 0; i-- {
+		out = append(out, ix.m[indexKey(ix.vals[i])]...)
+	}
+	return append(out, nulls...)
+}
+
+// indexProbe is one usable access path the predicate analyzer found: an
+// equality key, or a key range (either side optional) on an ordered
+// index. The candidates it yields are a superset of the rows matching
+// the originating conjunct; the caller re-evaluates the full WHERE.
+type indexProbe struct {
+	ci             int
+	ix             *orderedIndex
+	eq             *value
+	lo, hi         *value
+	loIncl, hiIncl bool
+}
+
+// candidates returns the probe's row positions. Ordered candidates come
+// out in ORDER BY-equivalent key order (asc or desc); unordered callers
+// (matchPositions) re-sort into ascending row order. Equality buckets
+// are a single key, so they are simultaneously in key order and in row
+// order.
+func (p *indexProbe) candidates(desc bool) []int {
+	if p.eq != nil {
+		return append([]int(nil), p.ix.m[indexKey(*p.eq)]...)
+	}
+	start, end := p.ix.span(p.lo, p.hi, p.loIncl, p.hiIncl)
+	var out []int
+	if desc {
+		for i := end - 1; i >= start; i-- {
+			out = append(out, p.ix.m[indexKey(p.ix.vals[i])]...)
+		}
+		return out
+	}
+	for i := start; i < end; i++ {
+		out = append(out, p.ix.m[indexKey(p.ix.vals[i])]...)
+	}
+	return out
+}
+
+// rowOrderCandidates returns the probe's candidates in ascending row
+// position order — the order a scan would visit them.
+func (p *indexProbe) rowOrderCandidates() []int {
+	cand := p.candidates(false)
+	if p.eq == nil {
+		sort.Ints(cand) // range traversal is key-ordered, not row-ordered
+	}
+	return cand
+}
+
+// colBounds accumulates the analyzable constraints on one column while
+// walking the AND spine. Conjuncts only ever tighten: the tightest lo
+// and hi survive, and the first equality wins outright (an equality
+// bucket is a superset of the rows matching *all* conjuncts on the
+// column, since rows matching the WHERE must match each conjunct).
+type colBounds struct {
+	ci             int
+	eq             *value
+	lo, hi         *value
+	loIncl, hiIncl bool
+}
+
+func (cb *colBounds) addLo(v value, incl bool) {
+	if cb.lo == nil || valueCompare(v, *cb.lo) > 0 || (valueCompare(v, *cb.lo) == 0 && !incl) {
+		cb.lo, cb.loIncl = &v, incl
+	}
+}
+
+func (cb *colBounds) addHi(v value, incl bool) {
+	if cb.hi == nil || valueCompare(v, *cb.hi) < 0 || (valueCompare(v, *cb.hi) == 0 && !incl) {
+		cb.hi, cb.hiIncl = &v, incl
+	}
+}
+
+// eqLiteral converts an equality operand into a probe value. Any
+// literal kind works: equality buckets key on rendered form, matching
+// valueCompare's coercion (int 1 and text '1' share a key).
+func eqLiteral(lit Expr) (value, bool) {
+	switch v := lit.(type) {
+	case *StringLit:
+		return textValue(v.Val.Raw()), true
+	case *IntLit:
+		return intValue(v.Val), true
+	}
+	return value{}, false
+}
+
+// rangeLiteral converts a range operand into a probe value, requiring
+// the comparison the scan would perform to agree with the index order.
+// An INT column's index is in numeric order and its cells compare
+// numerically only against integer literals — `col < '10'` compares
+// *textually* under the dialect's coercion, so string bounds on INT
+// columns fall back to the scan. TEXT columns compare textually against
+// every literal (integer operands render to digits), matching their
+// index order, so both kinds are usable.
+func rangeLiteral(lit Expr, typ ColType) (value, bool) {
+	switch v := lit.(type) {
+	case *IntLit:
+		if typ == ColInt {
+			return intValue(v.Val), true
+		}
+		return textValue(strconv.FormatInt(v.Val, 10)), true
+	case *StringLit:
+		if typ == ColInt {
+			return value{}, false
+		}
+		return textValue(v.Val.Raw()), true
+	}
+	return value{}, false
+}
+
+// likePrefix extracts the literal prefix of a LIKE pattern usable as a
+// key range: the pattern must end in `%`, the prefix before it must be
+// non-empty (an empty prefix matches everything — no range to probe)
+// and wildcard-free. likeMatch treats every other byte literally (there
+// is no escape syntax), so `prefix ≤ s < successor(prefix)` in byte
+// order is exactly the set of strings the pattern's prefix admits.
+func likePrefix(pattern string) (string, bool) {
+	if len(pattern) < 2 || pattern[len(pattern)-1] != '%' {
+		return "", false
+	}
+	prefix := pattern[:len(pattern)-1]
+	if strings.ContainsAny(prefix, "%_") {
+		return "", false
+	}
+	return prefix, true
+}
+
+// prefixSuccessor returns the smallest string greater than every string
+// with the given prefix — the prefix with its last non-0xff byte
+// incremented. An all-0xff prefix has no successor (unbounded above).
+func prefixSuccessor(prefix string) (string, bool) {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}
+
+// collectBounds walks the AND spine of a WHERE expression accumulating
+// per-column constraints from `=`, range, and `LIKE 'prefix%'`
+// conjuncts over indexed columns. Anything else — OR, NOT, un-indexed
+// columns, kind-mismatched literals, NULL literals (no comparison
+// matches NULL) — contributes nothing and is left to the re-evaluation
+// of the full WHERE.
+func (t *table) collectBounds(ex Expr, cons []colBounds) []colBounds {
+	b, ok := ex.(*Binary)
+	if !ok {
+		return cons
+	}
+	if b.Op == "AND" {
+		return t.collectBounds(b.R, t.collectBounds(b.L, cons))
+	}
+	op := b.Op
+	var cr *ColumnRef
+	var lit Expr
+	if c, isCol := b.L.(*ColumnRef); isCol {
+		cr, lit = c, b.R
+	} else if c, isCol := b.R.(*ColumnRef); isCol {
+		cr, lit = c, b.L
+		switch op { // mirror: `5 < col` is `col > 5`
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		case "LIKE":
+			return cons // a column used as the pattern is not a prefix probe
+		}
+	} else {
+		return cons
+	}
+	ci := t.colIndex(cr.Name)
+	if ci < 0 || t.indexes[ci] == nil {
+		return cons
+	}
+	var cb *colBounds
+	for i := range cons {
+		if cons[i].ci == ci {
+			cb = &cons[i]
+			break
+		}
+	}
+	if cb == nil {
+		cons = append(cons, colBounds{ci: ci})
+		cb = &cons[len(cons)-1]
+	}
+	switch op {
+	case "=":
+		if v, ok := eqLiteral(lit); ok && cb.eq == nil {
+			cb.eq = &v
+		}
+	case "<", "<=", ">", ">=":
+		v, ok := rangeLiteral(lit, t.cols[ci].Type)
+		if !ok {
+			return cons
+		}
+		switch op {
+		case "<":
+			cb.addHi(v, false)
+		case "<=":
+			cb.addHi(v, true)
+		case ">":
+			cb.addLo(v, false)
+		case ">=":
+			cb.addLo(v, true)
+		}
+	case "LIKE":
+		sl, isStr := lit.(*StringLit)
+		if !isStr || t.cols[ci].Type != ColText {
+			return cons // digit-string order ≠ numeric order on INT columns
+		}
+		prefix, ok := likePrefix(sl.Val.Raw())
+		if !ok {
+			return cons
+		}
+		cb.addLo(textValue(prefix), true)
+		if succ, bounded := prefixSuccessor(prefix); bounded {
+			cb.addHi(textValue(succ), false)
+		}
+	}
+	return cons
+}
+
+// analyzeProbe is the predicate analyzer: it inspects the AND spine of
+// a WHERE expression and returns the best usable index access path, or
+// nil when every conjunct falls back to the scan. Preference order:
+// an equality probe (single bucket), then a two-sided range, then any
+// one-sided range — ties in first-seen spine order, so the choice is
+// deterministic.
+func (t *table) analyzeProbe(where Expr) *indexProbe {
+	if where == nil || len(t.indexes) == 0 {
+		return nil
+	}
+	cons := t.collectBounds(where, nil)
+	best := -1
+	score := func(cb *colBounds) int {
+		switch {
+		case cb.eq != nil:
+			return 3
+		case cb.lo != nil && cb.hi != nil:
+			return 2
+		case cb.lo != nil || cb.hi != nil:
+			return 1
+		}
+		return 0
+	}
+	for i := range cons {
+		if s := score(&cons[i]); s > 0 && (best < 0 || s > score(&cons[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	cb := &cons[best]
+	return &indexProbe{
+		ci: cb.ci, ix: t.indexes[cb.ci],
+		eq: cb.eq, lo: cb.lo, hi: cb.hi, loIncl: cb.loIncl, hiIncl: cb.hiIncl,
+	}
+}

@@ -251,3 +251,206 @@ func TestConcurrentReadersDuringIndexMaintainingWrites(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRangeSelectMatchesScan extends the differential battery to the
+// range/LIKE/ORDER BY shapes the ordered index serves.
+func TestRangeSelectMatchesScan(t *testing.T) {
+	const n = 200
+	indexed := seedTable(t, true, n)
+	scan := seedTable(t, false, n)
+	for _, q := range []string{
+		"SELECT id FROM items WHERE id < 5",
+		"SELECT id FROM items WHERE id <= 5",
+		"SELECT id FROM items WHERE id > 195",
+		"SELECT id FROM items WHERE id >= 195",
+		"SELECT id FROM items WHERE id >= 10 AND id < 20",
+		"SELECT id FROM items WHERE 10 <= id AND 20 > id",           // mirrored operands
+		"SELECT id FROM items WHERE id > 5 AND id > 50 AND id < 60", // tightening bounds
+		"SELECT id FROM items WHERE id > 60 AND id < 50",            // empty range
+		"SELECT name FROM items WHERE name LIKE 'item-1%'",
+		"SELECT name FROM items WHERE name LIKE 'item-19_'",
+		"SELECT id FROM items WHERE id >= 10 AND id < 20 ORDER BY id DESC",
+		"SELECT id FROM items WHERE id >= 10 AND id < 20 ORDER BY id LIMIT 3",
+		"SELECT id, grp FROM items WHERE grp = 3 ORDER BY id",
+		"SELECT id FROM items ORDER BY id DESC LIMIT 5",
+		"SELECT id, name FROM items ORDER BY grp LIMIT 25",
+		"SELECT id FROM items WHERE id < '20'", // textual compare on INT column: scan both sides
+	} {
+		diffSelect(t, indexed, scan, q)
+	}
+}
+
+// TestOrderByPushdownSkipsSort pins the pushdown with SortCount: a
+// SELECT served in index order must not invoke the result sort, and
+// shapes that cannot push down must still sort exactly once.
+func TestOrderByPushdownSkipsSort(t *testing.T) {
+	db := seedTable(t, true, 100)
+	sorts := func(q string) uint64 {
+		t.Helper()
+		before := SortCount()
+		if _, err := db.QueryRaw(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return SortCount() - before
+	}
+	for _, q := range []string{
+		"SELECT id FROM items ORDER BY id",
+		"SELECT id FROM items ORDER BY id DESC",
+		"SELECT id FROM items ORDER BY id LIMIT 3",
+		"SELECT id FROM items WHERE id >= 10 AND id < 30 ORDER BY id",
+		"SELECT id FROM items WHERE id >= 10 AND id < 30 ORDER BY id DESC",
+		"SELECT id FROM items WHERE id = 7 ORDER BY id",
+		"SELECT id FROM items WHERE id >= 0 AND id < 50 AND grp > 1 ORDER BY id", // probe and order share a column
+		"SELECT name FROM items ORDER BY grp",                                    // full traversal of the grp index
+		"SELECT id FROM items",                                                   // no ORDER BY at all
+	} {
+		if n := sorts(q); n != 0 {
+			t.Errorf("%s: %d sorts, want pushdown (0)", q, n)
+		}
+	}
+	for _, q := range []string{
+		"SELECT id FROM items WHERE grp = 3 ORDER BY id", // probe on grp, order on id
+		// Equality outranks the range on the ORDER BY column (a bucket
+		// probe plus a small sort beats traversing the whole range), so
+		// this sorts too — the analyzer's preference is cost, not order.
+		"SELECT id FROM items WHERE grp = 3 AND id >= 0 ORDER BY id",
+		"SELECT id FROM items ORDER BY name",              // unindexed ORDER BY column
+		"SELECT id FROM items WHERE id = 5 ORDER BY name", // probe can't serve the order
+	} {
+		if n := sorts(q); n != 1 {
+			t.Errorf("%s: %d sorts, want 1", q, n)
+		}
+	}
+	db.MustExec("DROP INDEX ON items (id)")
+	if n := sorts("SELECT id FROM items ORDER BY id"); n != 1 {
+		t.Errorf("after DROP INDEX: %d sorts, want 1", n)
+	}
+}
+
+// TestOrderedIndexNULLSemantics pins the NULL rules: range and LIKE
+// predicates never match NULL, and ORDER BY pushdown emits the NULL
+// bucket first for ASC and last for DESC — exactly where the scan
+// path's valueLess sort puts it.
+func TestOrderedIndexNULLSemantics(t *testing.T) {
+	rt := core.NewRuntime()
+	indexed, scan := Open(rt), Open(rt)
+	for _, db := range []*DB{indexed, scan} {
+		db.MustExec("CREATE TABLE n (id INT, name TEXT)")
+	}
+	indexed.MustExec("CREATE INDEX ON n (id)")
+	indexed.MustExec("CREATE INDEX ON n (name)")
+	for _, row := range []string{
+		"(3, 'c')", "(NULL, 'nil1')", "(1, 'a')", "(NULL, NULL)", "(2, 'b')", "(10, NULL)",
+	} {
+		q := "INSERT INTO n (id, name) VALUES " + row
+		indexed.MustExec(q)
+		scan.MustExec(q)
+	}
+	for _, q := range []string{
+		"SELECT id, name FROM n WHERE id < 100",   // NULL ids excluded
+		"SELECT id, name FROM n WHERE id >= 0",    // ditto
+		"SELECT id, name FROM n WHERE name LIKE 'n%'", // NULL names excluded
+		"SELECT id, name FROM n ORDER BY id",
+		"SELECT id, name FROM n ORDER BY id DESC",
+		"SELECT id, name FROM n ORDER BY name",
+		"SELECT id, name FROM n ORDER BY name DESC",
+	} {
+		diffSelect(t, indexed, scan, q)
+	}
+	// Explicit placement, not just scan agreement: NULLs first on ASC...
+	res, err := indexed.QueryRaw("SELECT name FROM n ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Get(0, "name").Null && res.Get(0, "name").Str.Raw() != "nil1" {
+		t.Errorf("ASC row 0 = %q, want a NULL-id row", res.Get(0, "name").Str.Raw())
+	}
+	if !res.Get(1, "name").Null && res.Get(1, "name").Str.Raw() != "nil1" {
+		t.Errorf("ASC row 1 should still be a NULL-id row")
+	}
+	// ...and last on DESC.
+	res, err = indexed.QueryRaw("SELECT id FROM n ORDER BY id DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Len() - 1
+	if !res.Get(last, "id").Null || !res.Get(last-1, "id").Null {
+		t.Error("DESC must emit the NULL bucket last")
+	}
+	// Range rows never include NULL ids.
+	res, err = indexed.QueryRaw("SELECT id FROM n WHERE id >= 0 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < res.Len(); i++ {
+		if res.Get(i, "id").Null {
+			t.Error("range predicate matched a NULL cell")
+		}
+	}
+}
+
+// TestPredicateAnalyzerDecisions unit-tests analyzeProbe's usable/
+// fallback decisions directly against the table, pinning the documented
+// rules: prefix-free LIKE falls back, string bounds on INT columns fall
+// back, bounds tighten, and OR/NOT spines contribute nothing.
+func TestPredicateAnalyzerDecisions(t *testing.T) {
+	db := seedTable(t, true, 20) // items: id INT + grp INT indexed, name TEXT not
+	db.MustExec("CREATE INDEX ON items (name)")
+	eng := db.Engine()
+	eng.mu.RLock()
+	tbl := eng.tables["items"]
+	eng.mu.RUnlock()
+
+	probeFor := func(where string) *indexProbe {
+		t.Helper()
+		stmt, err := Parse(core.NewString("SELECT id FROM items WHERE " + where))
+		if err != nil {
+			t.Fatalf("%s: %v", where, err)
+		}
+		return tbl.analyzeProbe(stmt.(*Select).Where)
+	}
+
+	for where, want := range map[string]bool{
+		"id = 3":                      true,
+		"id = NULL":                   false, // equality with NULL matches nothing; scan stays authoritative
+		"id < 5":                      true,
+		"5 > id":                      true,
+		"id < '5'":                    false, // textual compare on INT column
+		"name < 'm'":                  true,
+		"name < 5":                    true, // digits compare textually on TEXT column
+		"name LIKE 'item-1%'":         true,
+		"name LIKE '%'":               false, // empty prefix
+		"name LIKE ''":                false,
+		"name LIKE 'it%em%'":          false, // wildcard inside prefix
+		"name LIKE 'it_m%'":           false,
+		"'item-1%' LIKE name":         false, // column as pattern
+		"id LIKE '1%'":                false, // LIKE over INT column
+		"id < 5 OR id > 10":           false,
+		"NOT id < 5":                  false,
+		"grp = 3 AND missingcol = 1":  true, // usable conjunct; bad column caught by validateExpr
+		"id > 5 AND name LIKE 'it%'":  true,
+	} {
+		got := probeFor(where)
+		if (got != nil) != want {
+			t.Errorf("analyzeProbe(%q) usable = %v, want %v", where, got != nil, want)
+		}
+	}
+
+	// Equality outranks ranges; bounds tighten to the narrowest span.
+	p := probeFor("id > 2 AND id = 7 AND id < 100")
+	if p == nil || p.eq == nil || p.eq.i != 7 {
+		t.Fatalf("equality should win the probe: %+v", p)
+	}
+	p = probeFor("id > 2 AND id >= 5 AND id < 100 AND id <= 50")
+	if p == nil || p.eq != nil {
+		t.Fatal("expected a range probe")
+	}
+	if p.lo == nil || p.lo.i != 5 || !p.loIncl || p.hi == nil || p.hi.i != 50 || !p.hiIncl {
+		t.Errorf("bounds did not tighten: lo=%v(%v) hi=%v(%v)", p.lo, p.loIncl, p.hi, p.hiIncl)
+	}
+	// Two-sided range on one column beats one-sided on an earlier one.
+	p = probeFor("id > 2 AND grp >= 1 AND grp <= 3")
+	if p == nil || p.ci != tbl.colIndex("grp") {
+		t.Errorf("two-sided range should win: %+v", p)
+	}
+}

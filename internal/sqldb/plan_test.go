@@ -334,3 +334,51 @@ func TestParameterizeRoundTrip(t *testing.T) {
 		t.Errorf("template should contain parameter slots, got %s", tmpl.SQL())
 	}
 }
+
+// TestCachedRangePlanFollowsIndexDDL verifies the invalidation story
+// for range/ORDER BY plans: the template a plan caches is
+// schema-independent (the predicate analyzer runs per execution against
+// the engine's current indexes, under the same lock as the data), so a
+// cached plan must pick up a CREATE INDEX immediately — same results,
+// post-sort gone — and survive DROP INDEX just as transparently. The
+// schema generation stamp only guards the plan's policy-column state;
+// this pins that nothing about range plans needs more than that.
+func TestCachedRangePlanFollowsIndexDDL(t *testing.T) {
+	db := openDB(t)
+	db.MustExec("CREATE TABLE t (id INT, name TEXT)")
+	for i := 0; i < 50; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t (id, name) VALUES (%d, 'n%02d')", i, i))
+	}
+	const q = "SELECT name FROM t WHERE id >= 10 AND id < 20 ORDER BY id DESC"
+	run := func() (*Result, uint64) {
+		t.Helper()
+		s0 := SortCount()
+		res, err := db.QueryRaw(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, SortCount() - s0
+	}
+
+	base, sorts := run()
+	if sorts != 1 {
+		t.Fatalf("unindexed range query did %d sorts, want 1", sorts)
+	}
+	if _, sorts = run(); sorts != 1 { // now a plan-cache hit, still sorting
+		t.Fatalf("cached unindexed plan did %d sorts, want 1", sorts)
+	}
+
+	db.MustExec("CREATE INDEX ON t (id)") // bumps the schema generation
+	indexed, sorts := run()
+	if sorts != 0 {
+		t.Fatalf("cached plan after CREATE INDEX did %d sorts, want pushdown (0)", sorts)
+	}
+	requireSameResults(t, q, indexed, base)
+
+	db.MustExec("DROP INDEX ON t (id)")
+	dropped, sorts := run()
+	if sorts != 1 {
+		t.Fatalf("cached plan after DROP INDEX did %d sorts, want 1", sorts)
+	}
+	requireSameResults(t, q, dropped, base)
+}

@@ -12,7 +12,7 @@ import (
 // Recovery: OpenDB replays the log at path into a fresh engine, then
 // truncates any torn tail and attaches the log for appending. Replay is
 // the same code path as live execution (Parse + Engine.ExecuteRaw on the
-// already-rewritten statements), so the recovered tables, hash indexes,
+// already-rewritten statements), so the recovered tables, ordered indexes,
 // and shadow policy columns are bit-for-bit what the statement sequence
 // produces; the engine gets a fresh process-unique schema generation per
 // replayed DDL, so plans cached against a previous incarnation recompile

@@ -11,8 +11,10 @@
 //
 // Execution goes through a query-planning layer: a plan cache keyed on
 // the parameterized token stream (plan.go) skips re-parsing repeated
-// query shapes, and equality hash indexes declared with CREATE INDEX
-// (engine.go) serve `col = literal` point lookups without scanning.
+// query shapes, and ordered indexes declared with CREATE INDEX
+// (index.go) serve `col = literal` point lookups, range and
+// LIKE-prefix scans, and ORDER BY traversals without scanning or
+// post-sorting.
 // Prepared statements (stmt.go) compile `?`-placeholder text once and
 // bind argument values — tracked or plain — into the cached template
 // per execution, at zero tokenizes and zero parses per operation; the

@@ -64,7 +64,7 @@ func (v *View) MustExec(q string) *Result {
 }
 
 // Clone deep-copies the engine's tables (rows copied, values are plain
-// data), including their hash indexes. The clone keeps the source's
+// data), including their ordered indexes. The clone keeps the source's
 // schema generation: the schemas are identical, so cached plans compiled
 // against the source stay valid for the clone until either side runs
 // DDL (which stamps a fresh process-unique generation).
@@ -86,13 +86,13 @@ func (e *Engine) cloneForTx() (*Engine, uint64) {
 			nt.rows[i] = append([]value(nil), row...)
 		}
 		if len(t.indexes) > 0 {
-			nt.indexes = make(map[int]*hashIndex, len(t.indexes))
+			nt.indexes = make(map[int]*orderedIndex, len(t.indexes))
 			for ci, ix := range t.indexes {
 				m := make(map[string][]int, len(ix.m))
 				for k, bucket := range ix.m {
 					m[k] = append([]int(nil), bucket...)
 				}
-				nt.indexes[ci] = &hashIndex{m: m}
+				nt.indexes[ci] = &orderedIndex{m: m, vals: append([]value(nil), ix.vals...)}
 			}
 		}
 		out.tables[key] = nt
