@@ -79,6 +79,11 @@ type Select struct {
 	OrderBy string
 	Desc    bool
 	Limit   int // -1 means no limit
+
+	// ForceScan disables index access paths for this SELECT. The parser
+	// never sets it; it is the differential-test hook that lets the
+	// scan-vs-index harness run both paths against the same snapshot.
+	ForceScan bool
 }
 
 // Update is UPDATE t SET col = e, ... [WHERE e].

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -298,5 +299,69 @@ func TestOrderedIndexDocExamples(t *testing.T) {
 	}
 	if checked < 5 {
 		t.Fatalf("ordered-index block pins only %d queries; the doc examples shrank", checked)
+	}
+}
+
+// TestTxVisibilityDocExample executes docs/SQL.md §9's worked
+// visibility timeline step by step: the snapshot read (step 3), the
+// per-row commit that preserves a concurrent direct write (steps 5–6),
+// and the first-committer-wins rejection (steps 8–10). If the
+// visibility rules change, the doc's table must change with this test.
+func TestTxVisibilityDocExample(t *testing.T) {
+	db := Open(core.NewRuntime())
+	db.MustExec("CREATE TABLE accounts (owner TEXT, balance INT)")
+	db.MustExec("INSERT INTO accounts (owner, balance) VALUES ('alice', 70), ('bob', 30)")
+	balance := func(q interface {
+		QueryRaw(string, ...any) (*Result, error)
+	}, owner string) int64 {
+		t.Helper()
+		res, err := q.QueryRaw("SELECT balance FROM accounts WHERE owner = ?", owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 1 {
+			t.Fatalf("%s: %d rows", owner, res.Len())
+		}
+		return res.Get(0, "balance").Int.Value()
+	}
+
+	// Steps 1–4: T1's snapshot predates the direct write and holds.
+	t1 := db.Begin()
+	if got := balance(t1, "alice"); got != 70 {
+		t.Fatalf("step 1: alice = %d, want 70", got)
+	}
+	db.MustExec("UPDATE accounts SET balance = 100 WHERE owner = 'alice'")
+	if got := balance(t1, "alice"); got != 70 {
+		t.Fatalf("step 3: alice = %d, want 70 (snapshot read)", got)
+	}
+	if got := balance(db, "alice"); got != 100 {
+		t.Fatalf("step 4: alice = %d, want 100", got)
+	}
+
+	// Steps 5–6: T1 writes only bob, so its commit succeeds and the
+	// concurrent alice write survives the merge.
+	t1.MustExec("UPDATE accounts SET balance = 35 WHERE owner = 'bob'")
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("step 5: commit = %v, want nil (write sets are per-row)", err)
+	}
+	if a, b := balance(db, "alice"), balance(db, "bob"); a != 100 || b != 35 {
+		t.Fatalf("step 6: alice = %d, bob = %d, want 100, 35", a, b)
+	}
+
+	// Steps 7–10: the lost-update rejection.
+	t2, t3 := db.Begin(), db.Begin()
+	if b2, b3 := balance(t2, "bob"), balance(t3, "bob"); b2 != 35 || b3 != 35 {
+		t.Fatalf("step 7: T2 sees %d, T3 sees %d, want 35, 35", b2, b3)
+	}
+	t2.MustExec("UPDATE accounts SET balance = 36 WHERE owner = 'bob'")
+	t3.MustExec("UPDATE accounts SET balance = 40 WHERE owner = 'bob'")
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("step 8: %v", err)
+	}
+	if err := t3.Commit(); !errors.Is(err, ErrTxConflict) {
+		t.Fatalf("step 9: commit = %v, want ErrTxConflict", err)
+	}
+	if got := balance(db, "bob"); got != 36 {
+		t.Fatalf("step 10: bob = %d, want 36", got)
 	}
 }

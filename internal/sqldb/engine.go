@@ -15,6 +15,17 @@ import (
 // prototype, the database itself knows nothing about policies. Policy
 // persistence happens one layer up, in the RESIN SQL filter, which
 // rewrites queries to read and write shadow policy columns (Figure 4).
+//
+// Storage is multi-versioned (docs/ARCHITECTURE.md "Concurrency"):
+// every row has a stable id and a chain of immutable versions stamped
+// with the commit version that created them. SELECTs capture the commit
+// frontier under a brief read lock, copy out their candidate set, and
+// evaluate rows with no lock held — a concurrent writer can commit new
+// versions mid-evaluation without the reader ever seeing them. DELETE
+// appends a tombstone version instead of compacting row storage, so
+// stable ids (and the indexes keyed by them) survive; superseded index
+// pairs and dead versions are reclaimed by vacuum once no registered
+// snapshot can reach them.
 
 // Engine errors. Wrapped ErrNoColumn errors always name the table as
 // well as the column ("table.column"), so a failing query over a
@@ -50,17 +61,74 @@ func (v value) String() string {
 	}
 }
 
-// table is one in-memory table.
+// rowVersion is one immutable version of a row. born is the commit
+// version at which it became visible; a tombstone marks the row deleted
+// from that version on. vals and born never change after the version is
+// linked into a chain; prev is rewritten only by vacuum, and only on
+// versions no registered snapshot can traverse past (see table.vacuum).
+type rowVersion struct {
+	born uint64
+	tomb bool
+	vals []value
+	prev *rowVersion
+}
+
+// rowEntry is one row slot: a stable id plus the version chain, newest
+// first. head is atomic because readers resolve visibility with no lock
+// held while writers (under the engine write lock) prepend versions.
+type rowEntry struct {
+	id   uint64
+	head atomic.Pointer[rowVersion]
+}
+
+// visible returns the version of the row a snapshot sees, or nil when
+// the row did not exist (or was deleted) at snap. Chains are ordered by
+// descending born, so the first version at or below snap decides.
+func (en *rowEntry) visible(snap uint64) *rowVersion {
+	for v := en.head.Load(); v != nil; v = v.prev {
+		if v.born <= snap {
+			if v.tomb {
+				return nil
+			}
+			return v
+		}
+	}
+	return nil
+}
+
+// staleRef is a deferred index removal: the pair (indexKey(v), id) in
+// column ci's index may no longer be reachable by any snapshot. Vacuum
+// drains these once the version chain proves the key gone.
+type staleRef struct {
+	ci int
+	v  value
+	id uint64
+}
+
+// table is one in-memory table. cols and colIdx are immutable after
+// creation; entries (ascending id, append-only between vacuums), byID,
+// indexes and stale are guarded by the engine's write lock. Readers
+// copy the entries slice header (and candidate id lists) under the read
+// lock and then work lock-free: appends only ever touch capacity their
+// header does not cover, and vacuum swaps in a fresh slice rather than
+// compacting in place.
 type table struct {
 	name    string
 	cols    []ColumnDef
 	colIdx  map[string]int // lower-cased column name → position
-	rows    [][]value
+	entries []*rowEntry
+	byID    map[uint64]*rowEntry
 	indexes map[int]*orderedIndex // column position → ordered index (index.go)
+	stale   []staleRef
 }
 
 func newTable(name string, cols []ColumnDef) *table {
-	t := &table{name: name, cols: cols, colIdx: make(map[string]int, len(cols))}
+	t := &table{
+		name:   name,
+		cols:   cols,
+		colIdx: make(map[string]int, len(cols)),
+		byID:   make(map[uint64]*rowEntry),
+	}
 	for i, c := range t.cols {
 		t.colIdx[strings.ToLower(c.Name)] = i
 	}
@@ -96,11 +164,59 @@ func indexKey(v value) string {
 	return "=" + v.String()
 }
 
-// rebuildIndexes recomputes every index of the table from its rows.
-func (t *table) rebuildIndexes() {
-	for ci := range t.indexes {
-		t.indexes[ci] = buildIndex(t.rows, ci)
+// keyMatches reports indexKey(v) == key without materializing the key
+// string. The visible-key rule runs this once per index candidate on
+// the lock-free read path, where a per-row FormatInt+concat would
+// dominate the profile. Ints render into a stack buffer (the
+// byte-slice/string comparison below does not allocate), so a text key
+// like "=01" still correctly differs from int 1's canonical "=1".
+func keyMatches(v value, key string) bool {
+	if v.null {
+		return key == "\x00null"
 	}
+	if len(key) == 0 || key[0] != '=' {
+		return false
+	}
+	if !v.isInt {
+		return key[1:] == v.s
+	}
+	var buf [20]byte
+	return string(strconv.AppendInt(buf[:0], v.i, 10)) == key[1:]
+}
+
+// buildIndex constructs an orderedIndex over column ci from the version
+// chains. Every reachable (non-tombstone) version contributes its key,
+// not just the newest: a snapshot older than the build may later probe
+// this index, and the superset invariant must hold for the values *it*
+// sees. Keys that only old versions carry come back as stale refs so
+// vacuum reclaims them on the usual schedule.
+func buildIndex(entries []*rowEntry, ci int) (*orderedIndex, []staleRef) {
+	ix := newOrderedIndex()
+	var stale []staleRef
+	for _, en := range entries {
+		head := en.head.Load()
+		var headKey string
+		haveHead := head != nil && !head.tomb
+		if haveHead {
+			headKey = indexKey(head.vals[ci])
+		}
+		seen := map[string]bool{}
+		for v := head; v != nil; v = v.prev {
+			if v.tomb {
+				continue
+			}
+			k := indexKey(v.vals[ci])
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			ix.add(v.vals[ci], en.id)
+			if !haveHead || k != headKey {
+				stale = append(stale, staleRef{ci: ci, v: v.vals[ci], id: en.id})
+			}
+		}
+	}
+	return ix, stale
 }
 
 // schemaGenCounter issues process-unique schema generations: every DDL
@@ -108,16 +224,75 @@ func (t *table) rebuildIndexes() {
 // generation, and plan-cache entries compiled against an older (or other
 // engine's) generation recompile instead of reusing stale schema
 // conclusions. Uniqueness across engines matters because transactions
-// execute against speculative clones.
+// execute against speculative engines.
 var schemaGenCounter atomic.Uint64
 
+// provisionalIDBase is where a transaction's speculative engine starts
+// allocating row ids. Ids at or above it never collide with the base
+// engine's (which would need 2^62 inserts); Commit remaps them onto
+// fresh base ids in redo order.
+const provisionalIDBase = uint64(1) << 62
+
+// vacuumEvery is the mutation cadence of the background reclamation
+// pass: every vacuumEvery applied mutations (and every Compact) the
+// engine prunes version chains, drops dead entries, and drains stale
+// index refs no registered snapshot can still need.
+const vacuumEvery = 512
+
+// rowOp kinds. A rowOp is the row-level effect of one validated DML
+// statement: the exact versions a commit installs, keyed by stable row
+// id — the unit the WAL logs (wal.go 'R' records) and Commit
+// conflict-checks.
+const (
+	opInsert = 'i'
+	opUpdate = 'u'
+	opDelete = 'd'
+)
+
+type rowOp struct {
+	kind  byte
+	table string // lower-cased table key
+	id    uint64
+	vals  []value // full row for insert/update; nil for delete
+}
+
+// redoRec is one statement's worth of a transaction's redo: either a
+// DDL statement (logged as dialect text) or the row ops of a DML
+// statement. Commit replays them onto the base engine in order.
+type redoRec struct {
+	ddl Statement
+	ops []rowOp
+}
+
 // Engine is the in-memory database engine. It is safe for concurrent
-// use: SELECTs share a read lock, so concurrent readers proceed in
-// parallel while writers (including index maintenance) serialize.
+// use: SELECTs capture a snapshot under a brief read lock and evaluate
+// rows lock-free against immutable versions, while writers (including
+// index maintenance and vacuum) serialize under the write lock.
 type Engine struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	gen    atomic.Uint64
+
+	// frontier is the newest committed version: a mutation installs its
+	// versions with born = frontier+1 and then publishes them all at
+	// once by storing the new frontier. Only the write lock moves it, so
+	// a snapshot captured under the read lock is stable.
+	frontier atomic.Uint64
+
+	// nextID allocates stable row ids, monotonically; ids are never
+	// reused, so ascending id order is insertion order — the scan order.
+	// Guarded by mu.
+	nextID uint64
+
+	// muts counts mutations since the last vacuum. Guarded by mu.
+	muts int
+
+	// snaps tracks registered snapshots (version → refcount) so vacuum
+	// reclaims only versions no active reader, transaction, or
+	// mid-evaluation SELECT can reach. Guarded by snapMu (not mu:
+	// readers register while holding only the read lock).
+	snapMu sync.Mutex
+	snaps  map[uint64]int
 
 	// wal, when non-nil, is the write-ahead log this engine appends every
 	// successful mutation to — inside the write-lock critical section, so
@@ -125,26 +300,30 @@ type Engine struct {
 	// the engine. See wal.go / recover.go.
 	wal *wal
 
-	// logSeq counts records this engine appended to its wal. Tx.Commit
-	// compares it against the value captured at Begin to detect direct
-	// writes that were logged (and acked durable) while the transaction
-	// ran: those writes survive in the log but are discarded from memory
-	// by the engine swap, so a conflicted commit rewrites the log from
-	// the committed state instead of appending — keeping recovered state
-	// equal to live state. Guarded by mu like the table state.
-	logSeq uint64
+	// autoCompact, when > 0, is the WAL size (bytes) past which a
+	// mutation triggers a background Compact (DB.SetWALAutoCompact);
+	// compacting debounces so only one runs at a time.
+	autoCompact atomic.Int64
+	compacting  atomic.Bool
 
-	// recordRedo makes the engine keep the dialect text of every
-	// successful mutation in redo: a transaction's speculative engine
-	// records its writes so Commit can log them as one begin..commit
-	// group (see tx.go). Guarded by mu like the table state.
-	recordRedo bool
-	redo       []string
+	// Transaction speculation: a Tx's private engine has txBase set to
+	// the engine it forked from and txSnap to the registered snapshot it
+	// reads at. Its tables map starts as a shallow copy of the base
+	// catalog; owned marks tables materialized (deep-copied at txSnap)
+	// on first write, and beginTables remembers the base catalog as of
+	// Begin for Commit's conflict check. redo records every mutation.
+	// A speculative engine is confined to its transaction, so these
+	// need no locking beyond the Tx's own mutex.
+	txBase      *Engine
+	txSnap      uint64
+	owned       map[string]bool
+	beginTables map[string]*table
+	redo        []redoRec
 }
 
 // NewEngine returns an empty database engine.
 func NewEngine() *Engine {
-	e := &Engine{tables: make(map[string]*table)}
+	e := &Engine{tables: make(map[string]*table), nextID: 1}
 	e.gen.Store(schemaGenCounter.Add(1))
 	return e
 }
@@ -156,6 +335,44 @@ func (e *Engine) SchemaGen() uint64 { return e.gen.Load() }
 
 func (e *Engine) bumpSchemaGen() { e.gen.Store(schemaGenCounter.Add(1)) }
 
+// acquireSnap registers the current frontier as an active snapshot and
+// returns it. Callers must hold e.mu (read or write): the frontier
+// cannot move while any lock is held, so registration cannot race a
+// commit, and vacuum (which runs under the write lock) will see the
+// registration before it could reclaim anything the snapshot needs.
+func (e *Engine) acquireSnap() uint64 {
+	s := e.frontier.Load()
+	e.snapMu.Lock()
+	if e.snaps == nil {
+		e.snaps = make(map[uint64]int)
+	}
+	e.snaps[s]++
+	e.snapMu.Unlock()
+	return s
+}
+
+func (e *Engine) releaseSnap(s uint64) {
+	e.snapMu.Lock()
+	if e.snaps[s]--; e.snaps[s] <= 0 {
+		delete(e.snaps, s)
+	}
+	e.snapMu.Unlock()
+}
+
+// minActiveSnap returns the oldest version any registered snapshot (or
+// the frontier itself) can read. Caller holds the write lock.
+func (e *Engine) minActiveSnap() uint64 {
+	min := e.frontier.Load()
+	e.snapMu.Lock()
+	for s := range e.snaps {
+		if s < min {
+			min = s
+		}
+	}
+	e.snapMu.Unlock()
+	return min
+}
+
 // rawResult is the engine-level result of a SELECT: column names plus
 // plain values.
 type rawResult struct {
@@ -165,14 +382,19 @@ type rawResult struct {
 
 // ExecuteRaw runs a statement and returns the raw result (SELECT) or nil.
 // affected reports the number of rows touched by INSERT/UPDATE/DELETE.
-// SELECTs take only the read lock, so they run concurrently; all other
+// SELECTs evaluate against a snapshot with no lock held; all other
 // statements serialize under the write lock.
 func (e *Engine) ExecuteRaw(stmt Statement) (res *rawResult, affected int, err error) {
 	if s, ok := stmt.(*Select); ok {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		r, err := e.selectRows(s)
+		r, err := e.execSelect(s)
 		return r, 0, err
+	}
+	// A speculative engine materializes the target table (a private copy
+	// of the rows visible at its snapshot) before any write touches it.
+	if e.txBase != nil {
+		if key, ok := mutationTarget(stmt); ok {
+			e.materialize(key)
+		}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -183,38 +405,79 @@ func (e *Engine) ExecuteRaw(stmt Statement) (res *rawResult, affected int, err e
 			return nil, 0, werr
 		}
 	}
-	n, apply, err := e.validateMutation(stmt)
-	if err != nil {
-		// A statement that failed validation was never applied and must
-		// leave the log byte-identical (tested by
-		// TestRejectedStatementLeavesWALUntouched).
-		return nil, 0, err
-	}
-	// Write-ahead for real: the record is durable (per the sync policy)
-	// before the infallible apply step mutates memory, so a failed
-	// append — disk full, closed log — rejects the statement with both
-	// memory and log unchanged, and a crash between append and return
-	// replays a statement the engine had fully validated.
-	if logMutation(stmt, n) {
+	switch stmt.(type) {
+	case *CreateTable, *DropTable, *CreateIndex, *DropIndex:
+		_, apply, err := e.validateDDL(stmt)
+		if err != nil {
+			// A statement that failed validation was never applied and must
+			// leave the log byte-identical (tested by
+			// TestRejectedStatementLeavesWALUntouched).
+			return nil, 0, err
+		}
+		// Write-ahead for real: the record is durable (per the sync
+		// policy) before the infallible apply step mutates memory, so a
+		// failed append — disk full, closed log — rejects the statement
+		// with both memory and log unchanged.
 		if e.wal != nil {
 			if werr := e.wal.appendStmt(stmt.SQL()); werr != nil {
 				return nil, 0, werr
 			}
-			e.logSeq++
 		}
-		if e.recordRedo {
-			e.redo = append(e.redo, stmt.SQL())
+		if e.txBase != nil {
+			e.redo = append(e.redo, redoRec{ddl: stmt})
 		}
+		apply()
+		return nil, 0, nil
+	default:
+		n, ops, err := e.validateDML(stmt)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(ops) == 0 {
+			// UPDATE/DELETE that matched nothing: replaying a no-op is
+			// sound but would grow the log (and burn a version) for
+			// nothing.
+			return nil, n, nil
+		}
+		if e.wal != nil {
+			if werr := e.wal.appendOps(ops); werr != nil {
+				return nil, 0, werr
+			}
+		}
+		if e.txBase != nil {
+			e.redo = append(e.redo, redoRec{ops: ops})
+		}
+		born := e.frontier.Load() + 1
+		e.applyOps(ops, born)
+		e.frontier.Store(born)
+		e.afterMutate()
+		return nil, n, nil
 	}
-	apply()
-	return nil, n, nil
 }
 
-// validateMutation checks a non-SELECT statement under the held write
-// lock and returns the affected-row count plus an apply step that
-// cannot fail: every error surfaces here, before the WAL logs the
-// statement, so a logged record always replays.
-func (e *Engine) validateMutation(stmt Statement) (int, func(), error) {
+// mutationTarget names the table a mutating statement writes. CREATE
+// TABLE is excluded: it targets a table that must not exist yet.
+func mutationTarget(stmt Statement) (string, bool) {
+	switch s := stmt.(type) {
+	case *DropTable:
+		return strings.ToLower(s.Table), true
+	case *CreateIndex:
+		return strings.ToLower(s.Table), true
+	case *DropIndex:
+		return strings.ToLower(s.Table), true
+	case *Insert:
+		return strings.ToLower(s.Table), true
+	case *Update:
+		return strings.ToLower(s.Table), true
+	case *Delete:
+		return strings.ToLower(s.Table), true
+	}
+	return "", false
+}
+
+// validateDDL checks a schema statement and returns an apply step that
+// cannot fail.
+func (e *Engine) validateDDL(stmt Statement) (int, func(), error) {
 	switch s := stmt.(type) {
 	case *CreateTable:
 		return e.createTable(s)
@@ -224,6 +487,17 @@ func (e *Engine) validateMutation(stmt Statement) (int, func(), error) {
 		return e.createIndex(s)
 	case *DropIndex:
 		return e.dropIndex(s)
+	default:
+		return 0, nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// validateDML checks a row-mutating statement under the held write lock
+// and returns the affected-row count plus the row ops to install: every
+// error surfaces here, before the WAL logs the ops, so a logged record
+// always replays.
+func (e *Engine) validateDML(stmt Statement) (int, []rowOp, error) {
+	switch s := stmt.(type) {
 	case *Insert:
 		return e.insert(s)
 	case *Update:
@@ -235,15 +509,250 @@ func (e *Engine) validateMutation(stmt Statement) (int, func(), error) {
 	}
 }
 
-// logMutation reports whether a successful mutation needs a log record:
-// everything except UPDATE/DELETE that matched nothing (replaying a
-// no-op is sound but would grow the log for nothing).
-func logMutation(stmt Statement, affected int) bool {
-	switch stmt.(type) {
-	case *Update, *Delete:
-		return affected > 0
+// applyOps installs validated row ops as versions born at the given
+// commit version. It cannot fail: replay validates ops separately
+// (checkOps) before calling it.
+func (e *Engine) applyOps(ops []rowOp, born uint64) {
+	for i := range ops {
+		op := &ops[i]
+		t := e.tables[op.table]
+		switch op.kind {
+		case opInsert:
+			en := &rowEntry{id: op.id}
+			en.head.Store(&rowVersion{born: born, vals: op.vals})
+			t.entries = append(t.entries, en)
+			t.byID[op.id] = en
+			if op.id >= e.nextID {
+				e.nextID = op.id + 1
+			}
+			for ci, ix := range t.indexes {
+				ix.add(op.vals[ci], op.id)
+			}
+		case opUpdate:
+			en := t.byID[op.id]
+			old := en.head.Load()
+			en.head.Store(&rowVersion{born: born, vals: op.vals, prev: old})
+			for ci, ix := range t.indexes {
+				if old.tomb || indexKey(old.vals[ci]) != indexKey(op.vals[ci]) {
+					ix.add(op.vals[ci], op.id)
+					if !old.tomb {
+						t.stale = append(t.stale, staleRef{ci: ci, v: old.vals[ci], id: op.id})
+					}
+				}
+			}
+		case opDelete:
+			en := t.byID[op.id]
+			old := en.head.Load()
+			en.head.Store(&rowVersion{born: born, tomb: true, prev: old})
+			if !old.tomb {
+				for ci := range t.indexes {
+					t.stale = append(t.stale, staleRef{ci: ci, v: old.vals[ci], id: op.id})
+				}
+			}
+		}
 	}
-	return true
+	e.muts += len(ops)
+}
+
+// checkOps validates replayed row ops against the engine's current
+// state — the semantic half of WAL integrity, catching checksummed-but-
+// nonsensical records before the infallible apply.
+func (e *Engine) checkOps(ops []rowOp) error {
+	// Simulate id liveness within the batch: a later op may target a row
+	// an earlier op of the same batch inserts or deletes.
+	born := map[uint64]bool{}
+	dead := map[uint64]bool{}
+	for i := range ops {
+		op := &ops[i]
+		t := e.tables[op.table]
+		if t == nil {
+			return fmt.Errorf("%w: %s", ErrNoTable, op.table)
+		}
+		switch op.kind {
+		case opInsert:
+			if len(op.vals) != len(t.cols) {
+				return fmt.Errorf("sqldb: row op arity %d != %d columns of %s", len(op.vals), len(t.cols), op.table)
+			}
+			if _, ok := t.byID[op.id]; ok || born[op.id] {
+				return fmt.Errorf("sqldb: duplicate row id %d in %s", op.id, op.table)
+			}
+			born[op.id] = true
+		case opUpdate, opDelete:
+			if op.kind == opUpdate && len(op.vals) != len(t.cols) {
+				return fmt.Errorf("sqldb: row op arity %d != %d columns of %s", len(op.vals), len(t.cols), op.table)
+			}
+			if dead[op.id] {
+				return fmt.Errorf("sqldb: row op targets deleted id %d in %s", op.id, op.table)
+			}
+			if _, ok := t.byID[op.id]; !ok && !born[op.id] {
+				return fmt.Errorf("sqldb: row op targets unknown id %d in %s", op.id, op.table)
+			}
+			if op.kind == opDelete {
+				dead[op.id] = true
+			}
+		default:
+			return fmt.Errorf("sqldb: unknown row op kind 0x%02x", op.kind)
+		}
+	}
+	return nil
+}
+
+// applyReplayOps validates and applies one WAL record's ops during
+// recovery, bumping the frontier exactly like the live mutation did.
+func (e *Engine) applyReplayOps(ops []rowOp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkOps(ops); err != nil {
+		return err
+	}
+	born := e.frontier.Load() + 1
+	e.applyOps(ops, born)
+	e.frontier.Store(born)
+	return nil
+}
+
+// afterMutate runs the post-apply housekeeping a real engine does under
+// its held write lock: vacuum on cadence, and the auto-compact trigger.
+// Speculative engines skip both — their versions die with the Tx.
+func (e *Engine) afterMutate() {
+	if e.txBase != nil {
+		return
+	}
+	if e.muts >= vacuumEvery {
+		e.vacuum()
+	}
+	if limit := e.autoCompact.Load(); limit > 0 && e.wal != nil && e.wal.size > limit &&
+		e.compacting.CompareAndSwap(false, true) {
+		go func() {
+			defer e.compacting.Store(false)
+			// Best-effort: a failed compaction leaves the old (valid) log;
+			// a broken WAL already refuses appends with its own error.
+			e.compactWAL() //nolint:errcheck
+		}()
+	}
+}
+
+// vacuum reclaims what no registered snapshot can reach: it prunes
+// version chains below the oldest active snapshot, drops entries whose
+// newest version is an unreachable tombstone, and drains stale index
+// refs whose keys no surviving version carries. Runs under the write
+// lock; readers mid-evaluation are safe because they registered their
+// snapshot (bounding minActiveSnap) and hold their own entries/bucket
+// slice copies (vacuum replaces slices, never compacts them in place).
+func (e *Engine) vacuum() {
+	min := e.minActiveSnap()
+	for _, t := range e.tables {
+		t.vacuum(min)
+	}
+	e.muts = 0
+}
+
+func (t *table) vacuum(min uint64) {
+	anyDead := false
+	for _, en := range t.entries {
+		head := en.head.Load()
+		// Cut the chain below the newest version an active snapshot can
+		// still pick: every snapshot ≥ min stops at or above it, so no
+		// reader will ever load the severed prev pointer.
+		for v := head; v != nil; v = v.prev {
+			if v.born <= min {
+				v.prev = nil
+				break
+			}
+		}
+		if head.born <= min && head.tomb {
+			anyDead = true
+		}
+	}
+	if anyDead {
+		kept := make([]*rowEntry, 0, len(t.entries))
+		for _, en := range t.entries {
+			head := en.head.Load()
+			if head.born <= min && head.tomb {
+				delete(t.byID, en.id)
+				continue
+			}
+			kept = append(kept, en)
+		}
+		t.entries = kept
+	}
+	if len(t.stale) == 0 {
+		return
+	}
+	type staleKey struct {
+		ci  int
+		key string
+		id  uint64
+	}
+	var remain []staleRef
+	seen := make(map[staleKey]bool, len(t.stale))
+	for _, sr := range t.stale {
+		ix := t.indexes[sr.ci]
+		if ix == nil {
+			continue // index dropped; nothing to drain
+		}
+		k := indexKey(sr.v)
+		if seen[staleKey{sr.ci, k, sr.id}] {
+			continue
+		}
+		seen[staleKey{sr.ci, k, sr.id}] = true
+		en := t.byID[sr.id]
+		if en == nil {
+			ix.remove(sr.v, sr.id)
+			continue
+		}
+		carried := false
+		for v := en.head.Load(); v != nil; v = v.prev {
+			if !v.tomb && indexKey(v.vals[sr.ci]) == k {
+				carried = true
+				break
+			}
+		}
+		if carried {
+			// Some reachable version still holds this key (the row moved
+			// back, or an old version survives for an active snapshot);
+			// the pair must stay. Retry on a later vacuum.
+			remain = append(remain, sr)
+			continue
+		}
+		ix.remove(sr.v, sr.id)
+	}
+	t.stale = remain
+}
+
+// materialize gives a speculative engine its own copy of a base table —
+// the rows visible at the transaction's snapshot, same ids, rebuilt
+// indexes — so writes stay private. Reads of untouched tables keep
+// going straight to the base at the snapshot (no copy).
+func (e *Engine) materialize(key string) {
+	if e.owned[key] {
+		return
+	}
+	t := e.tables[key]
+	if t == nil {
+		return // validation will report ErrNoTable
+	}
+	b := e.txBase
+	b.mu.RLock()
+	nt := newTable(t.name, t.cols)
+	for _, en := range t.entries {
+		if v := en.visible(e.txSnap); v != nil {
+			ne := &rowEntry{id: en.id}
+			ne.head.Store(&rowVersion{vals: v.vals}) // born 0: visible to the whole Tx
+			nt.entries = append(nt.entries, ne)
+			nt.byID[en.id] = ne
+		}
+	}
+	if len(t.indexes) > 0 {
+		nt.indexes = make(map[int]*orderedIndex, len(t.indexes))
+		for ci := range t.indexes {
+			ix, _ := buildIndex(nt.entries, ci) // single-version chains: nothing stale
+			nt.indexes[ci] = ix
+		}
+	}
+	b.mu.RUnlock()
+	e.tables[key] = nt
+	e.owned[key] = true
 }
 
 // Schema returns the column definitions of a table.
@@ -284,6 +793,9 @@ func (e *Engine) createTable(s *CreateTable) (int, func(), error) {
 	}
 	return 0, func() {
 		e.tables[key] = newTable(s.Table, append([]ColumnDef(nil), s.Cols...))
+		if e.txBase != nil {
+			e.owned[key] = true
+		}
 		e.bumpSchemaGen()
 	}, nil
 }
@@ -295,6 +807,9 @@ func (e *Engine) dropTable(s *DropTable) (int, func(), error) {
 	}
 	return 0, func() {
 		delete(e.tables, key)
+		// A speculative engine keeps its owned marker: the transaction
+		// touched this name, so Commit must still pointer-check the base
+		// catalog entry it was dropped from.
 		e.bumpSchemaGen()
 	}, nil
 }
@@ -315,7 +830,9 @@ func (e *Engine) createIndex(s *CreateIndex) (int, func(), error) {
 		if t.indexes == nil {
 			t.indexes = make(map[int]*orderedIndex, 1)
 		}
-		t.indexes[ci] = buildIndex(t.rows, ci)
+		ix, stale := buildIndex(t.entries, ci)
+		t.indexes[ci] = ix
+		t.stale = append(t.stale, stale...)
 		e.bumpSchemaGen()
 	}, nil
 }
@@ -339,10 +856,18 @@ func (e *Engine) dropIndex(s *DropIndex) (int, func(), error) {
 }
 
 // Indexes returns the names of the indexed columns of a table, sorted.
+// On a speculative engine an unmaterialized table delegates to the base
+// (its index set may be changing under the base's lock, not ours).
 func (e *Engine) Indexes(name string) ([]string, error) {
+	key := strings.ToLower(name)
+	if e.txBase != nil && !e.owned[key] {
+		if _, ok := e.tables[key]; ok {
+			return e.txBase.Indexes(name)
+		}
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	t, ok := e.tables[strings.ToLower(name)]
+	t, ok := e.tables[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
@@ -381,7 +906,7 @@ func literalValue(ex Expr, typ ColType) (value, error) {
 	}
 }
 
-func (e *Engine) insert(s *Insert) (int, func(), error) {
+func (e *Engine) insert(s *Insert) (int, []rowOp, error) {
 	t, ok := e.tables[strings.ToLower(s.Table)]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
@@ -394,10 +919,12 @@ func (e *Engine) insert(s *Insert) (int, func(), error) {
 		}
 		idx[i] = ci
 	}
+	key := strings.ToLower(s.Table)
 	// Convert every row in the validate phase, so a bad value in any row
 	// rejects the whole INSERT before a single row (or WAL record) lands.
-	rows := make([][]value, 0, len(s.Rows))
-	for _, exprs := range s.Rows {
+	// Row ids are provisional against nextID; apply claims them.
+	ops := make([]rowOp, 0, len(s.Rows))
+	for k, exprs := range s.Rows {
 		row := make([]value, len(t.cols))
 		for i := range row {
 			row[i] = nullValue()
@@ -409,65 +936,104 @@ func (e *Engine) insert(s *Insert) (int, func(), error) {
 			}
 			row[idx[i]] = v
 		}
-		rows = append(rows, row)
+		ops = append(ops, rowOp{kind: opInsert, table: key, id: e.nextID + uint64(k), vals: row})
 	}
-	return len(s.Rows), func() {
-		for _, row := range rows {
-			pos := len(t.rows)
-			t.rows = append(t.rows, row)
-			for ci, ix := range t.indexes {
-				ix.add(row[ci], pos)
+	return len(s.Rows), ops, nil
+}
+
+// matchEntries returns the entries whose version visible at snap
+// satisfies where, with those versions, in ascending id (scan) order —
+// via an index when the predicate analyzer finds a usable probe.
+func (t *table) matchEntries(where Expr, snap uint64) ([]*rowEntry, []*rowVersion, error) {
+	var ents []*rowEntry
+	var vers []*rowVersion
+	if probe := t.analyzeProbe(where); probe != nil {
+		for _, c := range probe.rowOrderCandidates() {
+			en := t.byID[c.id]
+			if en == nil {
+				continue
+			}
+			v := en.visible(snap)
+			if v == nil || indexKey(v.vals[probe.ci]) != c.key {
+				continue
+			}
+			ok, err := evalBool(where, t, v.vals)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				ents = append(ents, en)
+				vers = append(vers, v)
 			}
 		}
-	}, nil
-}
-
-// matchPositions returns the positions of rows satisfying where, in
-// ascending order — via an index when the predicate analyzer finds a
-// usable equality, range, or LIKE-prefix conjunct, else by scanning.
-func (t *table) matchPositions(where Expr) ([]int, error) {
-	if probe := t.analyzeProbe(where); probe != nil {
-		return t.filterPositions(probe.rowOrderCandidates(), where)
+		return ents, vers, nil
 	}
-	return t.scanPositions(where)
-}
-
-// scanPositions is the index-free path: evaluate where against every
-// row, in row order.
-func (t *table) scanPositions(where Expr) ([]int, error) {
-	var out []int
-	for pos, row := range t.rows {
-		ok, err := evalBool(where, t, row)
+	for _, en := range t.entries {
+		v := en.visible(snap)
+		if v == nil {
+			continue
+		}
+		ok, err := evalBool(where, t, v.vals)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if ok {
-			out = append(out, pos)
+			ents = append(ents, en)
+			vers = append(vers, v)
 		}
 	}
-	return out, nil
+	return ents, vers, nil
 }
 
-// filterPositions evaluates where against each candidate position,
-// keeping the incoming order (filtering in place).
-func (t *table) filterPositions(cand []int, where Expr) ([]int, error) {
-	out := cand[:0]
-	for _, pos := range cand {
-		ok, err := evalBool(where, t, t.rows[pos])
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, pos)
+// selCand is one candidate row a SELECT's collection phase emitted: the
+// entry plus, for index traversals, the bucket key it was found under
+// (checkKey false for scans — every entry is its own candidate).
+type selCand struct {
+	en       *rowEntry
+	key      string
+	checkKey bool
+}
+
+// execSelect runs a SELECT. On a speculative engine, reads of tables
+// the transaction has not written go straight to the base engine at the
+// transaction's snapshot — Begin pays no copy for them.
+func (e *Engine) execSelect(s *Select) (*rawResult, error) {
+	if e.txBase != nil {
+		key := strings.ToLower(s.Table)
+		if t, ok := e.tables[key]; ok && !e.owned[key] {
+			snap := e.txSnap
+			return e.txBase.selectAt(t, s, &snap)
 		}
 	}
-	return out, nil
+	return e.selectAt(nil, s, nil)
 }
 
-func (e *Engine) selectRows(s *Select) (*rawResult, error) {
-	t, ok := e.tables[strings.ToLower(s.Table)]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+// selectAt executes a SELECT over e in two phases. Under the read lock
+// it resolves the table (t may be pre-resolved by a speculative-engine
+// redirect — the pointer stays valid even if the base dropped the name),
+// validates the statement, captures the snapshot (pinned, or the
+// current frontier — registered so vacuum keeps its versions), picks
+// the access path, and copies out the candidate set. Then it releases
+// the lock and evaluates WHERE, ordering, LIMIT and projection against
+// immutable versions — row evaluation never blocks a writer, and no
+// writer can perturb it.
+func (e *Engine) selectAt(t *table, s *Select, pinned *uint64) (*rawResult, error) {
+	e.mu.RLock()
+	locked := true
+	unlock := func() {
+		if locked {
+			locked = false
+			e.mu.RUnlock()
+		}
+	}
+	defer unlock()
+
+	if t == nil {
+		var ok bool
+		t, ok = e.tables[strings.ToLower(s.Table)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
+		}
 	}
 	var outCols []string
 	var outIdx []int
@@ -497,42 +1063,79 @@ func (e *Engine) selectRows(s *Select) (*rawResult, error) {
 		}
 	}
 
-	// Pick the access path. `ordered` records that positions already
-	// come out in the requested ORDER BY order, so the post-filter sort
-	// (counted by SortCount) can be skipped — ORDER BY pushdown. Every
-	// path re-evaluates the full WHERE, so the choice affects only cost
-	// and never results (docs/SQL.md §4).
-	probe := t.analyzeProbe(s.Where)
-	var positions []int
-	var err error
+	var snap uint64
+	if pinned != nil {
+		snap = *pinned
+	} else {
+		snap = e.acquireSnap()
+		defer e.releaseSnap(snap)
+	}
+
+	// Pick the access path and copy out candidates. `ordered` records
+	// that candidates already come in the requested ORDER BY order, so
+	// the post-filter sort (counted by SortCount) can be skipped —
+	// ORDER BY pushdown. Every path re-evaluates the full WHERE and the
+	// visible-key rule, so the choice affects only cost and never
+	// results (docs/SQL.md §4).
+	var cands []selCand
+	probeCI := -1
 	ordered := false
+	probe := t.analyzeProbe(s.Where)
+	if s.ForceScan {
+		probe = nil
+	}
+	fill := func(ics []indexCand) {
+		cands = make([]selCand, 0, len(ics))
+		for _, c := range ics {
+			if en := t.byID[c.id]; en != nil {
+				cands = append(cands, selCand{en: en, key: c.key, checkKey: true})
+			}
+		}
+	}
 	switch {
 	case probe != nil && orderCI == probe.ci:
 		// The probed conjunct is on the ORDER BY column: a key-ordered
 		// traversal of the probe span is already sorted. (An equality
 		// bucket is one key in ascending row order — exactly what the
 		// stable sort would produce for either direction.)
-		positions, err = t.filterPositions(probe.candidates(s.Desc), s.Where)
+		fill(probe.candidates(s.Desc))
+		probeCI = probe.ci
 		ordered = true
 	case probe != nil:
-		positions, err = t.filterPositions(probe.rowOrderCandidates(), s.Where)
-	case orderCI >= 0 && t.indexes[orderCI] != nil:
+		fill(probe.rowOrderCandidates())
+		probeCI = probe.ci
+	case orderCI >= 0 && t.indexes[orderCI] != nil && !s.ForceScan:
 		// ORDER BY pushdown without a probe: traverse the whole ordered
 		// index (NULL bucket first for ASC, last for DESC) and filter.
-		positions, err = t.filterPositions(t.indexes[orderCI].orderedPositions(s.Desc), s.Where)
+		fill(t.indexes[orderCI].orderedCands(s.Desc))
+		probeCI = orderCI
 		ordered = true
 	default:
-		// The analyzer already came up empty; go straight to the scan
-		// rather than re-analyzing through matchPositions.
-		positions, err = t.scanPositions(s.Where)
+		entries := t.entries // slice header copy; contents immutable for this snapshot
+		cands = make([]selCand, len(entries))
+		for i, en := range entries {
+			cands[i] = selCand{en: en}
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
+	unlock()
 
-	matched := make([][]value, 0, len(positions))
-	for _, pos := range positions {
-		matched = append(matched, t.rows[pos])
+	// Lock-free phase: resolve visibility, evaluate, order, project.
+	matched := make([][]value, 0, len(cands))
+	for _, c := range cands {
+		v := c.en.visible(snap)
+		if v == nil {
+			continue
+		}
+		if c.checkKey && !keyMatches(v.vals[probeCI], c.key) {
+			continue // superseded pair: this row's visible value lives under another key
+		}
+		ok, err := evalBool(s.Where, t, v.vals)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, v.vals)
+		}
 	}
 	if orderCI >= 0 && !ordered {
 		sortCalls.Add(1)
@@ -557,8 +1160,9 @@ func (e *Engine) selectRows(s *Select) (*rawResult, error) {
 	return out, nil
 }
 
-func (e *Engine) update(s *Update) (int, func(), error) {
-	t, ok := e.tables[strings.ToLower(s.Table)]
+func (e *Engine) update(s *Update) (int, []rowOp, error) {
+	key := strings.ToLower(s.Table)
+	t, ok := e.tables[key]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
@@ -569,7 +1173,7 @@ func (e *Engine) update(s *Update) (int, func(), error) {
 		ci  int
 		val value
 	}
-	ops := make([]setOp, 0, len(s.Set))
+	sets := make([]setOp, 0, len(s.Set))
 	for _, a := range s.Set {
 		ci := t.colIndex(a.Column)
 		if ci < 0 {
@@ -579,56 +1183,41 @@ func (e *Engine) update(s *Update) (int, func(), error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		ops = append(ops, setOp{ci, v})
+		sets = append(sets, setOp{ci, v})
 	}
-	positions, err := t.matchPositions(s.Where)
+	ents, vers, err := t.matchEntries(s.Where, e.frontier.Load())
 	if err != nil {
 		return 0, nil, err
 	}
-	return len(positions), func() {
-		for _, pos := range positions {
-			row := t.rows[pos]
-			for _, op := range ops {
-				if ix := t.indexes[op.ci]; ix != nil && indexKey(row[op.ci]) != indexKey(op.val) {
-					ix.remove(row[op.ci], pos)
-					ix.add(op.val, pos)
-				}
-				row[op.ci] = op.val
-			}
+	ops := make([]rowOp, 0, len(ents))
+	for i, en := range ents {
+		vals := append([]value(nil), vers[i].vals...)
+		for _, op := range sets {
+			vals[op.ci] = op.val
 		}
-	}, nil
+		ops = append(ops, rowOp{kind: opUpdate, table: key, id: en.id, vals: vals})
+	}
+	return len(ops), ops, nil
 }
 
-func (e *Engine) delete(s *Delete) (int, func(), error) {
-	t, ok := e.tables[strings.ToLower(s.Table)]
+func (e *Engine) delete(s *Delete) (int, []rowOp, error) {
+	key := strings.ToLower(s.Table)
+	t, ok := e.tables[key]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: %s", ErrNoTable, s.Table)
 	}
 	if err := validateExpr(s.Where, t); err != nil {
 		return 0, nil, err
 	}
-	positions, err := t.matchPositions(s.Where)
+	ents, _, err := t.matchEntries(s.Where, e.frontier.Load())
 	if err != nil {
 		return 0, nil, err
 	}
-	return len(positions), func() {
-		if len(positions) == 0 {
-			return
-		}
-		// Removing rows shifts the positions of everything after them, so
-		// deletes rebuild the table's indexes rather than patching buckets.
-		kept := make([][]value, 0, len(t.rows)-len(positions))
-		next := 0
-		for pos, row := range t.rows {
-			if next < len(positions) && positions[next] == pos {
-				next++
-				continue
-			}
-			kept = append(kept, row)
-		}
-		t.rows = kept
-		t.rebuildIndexes()
-	}, nil
+	ops := make([]rowOp, 0, len(ents))
+	for _, en := range ents {
+		ops = append(ops, rowOp{kind: opDelete, table: key, id: en.id})
+	}
+	return len(ops), ops, nil
 }
 
 // validateExpr checks that every column reference in an expression names

@@ -671,7 +671,10 @@ type DB struct {
 	channel *core.Channel
 	filter  *ResinSQLFilter
 
-	// txMu guards engine (swapped by Tx.Commit) and integrity.
+	// txMu guards engine and integrity. The engine pointer is fixed for
+	// the DB's lifetime (Tx.Commit merges row versions into it rather
+	// than swapping it); the lock still serializes integrity-assertion
+	// registration against commits, which snapshot the assertion list.
 	txMu      sync.RWMutex
 	engine    *Engine
 	integrity []namedAssertion

@@ -10,8 +10,8 @@ import (
 // Ordered indexes and the predicate analyzer.
 //
 // An orderedIndex keeps the equality bucket map of the original hash
-// index — canonical equality key → row positions — and additionally a
-// key sequence sorted by valueLess, so the same structure answers three
+// index — canonical equality key → row ids — and additionally a key
+// sequence sorted by valueLess, so the same structure answers three
 // kinds of questions:
 //
 //   - equality probes (`col = literal`), by bucket lookup, as before;
@@ -22,13 +22,24 @@ import (
 //     whole table in `ORDER BY col` order (NULL bucket first for ASC,
 //     last for DESC), so the post-filter sort can be skipped.
 //
+// Under MVCC the buckets are a *superset*: a row id stays in the bucket
+// of a superseded value until vacuum drains the stale reference
+// (engine.go), and tombstoned rows keep their pairs until their entries
+// are reclaimed. Traversals therefore pair every candidate id with the
+// key it was found under, and the snapshot evaluation accepts the pair
+// only when the version visible at the reader's snapshot actually
+// carries that key — that one rule restores exactness: no duplicates
+// across the buckets of a range, and ORDER BY pushdown emits each row
+// at its visible key position.
+//
 // Soundness invariant (docs/SQL.md §4): a probe derived from a conjunct
 // on the WHERE AND spine returns a superset of the rows satisfying that
 // conjunct, and the engine re-evaluates the full WHERE against every
 // candidate. Index use can therefore change only performance — never
 // results, row order, or the shadow policy columns that ride along.
 // index_property_test.go holds a differential harness pinning exactly
-// that against a forced-scan twin.
+// that against a forced-scan twin — including under concurrent writer
+// churn, at one shared snapshot.
 
 // sortCalls counts result post-sorts in SELECT execution. ORDER BY
 // pushdown's contract is that an ordered traversal skips the sort;
@@ -42,40 +53,25 @@ func SortCount() uint64 { return sortCalls.Load() }
 
 // orderedIndex is an ordered index over one column: equality buckets
 // keyed by canonical equality key, plus the distinct non-null values in
-// valueLess order. Buckets always hold ascending row positions (the
-// order a scan visits them), so candidate lists inherit scan-equivalent
-// row order and stable-sort equivalence without re-sorting buckets.
-// NULLs live only in the reserved bucket: no range ever matches NULL,
-// so the sorted sequence excludes them; ordered traversals splice the
-// NULL bucket in explicitly at the NULLS-first (ASC) or NULLS-last
-// (DESC) end.
+// valueLess order. Buckets always hold ascending row ids — ids are
+// allocated monotonically and entries append in id order, so bucket
+// order is scan-equivalent row order and candidate lists inherit
+// stable-sort equivalence without re-sorting. NULLs live only in the
+// reserved bucket: no range ever matches NULL, so the sorted sequence
+// excludes them; ordered traversals splice the NULL bucket in
+// explicitly at the NULLS-first (ASC) or NULLS-last (DESC) end.
 //
-// Writers under Engine.mu maintain the structure on INSERT and UPDATE;
-// DELETE shifts row positions, so it rebuilds the table's indexes
-// instead (see delete). Incremental maintenance and a from-scratch
-// rebuild (CREATE INDEX, WAL replay, snapshot recovery) produce
-// deep-equal structures — wal_race_test.go pins this.
+// Writers under Engine.mu maintain the structure on INSERT, UPDATE and
+// CREATE INDEX; DELETE tombstones the row and leaves its pairs for
+// vacuum. add is duplicate-safe: re-adding a (value, id) pair that a
+// pending stale reference never drained is a no-op.
 type orderedIndex struct {
-	m    map[string][]int
+	m    map[string][]uint64
 	vals []value // distinct non-null values, sorted by valueLess
 }
 
-// buildIndex constructs an orderedIndex over column ci from scratch:
-// one pass fills the buckets (positions ascend by construction), then
-// the collected distinct values are sorted once.
-func buildIndex(rows [][]value, ci int) *orderedIndex {
-	ix := &orderedIndex{m: make(map[string][]int, len(rows))}
-	for pos, row := range rows {
-		v := row[ci]
-		k := indexKey(v)
-		bucket, ok := ix.m[k]
-		if !ok && !v.null {
-			ix.vals = append(ix.vals, v)
-		}
-		ix.m[k] = append(bucket, pos)
-	}
-	sort.Slice(ix.vals, func(i, j int) bool { return valueLess(ix.vals[i], ix.vals[j]) })
-	return ix
+func newOrderedIndex() *orderedIndex {
+	return &orderedIndex{m: make(map[string][]uint64)}
 }
 
 // search returns the first position in vals whose value is >= v.
@@ -83,7 +79,7 @@ func (ix *orderedIndex) search(v value) int {
 	return sort.Search(len(ix.vals), func(i int) bool { return !valueLess(ix.vals[i], v) })
 }
 
-func (ix *orderedIndex) add(v value, pos int) {
+func (ix *orderedIndex) add(v value, id uint64) {
 	k := indexKey(v)
 	bucket, ok := ix.m[k]
 	if !ok && !v.null {
@@ -92,25 +88,30 @@ func (ix *orderedIndex) add(v value, pos int) {
 		copy(ix.vals[i+1:], ix.vals[i:])
 		ix.vals[i] = v
 	}
-	// Keep positions ascending: INSERT appends monotonically growing
-	// positions (fast path); UPDATE moves an existing row into another
-	// bucket at an arbitrary position (binary insert).
-	if n := len(bucket); n == 0 || bucket[n-1] < pos {
-		ix.m[k] = append(bucket, pos)
+	// Keep ids ascending: INSERT appends monotonically growing ids
+	// (fast path); UPDATE moves an existing row into another bucket at
+	// an arbitrary id (binary insert). A pair already present — the row
+	// moved back to a value whose stale reference has not drained yet —
+	// stays single.
+	if n := len(bucket); n == 0 || bucket[n-1] < id {
+		ix.m[k] = append(bucket, id)
 		return
 	}
-	i := sort.SearchInts(bucket, pos)
+	i := sort.Search(len(bucket), func(i int) bool { return bucket[i] >= id })
+	if i < len(bucket) && bucket[i] == id {
+		return
+	}
 	bucket = append(bucket, 0)
 	copy(bucket[i+1:], bucket[i:])
-	bucket[i] = pos
+	bucket[i] = id
 	ix.m[k] = bucket
 }
 
-func (ix *orderedIndex) remove(v value, pos int) {
+func (ix *orderedIndex) remove(v value, id uint64) {
 	k := indexKey(v)
 	bucket := ix.m[k]
-	i := sort.SearchInts(bucket, pos)
-	if i >= len(bucket) || bucket[i] != pos {
+	i := sort.Search(len(bucket), func(i int) bool { return bucket[i] >= id })
+	if i >= len(bucket) || bucket[i] != id {
 		return
 	}
 	bucket = append(bucket[:i], bucket[i+1:]...)
@@ -151,31 +152,49 @@ func (ix *orderedIndex) span(lo, hi *value, loIncl, hiIncl bool) (int, int) {
 	return start, end
 }
 
-// orderedPositions returns every row position in `ORDER BY col` order:
+// indexCand is one candidate an index traversal emitted: a row id and
+// the bucket key it was found under. The snapshot evaluation accepts
+// the candidate only if the version visible to the reader carries key —
+// the tombstone/stale-aware traversal rule (see the package comment).
+type indexCand struct {
+	key string
+	id  uint64
+}
+
+// orderedCands returns every (key, id) pair in `ORDER BY col` order:
 // keys ascending (descending for desc), the NULL bucket first for ASC
-// and last for DESC, each bucket in ascending row order — exactly the
-// order a stable sort of the scanned rows produces, which is what makes
-// skipping that sort result-neutral.
-func (ix *orderedIndex) orderedPositions(desc bool) []int {
-	nulls := ix.m[indexKey(nullValue())]
-	out := make([]int, 0, len(ix.vals)+len(nulls))
+// and last for DESC, each bucket in ascending id order — exactly the
+// order a stable sort of the scanned visible rows produces, which is
+// what makes skipping that sort result-neutral. Ids superseded under a
+// key survive here until vacuum; the visible-key rule drops them.
+func (ix *orderedIndex) orderedCands(desc bool) []indexCand {
+	nullKey := indexKey(nullValue())
+	nulls := ix.m[nullKey]
+	out := make([]indexCand, 0, len(ix.vals)+len(nulls))
+	appendBucket := func(k string) {
+		for _, id := range ix.m[k] {
+			out = append(out, indexCand{key: k, id: id})
+		}
+	}
 	if !desc {
-		out = append(out, nulls...)
+		appendBucket(nullKey)
 		for _, v := range ix.vals {
-			out = append(out, ix.m[indexKey(v)]...)
+			appendBucket(indexKey(v))
 		}
 		return out
 	}
 	for i := len(ix.vals) - 1; i >= 0; i-- {
-		out = append(out, ix.m[indexKey(ix.vals[i])]...)
+		appendBucket(indexKey(ix.vals[i]))
 	}
-	return append(out, nulls...)
+	appendBucket(nullKey)
+	return out
 }
 
 // indexProbe is one usable access path the predicate analyzer found: an
 // equality key, or a key range (either side optional) on an ordered
 // index. The candidates it yields are a superset of the rows matching
-// the originating conjunct; the caller re-evaluates the full WHERE.
+// the originating conjunct; the caller re-evaluates the full WHERE and
+// applies the visible-key rule.
 type indexProbe struct {
 	ci             int
 	ix             *orderedIndex
@@ -184,35 +203,47 @@ type indexProbe struct {
 	loIncl, hiIncl bool
 }
 
-// candidates returns the probe's row positions. Ordered candidates come
-// out in ORDER BY-equivalent key order (asc or desc); unordered callers
-// (matchPositions) re-sort into ascending row order. Equality buckets
-// are a single key, so they are simultaneously in key order and in row
-// order.
-func (p *indexProbe) candidates(desc bool) []int {
+// candidates returns the probe's (key, id) pairs. Ordered candidates
+// come out in ORDER BY-equivalent key order (asc or desc); unordered
+// callers use rowOrderCandidates. Equality buckets are a single key, so
+// they are simultaneously in key order and in row order.
+func (p *indexProbe) candidates(desc bool) []indexCand {
 	if p.eq != nil {
-		return append([]int(nil), p.ix.m[indexKey(*p.eq)]...)
+		k := indexKey(*p.eq)
+		bucket := p.ix.m[k]
+		out := make([]indexCand, 0, len(bucket))
+		for _, id := range bucket {
+			out = append(out, indexCand{key: k, id: id})
+		}
+		return out
 	}
 	start, end := p.ix.span(p.lo, p.hi, p.loIncl, p.hiIncl)
-	var out []int
+	var out []indexCand
+	appendBucket := func(k string) {
+		for _, id := range p.ix.m[k] {
+			out = append(out, indexCand{key: k, id: id})
+		}
+	}
 	if desc {
 		for i := end - 1; i >= start; i-- {
-			out = append(out, p.ix.m[indexKey(p.ix.vals[i])]...)
+			appendBucket(indexKey(p.ix.vals[i]))
 		}
 		return out
 	}
 	for i := start; i < end; i++ {
-		out = append(out, p.ix.m[indexKey(p.ix.vals[i])]...)
+		appendBucket(indexKey(p.ix.vals[i]))
 	}
 	return out
 }
 
-// rowOrderCandidates returns the probe's candidates in ascending row
-// position order — the order a scan would visit them.
-func (p *indexProbe) rowOrderCandidates() []int {
+// rowOrderCandidates returns the probe's candidates in ascending row id
+// order — the order a scan would visit them. A row whose value moved
+// between two keys of the range appears once per key; the visible-key
+// rule keeps exactly one.
+func (p *indexProbe) rowOrderCandidates() []indexCand {
 	cand := p.candidates(false)
 	if p.eq == nil {
-		sort.Ints(cand) // range traversal is key-ordered, not row-ordered
+		sort.Slice(cand, func(i, j int) bool { return cand[i].id < cand[j].id })
 	}
 	return cand
 }

@@ -347,8 +347,8 @@ func TestOrderedIndexNULLSemantics(t *testing.T) {
 		scan.MustExec(q)
 	}
 	for _, q := range []string{
-		"SELECT id, name FROM n WHERE id < 100",   // NULL ids excluded
-		"SELECT id, name FROM n WHERE id >= 0",    // ditto
+		"SELECT id, name FROM n WHERE id < 100",       // NULL ids excluded
+		"SELECT id, name FROM n WHERE id >= 0",        // ditto
 		"SELECT id, name FROM n WHERE name LIKE 'n%'", // NULL names excluded
 		"SELECT id, name FROM n ORDER BY id",
 		"SELECT id, name FROM n ORDER BY id DESC",
@@ -411,24 +411,24 @@ func TestPredicateAnalyzerDecisions(t *testing.T) {
 	}
 
 	for where, want := range map[string]bool{
-		"id = 3":                      true,
-		"id = NULL":                   false, // equality with NULL matches nothing; scan stays authoritative
-		"id < 5":                      true,
-		"5 > id":                      true,
-		"id < '5'":                    false, // textual compare on INT column
-		"name < 'm'":                  true,
-		"name < 5":                    true, // digits compare textually on TEXT column
-		"name LIKE 'item-1%'":         true,
-		"name LIKE '%'":               false, // empty prefix
-		"name LIKE ''":                false,
-		"name LIKE 'it%em%'":          false, // wildcard inside prefix
-		"name LIKE 'it_m%'":           false,
-		"'item-1%' LIKE name":         false, // column as pattern
-		"id LIKE '1%'":                false, // LIKE over INT column
-		"id < 5 OR id > 10":           false,
-		"NOT id < 5":                  false,
-		"grp = 3 AND missingcol = 1":  true, // usable conjunct; bad column caught by validateExpr
-		"id > 5 AND name LIKE 'it%'":  true,
+		"id = 3":                     true,
+		"id = NULL":                  false, // equality with NULL matches nothing; scan stays authoritative
+		"id < 5":                     true,
+		"5 > id":                     true,
+		"id < '5'":                   false, // textual compare on INT column
+		"name < 'm'":                 true,
+		"name < 5":                   true, // digits compare textually on TEXT column
+		"name LIKE 'item-1%'":        true,
+		"name LIKE '%'":              false, // empty prefix
+		"name LIKE ''":               false,
+		"name LIKE 'it%em%'":         false, // wildcard inside prefix
+		"name LIKE 'it_m%'":          false,
+		"'item-1%' LIKE name":        false, // column as pattern
+		"id LIKE '1%'":               false, // LIKE over INT column
+		"id < 5 OR id > 10":          false,
+		"NOT id < 5":                 false,
+		"grp = 3 AND missingcol = 1": true, // usable conjunct; bad column caught by validateExpr
+		"id > 5 AND name LIKE 'it%'": true,
 	} {
 		got := probeFor(where)
 		if (got != nil) != want {

@@ -10,29 +10,50 @@ import (
 )
 
 // Recovery: OpenDB replays the log at path into a fresh engine, then
-// truncates any torn tail and attaches the log for appending. Replay is
-// the same code path as live execution (Parse + Engine.ExecuteRaw on the
-// already-rewritten statements), so the recovered tables, ordered indexes,
-// and shadow policy columns are bit-for-bit what the statement sequence
-// produces; the engine gets a fresh process-unique schema generation per
-// replayed DDL, so plans cached against a previous incarnation recompile
-// instead of reusing stale schema conclusions.
+// truncates any torn tail and attaches the log for appending. DDL
+// records replay through the live execution path (Parse +
+// Engine.ExecuteRaw); row-ops records are semantically validated
+// (Engine.checkOps) and applied with their logged stable ids, so the
+// recovered entries, scan order, ordered-index buckets, and shadow
+// policy columns are bit-for-bit what the live engine held. The engine
+// gets a fresh process-unique schema generation per replayed DDL, so
+// plans cached against a previous incarnation recompile instead of
+// reusing stale schema conclusions.
 
 // OpenDB opens a database persisted in a write-ahead log at path,
 // replaying the committed record prefix (see docs/SQL.md §8). An empty
 // path returns an in-memory database, exactly like Open — existing
-// callers and benchmarks pay nothing for the persistence layer.
+// callers and benchmarks pay nothing for the persistence layer. A
+// legacy v1 (statement-format) log replays compatibly and is rewritten
+// in place as v2 before the open returns, so later appends never mix
+// formats.
 func OpenDB(rt *core.Runtime, path string) (*DB, error) {
 	db := Open(rt)
 	if path == "" {
 		return db, nil
 	}
-	w, err := replayWAL(path, db.engine)
+	w, legacy, err := replayWAL(path, db.engine)
 	if err != nil {
 		return nil, err
 	}
 	db.engine.attachWAL(w)
+	if legacy {
+		if err := db.Compact(); err != nil {
+			db.engine.closeWAL() //nolint:errcheck
+			return nil, fmt.Errorf("sqldb: upgrade v1 WAL: %w", err)
+		}
+	}
 	return db, nil
+}
+
+// SetWALAutoCompact arms background compaction: once the log exceeds
+// bytes, the next mutation kicks off an asynchronous Compact (one at a
+// time; failures leave the old, still-valid log). bytes <= 0 disables
+// the policy (the default). Open snapshots stay correct: compaction
+// rewrites only the file, and version reclamation respects every
+// registered snapshot.
+func (db *DB) SetWALAutoCompact(bytes int64) {
+	db.Engine().autoCompact.Store(bytes)
 }
 
 // Close syncs and closes the write-ahead log. Later mutations fail with
@@ -105,13 +126,29 @@ func (e *Engine) closeWAL() error {
 	return e.wal.close()
 }
 
+// walItem is one buffered replay unit: a DDL statement's text, or a
+// DML statement's decoded row ops.
+type walItem struct {
+	stmt string
+	ops  []rowOp
+}
+
+func applyWALItem(engine *Engine, it walItem) error {
+	if it.ops != nil {
+		return engine.applyReplayOps(it.ops)
+	}
+	return applyWALStmt(engine, it.stmt)
+}
+
 // replayWAL opens (creating if absent) the log at path, applies its
 // committed prefix to engine, truncates any torn tail, and returns the
-// log positioned for appending.
-func replayWAL(path string, engine *Engine) (*wal, error) {
+// log positioned for appending. legacy reports a v1 statement-format
+// log, which the caller must compact (rewriting it as v2) before
+// appending anything.
+func replayWAL(path string, engine *Engine) (*wal, bool, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// Single writer: two handles replaying and then appending to the
 	// same log at independent offsets would interleave frames and
@@ -119,43 +156,47 @@ func replayWAL(path string, engine *Engine) (*wal, error) {
 	// wal.close (or process exit).
 	if err := lockWALFile(f); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: %s", ErrWALBusy, path)
+		return nil, false, fmt.Errorf("%w: %s", ErrWALBusy, path)
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, false, err
 	}
 
-	corrupt := func(off int64, reason string, underlying error) (*wal, error) {
+	corrupt := func(off int64, reason string, underlying error) (*wal, bool, error) {
 		f.Close()
-		return nil, &WALCorruptionError{Path: path, Offset: off, Reason: reason, Err: underlying}
+		return nil, false, &WALCorruptionError{Path: path, Offset: off, Reason: reason, Err: underlying}
 	}
 
 	if len(data) < walHeaderSize {
 		// Shorter than a header: a crash while creating the file leaves a
 		// prefix of the header (torn — start the log over); anything else
 		// is not a RESIN WAL.
-		if !strings.HasPrefix(walMagic+string(rune(walVersion)), string(data)) && len(data) > 0 {
+		if !strings.HasPrefix(walMagic, string(data)) && len(data) > 0 {
 			return corrupt(0, "not a RESIN WAL (bad magic)", nil)
 		}
-		return resetWAL(path, f)
+		w, err := resetWAL(path, f)
+		return w, false, err
 	}
 	if string(data[:len(walMagic)]) != walMagic {
 		return corrupt(0, "not a RESIN WAL (bad magic)", nil)
 	}
-	if data[len(walMagic)] != walVersion {
-		return corrupt(int64(len(walMagic)), fmt.Sprintf("unsupported WAL version %d (want %d)", data[len(walMagic)], walVersion), nil)
+	version := data[len(walMagic)]
+	if version != walVersion && version != walVersionLegacy {
+		return corrupt(int64(len(walMagic)), fmt.Sprintf("unsupported WAL version %d (want %d)", version, walVersion), nil)
 	}
+	legacy := version == walVersionLegacy
 
 	// goodEnd is the offset after the last *applied* record: a standalone
-	// statement, or a transaction's commit marker. Statements inside
-	// B..C buffer until the commit marker applies them, so a group whose
-	// commit never hit the disk is dropped with the torn tail.
+	// statement or ops record, or a transaction's commit marker. Records
+	// inside B..C buffer until the commit marker applies them, so a
+	// group whose commit never hit the disk is dropped with the torn
+	// tail.
 	goodEnd := int64(walHeaderSize)
 	off := walHeaderSize
 	inTx := false
-	var group []string
+	var group []walItem
 	for off < len(data) {
 		payload, end, ok := walNextRecord(data, off)
 		if !ok {
@@ -165,13 +206,30 @@ func replayWAL(path string, engine *Engine) (*wal, error) {
 		off = end
 		switch payload[0] {
 		case walRecStmt:
-			text := string(payload[1:])
+			it := walItem{stmt: string(payload[1:])}
 			if inTx {
-				group = append(group, text)
+				group = append(group, it)
 				continue
 			}
-			if err := applyWALStmt(engine, text); err != nil {
+			if err := applyWALItem(engine, it); err != nil {
 				return corrupt(recStart, "statement replay failed", err)
+			}
+			goodEnd = int64(off)
+		case walRecOps:
+			if legacy {
+				return corrupt(recStart, "row-ops record in a v1 WAL", nil)
+			}
+			ops, err := decodeOpsPayload(payload[1:])
+			if err != nil {
+				return corrupt(recStart, "undecodable row-ops record", err)
+			}
+			it := walItem{ops: ops}
+			if inTx {
+				group = append(group, it)
+				continue
+			}
+			if err := applyWALItem(engine, it); err != nil {
+				return corrupt(recStart, "row-ops replay failed", err)
 			}
 			goodEnd = int64(off)
 		case walRecBegin:
@@ -189,8 +247,8 @@ func replayWAL(path string, engine *Engine) (*wal, error) {
 			if !inTx {
 				return corrupt(recStart, "commit marker without begin", nil)
 			}
-			for _, text := range group {
-				if err := applyWALStmt(engine, text); err != nil {
+			for _, it := range group {
+				if err := applyWALItem(engine, it); err != nil {
 					return corrupt(recStart, "transaction replay failed", err)
 				}
 			}
@@ -204,18 +262,18 @@ func replayWAL(path string, engine *Engine) (*wal, error) {
 	if goodEnd < int64(len(data)) {
 		if err := f.Truncate(goodEnd); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("sqldb: truncate torn WAL tail: %w", err)
+			return nil, false, fmt.Errorf("sqldb: truncate torn WAL tail: %w", err)
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("sqldb: sync truncated WAL: %w", err)
+			return nil, false, fmt.Errorf("sqldb: sync truncated WAL: %w", err)
 		}
 	}
 	if _, err := f.Seek(goodEnd, 0); err != nil {
 		f.Close()
-		return nil, err
+		return nil, false, err
 	}
-	return &wal{path: path, f: f, size: goodEnd}, nil
+	return &wal{path: path, f: f, size: goodEnd}, legacy, nil
 }
 
 // resetWAL starts the log over with a fresh header (new file, or a file

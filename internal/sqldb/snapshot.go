@@ -6,22 +6,24 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-
-	"resin/internal/core"
 )
 
 // Snapshot + compaction: the log grows with every mutation, so replay
 // cost is history-shaped until compaction rewrites it as the minimal
-// statement sequence that rebuilds the *current* state — one CREATE
-// TABLE per table (shadow policy columns included, since they are
-// ordinary columns by the time they reach the engine), batched INSERTs
-// of the live rows, and one CREATE INDEX per index. The rewrite goes to
-// a temp file first and renames over the log, so a crash during
-// compaction leaves either the old log or the new one, never a mix.
+// record sequence that rebuilds the *current* state — one CREATE TABLE
+// per table (shadow policy columns included, since they are ordinary
+// columns by the time they reach the engine), batched row-ops records
+// carrying the live rows *with their stable ids* (so scan order and
+// index buckets rebuild identically), and one CREATE INDEX per index.
+// The rewrite goes to a temp file first and renames over the log, so a
+// crash during compaction leaves either the old log or the new one,
+// never a mix. Compaction dumps only the newest committed versions;
+// open snapshots are unaffected because they read the in-memory chains,
+// which vacuum reclaims on its own registered-snapshot schedule.
 
-// snapshotBatchRows and snapshotBatchBytes bound one dumped INSERT —
-// by row count and by approximate rendered size — so a large or wide
-// table compacts into records comfortably inside walMaxRecord.
+// snapshotBatchRows and snapshotBatchBytes bound one dumped row-ops
+// record — by row count and by approximate encoded size — so a large or
+// wide table compacts into records comfortably inside walMaxRecord.
 const (
 	snapshotBatchRows  = 256
 	snapshotBatchBytes = 1 << 20
@@ -39,42 +41,44 @@ func (e *Engine) compactWAL() error {
 	if err := e.wal.usable(); err != nil {
 		return err
 	}
-	return e.wal.rewrite(e.dumpStatements())
+	// Compaction is a natural reclamation point: prune whatever no
+	// registered snapshot still needs before dumping.
+	e.vacuum()
+	return e.wal.rewrite(e.dumpPayloads())
 }
 
-// dumpStatements serializes the engine's state as replayable dialect
-// text, in deterministic order (tables and index columns sorted).
-func (e *Engine) dumpStatements() []string {
+// dumpPayloads serializes the engine's current state as replayable v2
+// record payloads, in deterministic order (tables and index columns
+// sorted; rows in ascending-id scan order).
+func (e *Engine) dumpPayloads() [][]byte {
 	names := make([]string, 0, len(e.tables))
 	for n := range e.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var out []string
+	frontier := e.frontier.Load()
+	var out [][]byte
 	for _, key := range names {
 		t := e.tables[key]
-		out = append(out, (&CreateTable{Table: t.name, Cols: t.cols}).SQL())
-		cols := make([]string, len(t.cols))
-		for i, c := range t.cols {
-			cols[i] = c.Name
-		}
-		ins := &Insert{Table: t.name, Columns: cols}
+		out = append(out, stmtPayload((&CreateTable{Table: t.name, Cols: t.cols}).SQL()))
+		var batch []rowOp
 		batchBytes := 0
 		flush := func() {
-			if len(ins.Rows) > 0 {
-				out = append(out, ins.SQL())
+			if len(batch) > 0 {
+				out = append(out, opsPayload(batch))
 			}
-			ins = &Insert{Table: t.name, Columns: cols}
-			batchBytes = 0
+			batch, batchBytes = nil, 0
 		}
-		for _, row := range t.rows {
-			exprs := make([]Expr, len(row))
-			for i, v := range row {
-				exprs[i] = valueExpr(v)
-				batchBytes += len(v.s) + 24 // quoting/framing slop
+		for _, en := range t.entries {
+			v := en.visible(frontier)
+			if v == nil {
+				continue
 			}
-			ins.Rows = append(ins.Rows, exprs)
-			if len(ins.Rows) >= snapshotBatchRows || batchBytes >= snapshotBatchBytes {
+			batch = append(batch, rowOp{kind: opInsert, table: key, id: en.id, vals: v.vals})
+			for _, val := range v.vals {
+				batchBytes += len(val.s) + 16 // tag/varint framing slop
+			}
+			if len(batch) >= snapshotBatchRows || batchBytes >= snapshotBatchBytes {
 				flush()
 			}
 		}
@@ -85,33 +89,19 @@ func (e *Engine) dumpStatements() []string {
 		}
 		sort.Strings(ixCols)
 		for _, c := range ixCols {
-			out = append(out, (&CreateIndex{Table: t.name, Column: c}).SQL())
+			out = append(out, stmtPayload((&CreateIndex{Table: t.name, Column: c}).SQL()))
 		}
 	}
 	return out
 }
 
-// valueExpr renders a stored cell back into the literal expression that
-// recreates it (the dialect's coercion makes this lossless: ints render
-// as digits into INT columns, text stays text).
-func valueExpr(v value) Expr {
-	switch {
-	case v.null:
-		return &NullLit{}
-	case v.isInt:
-		return &IntLit{Val: v.i}
-	default:
-		return &StringLit{Val: core.NewString(v.s)}
-	}
-}
-
-// rewrite atomically replaces the log's contents with stmts: write a
-// temp file, fsync it, rename over the log path, fsync the directory,
-// then swap file handles. Called under the owning engine's write lock,
-// so no append can interleave.
-func (w *wal) rewrite(stmts []string) error {
+// rewrite atomically replaces the log's contents with the given record
+// payloads: write a temp file, fsync it, rename over the log path,
+// fsync the directory, then swap file handles. Called under the owning
+// engine's write lock, so no append can interleave.
+func (w *wal) rewrite(payloads [][]byte) error {
 	tmp := w.path + ".compact"
-	f, size, err := writeWALFile(tmp, stmts)
+	f, size, err := writeWALFile(tmp, payloads)
 	if err != nil {
 		return fmt.Errorf("sqldb: compact: %w", err)
 	}

@@ -17,32 +17,46 @@ import (
 // and the serialized policy annotations, and the existing batched decode
 // (core.CompileAnnotation) re-interns the policy sets on first read.
 //
-// File format v1 (normative spec in docs/SQL.md §8, pinned byte-for-byte
-// by testdata/wal_v1.golden):
+// File format v2 (normative spec in docs/SQL.md §8, pinned byte-for-byte
+// by testdata/wal_v2.golden; v1 logs are still read — see below):
 //
-//	header:  8-byte magic "RESINWAL" + 1 version byte (0x01)
+//	header:  8-byte magic "RESINWAL" + 1 version byte (0x02)
 //	record:  uint32 LE payload length | uint32 LE CRC-32 (IEEE) of the
 //	         payload | payload bytes
 //	payload: 1 type byte + data
-//	types:   'S' statement (data = the statement's dialect text, the
-//	             form Engine executed — post filter rewrite, so shadow
-//	             policy columns and their annotation literals are
-//	             already spliced in)
+//	types:   'S' statement (data = a DDL statement's dialect text, the
+//	             form Engine executed — post filter rewrite)
+//	         'R' row ops (data = the row-level redo of one DML
+//	             statement: uvarint op count, then per op a kind byte
+//	             'i'/'u'/'d', uvarint table-key length + bytes, uvarint
+//	             stable row id, and for 'i'/'u' a uvarint column count
+//	             followed by one value each: 'N' for NULL, 'I' + zigzag
+//	             varint for integers, 'T' + uvarint length + bytes for
+//	             text — so shadow policy columns persist byte-exactly
+//	             with the row version that carries them)
 //	         'B' transaction begin marker (no data)
 //	         'C' transaction commit marker (no data)
 //
-// Statements outside B..C markers apply on replay as they are read; a
+// v2 logs rows by stable id instead of re-logging DML text: replay
+// rebuilds the exact entries (ids, scan order, index buckets) the live
+// engine had, which is what lets transactions merge per-row instead of
+// swapping whole engines. Version byte 0x01 opens read-only-compatibly:
+// recovery replays its statement records and immediately compacts the
+// log, rewriting it as v2 (recover.go).
+//
+// Records outside B..C markers apply on replay as they are read; a
 // B..C group applies atomically at its commit marker, and a group whose
 // commit marker never made it to disk is dropped entirely — recovery
 // drops uncommitted suffixes. Torn tails (a partial record, a checksum
 // mismatch, a zero length from a preallocated tail) truncate the log at
 // the last applied boundary; damage that a crash cannot explain — bad
-// magic, an unknown record type or unparseable statement *protected by a
-// valid checksum* — is reported as a *WALCorruptionError instead of
-// being silently dropped.
+// magic, an unknown record type, an unparseable statement or undecodable
+// row op *protected by a valid checksum* — is reported as a
+// *WALCorruptionError instead of being silently dropped.
 const (
 	walMagic         = "RESINWAL"
-	walVersion       = 0x01
+	walVersion       = 0x02
+	walVersionLegacy = 0x01
 	walHeaderSize    = len(walMagic) + 1
 	walRecHeaderSize = 8
 	// walMaxRecord bounds one record's payload, enforced symmetrically:
@@ -58,6 +72,7 @@ const (
 // WAL record type bytes.
 const (
 	walRecStmt   = 'S'
+	walRecOps    = 'R'
 	walRecBegin  = 'B'
 	walRecCommit = 'C'
 )
@@ -150,6 +165,135 @@ func stmtPayload(text string) []byte {
 	return append(p, text...)
 }
 
+// appendValue encodes one stored value: NULL, zigzag-varint integer, or
+// length-prefixed text.
+func appendValue(p []byte, v value) []byte {
+	switch {
+	case v.null:
+		return append(p, 'N')
+	case v.isInt:
+		p = append(p, 'I')
+		return binary.AppendVarint(p, v.i)
+	default:
+		p = append(p, 'T')
+		p = binary.AppendUvarint(p, uint64(len(v.s)))
+		return append(p, v.s...)
+	}
+}
+
+// opsPayload builds the payload of a row-ops record — the row-level
+// redo of one DML statement.
+func opsPayload(ops []rowOp) []byte {
+	p := []byte{walRecOps}
+	p = binary.AppendUvarint(p, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		p = append(p, op.kind)
+		p = binary.AppendUvarint(p, uint64(len(op.table)))
+		p = append(p, op.table...)
+		p = binary.AppendUvarint(p, op.id)
+		if op.kind == opInsert || op.kind == opUpdate {
+			p = binary.AppendUvarint(p, uint64(len(op.vals)))
+			for _, v := range op.vals {
+				p = appendValue(p, v)
+			}
+		}
+	}
+	return p
+}
+
+// decodeOpsPayload parses a row-ops record body (the bytes after the
+// 'R' type byte). Any structural damage is an error: the payload was
+// checksum-protected, so it cannot be a torn tail.
+func decodeOpsPayload(data []byte) ([]rowOp, error) {
+	off := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, errors.New("truncated varint")
+		}
+		off += n
+		return v, nil
+	}
+	nops, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	if nops > uint64(len(data)) { // each op is ≥ 1 byte; cheap sanity bound
+		return nil, fmt.Errorf("op count %d exceeds payload", nops)
+	}
+	ops := make([]rowOp, 0, nops)
+	for k := uint64(0); k < nops; k++ {
+		if off >= len(data) {
+			return nil, errors.New("truncated op")
+		}
+		kind := data[off]
+		off++
+		if kind != opInsert && kind != opUpdate && kind != opDelete {
+			return nil, fmt.Errorf("unknown row op kind 0x%02x", kind)
+		}
+		tl, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if tl > uint64(len(data)-off) {
+			return nil, errors.New("truncated table name")
+		}
+		tbl := string(data[off : off+int(tl)])
+		off += int(tl)
+		id, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		op := rowOp{kind: kind, table: tbl, id: id}
+		if kind == opInsert || kind == opUpdate {
+			ncols, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if ncols > uint64(len(data)-off) {
+				return nil, fmt.Errorf("column count %d exceeds payload", ncols)
+			}
+			op.vals = make([]value, 0, ncols)
+			for c := uint64(0); c < ncols; c++ {
+				if off >= len(data) {
+					return nil, errors.New("truncated value")
+				}
+				tag := data[off]
+				off++
+				switch tag {
+				case 'N':
+					op.vals = append(op.vals, nullValue())
+				case 'I':
+					n, w := binary.Varint(data[off:])
+					if w <= 0 {
+						return nil, errors.New("truncated int value")
+					}
+					off += w
+					op.vals = append(op.vals, intValue(n))
+				case 'T':
+					sl, err := uv()
+					if err != nil {
+						return nil, err
+					}
+					if sl > uint64(len(data)-off) {
+						return nil, errors.New("truncated text value")
+					}
+					op.vals = append(op.vals, textValue(string(data[off:off+int(sl)])))
+					off += int(sl)
+				default:
+					return nil, fmt.Errorf("unknown value tag 0x%02x", tag)
+				}
+			}
+		}
+		ops = append(ops, op)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%d trailing bytes after ops", len(data)-off)
+	}
+	return ops, nil
+}
+
 // write appends pre-framed bytes and applies the sync policy. On any
 // write or sync failure the wal goes fail-stop: the error is sticky and
 // every later append refuses, so a partially written tail can never be
@@ -170,7 +314,7 @@ func (w *wal) write(frame []byte) error {
 	return nil
 }
 
-// appendStmt logs one mutating statement.
+// appendStmt logs one DDL statement.
 func (w *wal) appendStmt(text string) error {
 	if 1+len(text) > walMaxRecord {
 		return fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(text))
@@ -178,17 +322,27 @@ func (w *wal) appendStmt(text string) error {
 	return w.write(appendRecord(nil, stmtPayload(text)))
 }
 
-// appendTxGroup logs a committed transaction's redo statements between
+// appendOps logs the row ops of one DML statement as a single 'R'
+// record.
+func (w *wal) appendOps(ops []rowOp) error {
+	p := opsPayload(ops)
+	if len(p) > walMaxRecord {
+		return fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(p))
+	}
+	return w.write(appendRecord(nil, p))
+}
+
+// appendTxGroup logs a committed transaction's redo payloads between
 // begin and commit markers, as one contiguous write and one sync — the
 // markers are what lets recovery drop an uncommitted suffix, and the
 // single sync is the transactional flavor of group commit.
-func (w *wal) appendTxGroup(stmts []string) error {
+func (w *wal) appendTxGroup(payloads [][]byte) error {
 	buf := appendRecord(nil, []byte{walRecBegin})
-	for _, s := range stmts {
-		if 1+len(s) > walMaxRecord {
-			return fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(s))
+	for _, p := range payloads {
+		if len(p) > walMaxRecord {
+			return fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(p))
 		}
-		buf = appendRecord(buf, stmtPayload(s))
+		buf = appendRecord(buf, p)
 	}
 	buf = appendRecord(buf, []byte{walRecCommit})
 	if err := w.usable(); err != nil {
@@ -232,10 +386,10 @@ func (w *wal) close() error {
 	return cerr
 }
 
-// writeWALFile writes a fresh v1 log containing stmts to path (the
-// compaction writer and the new-file path share it): header, one
-// statement record per entry, fsynced before return.
-func writeWALFile(path string, stmts []string) (*os.File, int64, error) {
+// writeWALFile writes a fresh v2 log containing the given record
+// payloads to path (the compaction writer and the new-file path share
+// it): header, one record per payload, fsynced before return.
+func writeWALFile(path string, payloads [][]byte) (*os.File, int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, 0, err
@@ -251,13 +405,13 @@ func writeWALFile(path string, stmts []string) (*os.File, int64, error) {
 	buf := make([]byte, 0, walHeaderSize)
 	buf = append(buf, walMagic...)
 	buf = append(buf, walVersion)
-	for _, s := range stmts {
-		if 1+len(s) > walMaxRecord {
+	for _, p := range payloads {
+		if len(p) > walMaxRecord {
 			f.Close()
 			os.Remove(path)
-			return nil, 0, fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(s))
+			return nil, 0, fmt.Errorf("%w (%d bytes)", ErrWALRecordTooLarge, len(p))
 		}
-		buf = appendRecord(buf, stmtPayload(s))
+		buf = appendRecord(buf, p)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()

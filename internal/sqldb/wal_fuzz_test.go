@@ -56,6 +56,24 @@ func FuzzWALReplay(f *testing.F) {
 	mut[len(header)+walRecHeaderSize+3] ^= 0x20
 	f.Add(mut)
 
+	// v2 row-ops seeds. A well-formed 'R' record after its CREATE must
+	// replay; 'R' payloads that frame correctly (CRC valid) but decode to
+	// nonsense — truncated op list, unknown table, tombstoned ghost —
+	// must surface as typed corruption, not a panic.
+	withCreate := appendRecord(append([]byte(nil), header...), stmtPayload("CREATE TABLE t (id INT, val TEXT)"))
+	goodOps := opsPayload([]rowOp{
+		{kind: opInsert, table: "t", id: 1, vals: []value{intValue(7), textValue("x")}},
+		{kind: opUpdate, table: "t", id: 1, vals: []value{intValue(8), nullValue()}},
+		{kind: opDelete, table: "t", id: 1},
+	})
+	f.Add(appendRecord(append([]byte(nil), withCreate...), goodOps))
+	f.Add(appendRecord(append([]byte(nil), withCreate...), []byte{walRecOps, 0x09})) // claims 9 ops, has none
+	f.Add(appendRecord(append([]byte(nil), withCreate...),
+		opsPayload([]rowOp{{kind: opUpdate, table: "ghost", id: 3, vals: []value{nullValue(), nullValue()}}})))
+	f.Add(appendRecord(append([]byte(nil), withCreate...),
+		opsPayload([]rowOp{{kind: opDelete, table: "t", id: 99}}))) // delete of a row never inserted
+	f.Add(appendRecord(append([]byte(nil), header...), goodOps)) // row ops before any schema
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		path := filepath.Join(dir, "fuzz.wal")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"resin/internal/core"
@@ -12,16 +13,18 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// TestWALGoldenEncoding pins the WAL v1 byte format — magic and version
-// byte, record framing (length + CRC), the statement/begin/commit type
-// bytes, and the shadow-policy annotation serialization inside logged
-// statements — against testdata/wal_v1.golden. An accidental format
-// change fails here loudly instead of silently orphaning old logs.
-// Regenerate deliberately with:
+// TestWALGoldenEncoding pins the WAL v2 byte format — magic and version
+// byte, record framing (length + CRC), the statement/row-ops/begin/
+// commit type bytes, row ids and value encodings inside 'R' records,
+// and the shadow-policy annotation serialization — against
+// testdata/wal_v2.golden. An accidental format change fails here loudly
+// instead of silently orphaning old logs. Regenerate deliberately with:
 //
 //	go test ./internal/sqldb -run TestWALGoldenEncoding -update
 //
 // and bump walVersion if old logs can no longer replay.
+// (TestWALLegacyV1Replay separately pins that v1 statement-format logs
+// still open.)
 func TestWALGoldenEncoding(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "golden.wal")
 	rt := core.NewRuntime()
@@ -56,7 +59,7 @@ func TestWALGoldenEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	goldenPath := filepath.Join("testdata", "wal_v1.golden")
+	goldenPath := filepath.Join("testdata", "wal_v2.golden")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -92,6 +95,56 @@ func TestWALGoldenEncoding(t *testing.T) {
 	}
 	if !res.Get(0, "password").Str.IsTainted() {
 		t.Error("golden replay lost the annotation")
+	}
+}
+
+// TestWALLegacyV1Replay pins read compatibility with the retired v1
+// statement format: the checked-in testdata/wal_v1.golden bytes (left
+// exactly as the v1 engine wrote them — they can never be regenerated)
+// must still open, replay to the same logical state, and come out the
+// other side upgraded: OpenDB compacts a v1 log in place, so the file
+// on disk is v2 before the first new append can mix formats.
+func TestWALLegacyV1Replay(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "wal_v1.golden"))
+	if err != nil {
+		t.Fatalf("%v (the v1 golden must stay checked in; it cannot be regenerated)", err)
+	}
+	if want[len(walMagic)] != walVersionLegacy {
+		t.Fatalf("v1 golden has version byte %d", want[len(walMagic)])
+	}
+	path := filepath.Join(t.TempDir(), "legacy.wal")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime()
+	db := openWALDB(t, rt, path)
+	res, err := db.QueryRaw("SELECT password FROM users WHERE email = ?", "u@example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Get(0, "password").Str.Raw() != "n3wpw" {
+		t.Fatalf("v1 replay: %d rows, password %q", res.Len(), res.Get(0, "password").Str.Raw())
+	}
+	if !res.Get(0, "password").Str.IsTainted() {
+		t.Error("v1 replay lost the annotation")
+	}
+	upgraded, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upgraded[len(walMagic)] != walVersion {
+		t.Errorf("v1 log not upgraded on open: version byte %d, want %d", upgraded[len(walMagic)], walVersion)
+	}
+	// The upgraded log must keep working: append, restart, verify.
+	db.MustExec("INSERT INTO users (email, password) VALUES ('b@example.org', 'pw2')")
+	live := dumpEngine(db.Engine())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openWALDB(t, rt, path)
+	defer db2.Close()
+	if got := dumpEngine(db2.Engine()); !reflect.DeepEqual(got, live) {
+		t.Error("upgraded log diverges after restart")
 	}
 }
 

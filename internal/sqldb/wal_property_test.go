@@ -13,24 +13,34 @@ import (
 	"resin/internal/sanitize"
 )
 
-// tableState is a test dump of one table: schema, rows (policy columns
-// included as data — their bytes are the serialized annotations, so
-// equality here is annotation equality), and indexed columns.
+// tableState is a test dump of one table: schema, visible rows with
+// their stable ids in ascending-id scan order (policy columns included
+// as data — their bytes are the serialized annotations, so equality
+// here is annotation equality), and indexed columns. Comparing ids as
+// well as values pins that recovery rebuilds the *identity* of every
+// row, not just its contents — the property per-row conflict detection
+// depends on.
 type tableState struct {
 	cols    []ColumnDef
+	ids     []uint64
 	rows    [][]value
 	indexed []string
 }
 
-// dumpEngine snapshots the full engine state for equality comparison.
+// dumpEngine snapshots the committed (frontier-visible) engine state for
+// equality comparison.
 func dumpEngine(e *Engine) map[string]tableState {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	frontier := e.frontier.Load()
 	out := make(map[string]tableState, len(e.tables))
 	for key, t := range e.tables {
 		ts := tableState{cols: append([]ColumnDef(nil), t.cols...)}
-		for _, row := range t.rows {
-			ts.rows = append(ts.rows, append([]value(nil), row...))
+		for _, en := range t.entries {
+			if v := en.visible(frontier); v != nil {
+				ts.ids = append(ts.ids, en.id)
+				ts.rows = append(ts.rows, append([]value(nil), v.vals...))
+			}
 		}
 		for ci := range t.indexes {
 			ts.indexed = append(ts.indexed, t.cols[ci].Name)

@@ -100,9 +100,10 @@ func TestWALConcurrentWritersReadersCompaction(t *testing.T) {
 	}()
 	wg.Wait()
 	// A quiesced write with a policy, then the real invariant: whatever
-	// interleaving happened (tx swaps may discard racing direct writes
-	// under last-commit-wins), the state recovered from the log must
-	// equal the live state at close.
+	// interleaving happened (commits merge row versions, so racing
+	// direct writes and transactions all survive unless they conflicted
+	// per row), the state recovered from the log must equal the live
+	// state at close.
 	finalVal := core.NewStringPolicy("final", &sanitize.UntrustedData{Source: "race-final"})
 	if _, err := db.QueryRaw("INSERT INTO t (id, val) VALUES (?, ?)", 999999, finalVal); err != nil {
 		t.Fatal(err)
@@ -126,24 +127,41 @@ func TestWALConcurrentWritersReadersCompaction(t *testing.T) {
 	}
 }
 
-// indexStructures deep-copies every table's ordered-index internals
-// (sorted key sequence + buckets) for structural comparison between a
-// live engine and one recovered from its WAL.
-func indexStructures(e *Engine) map[string]map[string]*orderedIndex {
+// indexStructures captures the *effective* contents of every ordered
+// index: the (key, row id) pairs whose row is visible at the frontier
+// under that key — exactly the pairs the visible-key traversal rule
+// serves to queries. MVCC buckets are supersets (they may carry stale
+// pairs awaiting vacuum, and a live engine and a replayed one reclaim
+// on different schedules), so equality is defined on this canonical
+// projection of the real structures, not on raw buckets. A pair the
+// index lost shows up as a hole on one side; a pair wrongly served
+// shows up as an extra.
+func indexStructures(e *Engine) map[string]map[string]map[string][]uint64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	out := make(map[string]map[string]*orderedIndex)
+	frontier := e.frontier.Load()
+	out := make(map[string]map[string]map[string][]uint64)
 	for name, t := range e.tables {
 		if len(t.indexes) == 0 {
 			continue
 		}
-		cols := make(map[string]*orderedIndex, len(t.indexes))
+		cols := make(map[string]map[string][]uint64, len(t.indexes))
 		for ci, ix := range t.indexes {
-			cp := &orderedIndex{m: make(map[string][]int, len(ix.m)), vals: append([]value(nil), ix.vals...)}
-			for k, b := range ix.m {
-				cp.m[k] = append([]int(nil), b...)
+			eff := make(map[string][]uint64)
+			for k, bucket := range ix.m {
+				for _, id := range bucket {
+					en := t.byID[id]
+					if en == nil {
+						continue
+					}
+					v := en.visible(frontier)
+					if v == nil || indexKey(v.vals[ci]) != k {
+						continue
+					}
+					eff[k] = append(eff[k], id)
+				}
 			}
-			cols[t.cols[ci].Name] = cp
+			cols[t.cols[ci].Name] = eff
 		}
 		out[name] = cols
 	}

@@ -2,11 +2,13 @@ package sqldb
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"resin/internal/core"
 	"resin/internal/sanitize"
@@ -498,9 +500,14 @@ func TestWALRecordSizeLimit(t *testing.T) {
 }
 
 // TestWALInterleavedCommitMatchesRestart: a direct write logged while a
-// transaction is open is discarded from memory by the commit's engine
-// swap (the documented last-commit-wins rule) — the log must lose it
-// too, so the state after a restart equals the live state.
+// transaction is open touches different rows, so under per-row
+// first-committer-wins BOTH survive the commit — the transaction merges
+// into the base engine instead of swapping it out (the pre-MVCC engine
+// discarded the interleaved write here). Disk must agree with memory:
+// a restart reproduces the merged state exactly. The second half pins
+// the conflict side: a transaction racing the same row id loses with
+// ErrTxConflict, nothing of it reaches the log, and restart still
+// matches memory.
 func TestWALInterleavedCommitMatchesRestart(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "interleave.wal")
 	rt := core.NewRuntime()
@@ -511,11 +518,37 @@ func TestWALInterleavedCommitMatchesRestart(t *testing.T) {
 
 	tx := db.Begin()
 	tx.MustExec("UPDATE t SET val = 'tx' WHERE id = 1")
-	// Direct write after Begin: durable when acked, but the commit below
-	// swaps in a speculative engine that never saw it.
+	// Direct write after Begin: a different row id, so the commit below
+	// merges alongside it rather than conflicting with (or clobbering)
+	// it.
 	db.MustExec("INSERT INTO t (id, val) VALUES (2, 'interleaved')")
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
+	}
+	res, err := db.QueryRaw("SELECT val FROM t WHERE id = 2")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("interleaved write lost by the commit merge: %v rows=%d", err, res.Len())
+	}
+
+	// Conflict regression: two transactions write row id 1; the first
+	// commit wins, the second fails atomically.
+	tx1 := db.Begin()
+	tx1.MustExec("UPDATE t SET val = 'winner' WHERE id = 1")
+	tx2 := db.Begin()
+	tx2.MustExec("UPDATE t SET val = 'loser' WHERE id = 1")
+	tx2.MustExec("INSERT INTO t (id, val) VALUES (3, 'loser-extra')")
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := db.WALSize()
+	if err := tx2.Commit(); !errors.Is(err, ErrTxConflict) {
+		t.Fatalf("conflicting commit = %v, want ErrTxConflict", err)
+	}
+	if db.WALSize() != sizeBefore {
+		t.Error("losing commit appended to the log")
+	}
+	if res, _ := db.QueryRaw("SELECT * FROM t WHERE id = 3"); res.Len() != 0 {
+		t.Error("losing transaction's insert leaked into the database")
 	}
 
 	live := dumpEngine(db.Engine())
@@ -527,12 +560,12 @@ func TestWALInterleavedCommitMatchesRestart(t *testing.T) {
 	if got := dumpEngine(db2.Engine()); !reflect.DeepEqual(got, live) {
 		t.Fatalf("restart diverges from live state after interleaved commit\nlive:      %+v\nrecovered: %+v", live, got)
 	}
-	res, err := db2.QueryRaw("SELECT val FROM t WHERE id = 1")
-	if err != nil || res.Len() != 1 || res.Get(0, "val").Str.Raw() != "tx" {
+	res, err = db2.QueryRaw("SELECT val FROM t WHERE id = 1")
+	if err != nil || res.Len() != 1 || res.Get(0, "val").Str.Raw() != "winner" {
 		t.Fatalf("committed update lost: %v rows=%d", err, res.Len())
 	}
-	if res, _ := db2.QueryRaw("SELECT * FROM t WHERE id = 2"); res.Len() != 0 {
-		t.Error("interleaved write resurrected after restart")
+	if res, _ := db2.QueryRaw("SELECT val FROM t WHERE id = 2"); res.Len() != 1 {
+		t.Error("interleaved write lost after restart")
 	}
 }
 
@@ -576,5 +609,80 @@ func TestWALCommitAfterCloseRefused(t *testing.T) {
 	res, err := db2.QueryRaw("SELECT * FROM t")
 	if err != nil || res.Len() != 1 {
 		t.Fatalf("recovered rows = %d (%v), want 1", res.Len(), err)
+	}
+}
+
+// TestWALAutoCompactPolicy exercises DB.SetWALAutoCompact: once the log
+// grows past the armed threshold, churn triggers a background Compact
+// that shrinks the file — while a transaction holding an open snapshot
+// keeps reading its frontier unperturbed. Compaction rewrites only the
+// log and vacuum respects registered snapshots, so "compaction never
+// races an open snapshot" is a tested property, not a comment.
+func TestWALAutoCompactPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "autocompact.wal")
+	rt := core.NewRuntime()
+	db := openWALDB(t, rt, path)
+	db.MustExec("CREATE TABLE t (id INT, val TEXT)")
+	db.MustExec("CREATE INDEX ON t (id)")
+	for i := 0; i < 8; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t (id, val) VALUES (%d, 'seed-%d')", i, i))
+	}
+
+	tx := db.Begin() // open snapshot across the whole compaction storm
+	snapBefore, err := tx.QueryRaw("SELECT id, val FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const threshold = 4 << 10
+	db.SetWALAutoCompact(threshold)
+	// Churn the same 8 rows: the log grows with dead records while the
+	// live state stays tiny, so a compaction must eventually win big.
+	deadline := time.Now().Add(10 * time.Second)
+	var maxSeen int64
+	compacted := false
+	for i := 0; !compacted; i++ {
+		db.MustExec(fmt.Sprintf("UPDATE t SET val = 'gen-%d' WHERE id = %d", i, i%8))
+		if sz := db.WALSize(); sz > maxSeen {
+			maxSeen = sz
+		} else if maxSeen > threshold && sz < maxSeen/2 {
+			compacted = true // the file shrank: background Compact ran
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no auto-compaction after %d updates (WAL %d bytes, max %d)", i, db.WALSize(), maxSeen)
+		}
+	}
+
+	// The open snapshot never moved.
+	snapAfter, err := tx.QueryRaw("SELECT id, val FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapBefore.Len() != snapAfter.Len() {
+		t.Fatalf("snapshot moved during compaction: %d rows then %d", snapBefore.Len(), snapAfter.Len())
+	}
+	for i := 0; i < snapBefore.Len(); i++ {
+		if snapBefore.Get(i, "val").Str.Raw() != snapAfter.Get(i, "val").Str.Raw() {
+			t.Fatalf("snapshot row %d changed during compaction", i)
+		}
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disarm, quiesce (a background Compact may still be in flight —
+	// Compact serializes with it), and prove restart equality.
+	db.SetWALAutoCompact(0)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	live := dumpEngine(db.Engine())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openWALDB(t, rt, path)
+	defer db2.Close()
+	if got := dumpEngine(db2.Engine()); !reflect.DeepEqual(got, live) {
+		t.Error("state diverges after restart following auto-compaction")
 	}
 }
