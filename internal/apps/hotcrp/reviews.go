@@ -64,11 +64,18 @@ func init() {
 // page is a point lookup per paper — and the listing orders by reviewer
 // for a deterministic page regardless of submission order (the bucket
 // probe dominates; the per-paper sort is a handful of rows).
+//
+// The page query is ONE prepared LEFT JOIN: paper title and review rows
+// arrive together, and a paper without reviews still produces its title
+// row (NULL-padded review columns, skipped by the renderer). This
+// replaces the old shape — one reviews query plus a papers lookup per
+// rendered row — with a single statement.
 func (a *App) EnableReviews() {
 	a.DB.MustExec("CREATE TABLE reviews (paper INT, reviewer TEXT, body TEXT)")
 	a.DB.MustExec("CREATE INDEX ON reviews (paper)")
 	a.insReview = a.DB.MustPrepare("INSERT INTO reviews (paper, reviewer, body) VALUES (?, ?, ?)")
-	a.selReviews = a.DB.MustPrepare("SELECT reviewer, body FROM reviews WHERE paper = ? ORDER BY reviewer")
+	a.selReviews = a.DB.MustPrepare(
+		"SELECT papers.title, reviews.reviewer, reviews.body FROM papers LEFT JOIN reviews ON papers.id = reviews.paper WHERE papers.id = ? ORDER BY reviews.reviewer")
 	a.Server.Handle("/reviews", a.handleReviews)
 }
 
@@ -104,15 +111,37 @@ func (a *App) handleReviews(req *httpd.Request, resp *httpd.Response) error {
 	if err != nil {
 		return err
 	}
+	if res.Len() == 0 {
+		resp.Status = 404
+		return httpd.ErrNotFound
+	}
 	user := ""
 	if req.Session != nil {
 		user = req.Session.User
 	}
 	chair, pc := a.userInfo(user)
+	if !a.assertions {
+		// Unmodified HotCRP: one explicit access check for the whole
+		// page. (Before the JOIN migration this ran inside the render
+		// loop — an authors lookup per review row.)
+		if !chair && !pc && !a.isPaperAuthor(id, user) {
+			resp.Status = 403
+			return fmt.Errorf("hotcrp: %s may not read reviews of #%d", user, id)
+		}
+	}
 	resp.WriteRaw("<html><body><h1>Reviews for #" + strconv.Itoa(id) + "</h1>\n")
+	// The title rides on the same JOIN rows; its PaperPolicy decides who
+	// may see it when assertions are on (authors and PC pass).
+	title := res.Get(0, "papers.title").Str
+	if werr := resp.Write(core.Format("<h2>%s</h2>\n", sanitize.HTMLEscape(title))); werr != nil {
+		return werr
+	}
 	for i := 0; i < res.Len(); i++ {
-		reviewer := res.Get(i, "reviewer").Str
-		text := res.Get(i, "body").Str
+		if res.Get(i, "reviews.reviewer").Null {
+			continue // LEFT JOIN padding: the paper exists but has no reviews
+		}
+		reviewer := res.Get(i, "reviews.reviewer").Str
+		text := res.Get(i, "reviews.body").Str
 		if a.assertions {
 			ch := resp.Channel()
 			ch.BeginBuffer()
@@ -129,14 +158,6 @@ func (a *App) handleReviews(req *httpd.Request, resp *httpd.Response) error {
 				resp.Write(core.Format("<h3>%s</h3>", sanitize.HTMLEscape(reviewer)))
 			} else {
 				resp.WriteRaw("<h3>Reviewer</h3>")
-			}
-		}
-		if !a.assertions {
-			// Unmodified HotCRP: explicit text access check.
-			isAuthor := a.isPaperAuthor(id, user)
-			if !chair && !pc && !isAuthor {
-				resp.Status = 403
-				return fmt.Errorf("hotcrp: %s may not read reviews of #%d", user, id)
 			}
 		}
 		if werr := resp.Write(core.Format("<p>%s</p>\n", sanitize.HTMLEscape(text))); werr != nil {

@@ -222,6 +222,23 @@ func (c *CompiledAnnotation) Apply(raw string) String {
 	return t
 }
 
+// PolicySet returns the interned union of every span's policy set —
+// the whole-value policy content of the annotation, independent of
+// which byte ranges carry it. The SQL filter uses this to attach
+// aggregate outputs (where span positions are meaningless) with the
+// union of their inputs' policies. A nil or empty annotation yields
+// nil, which callers treat as untainted.
+func (c *CompiledAnnotation) PolicySet() *PolicySet {
+	if c == nil {
+		return nil
+	}
+	var set *PolicySet
+	for _, s := range c.spans {
+		set = set.Union(s.set)
+	}
+	return set
+}
+
 // annCompileMemo caches CompileAnnotation results per annotation bytes,
 // bounded and flushed wholesale at cap (the shared eviction idiom:
 // churn re-warms, it never permanently disables the cache).

@@ -70,12 +70,49 @@ type Insert struct {
 	Rows    [][]Expr
 }
 
-// Select is SELECT cols FROM t [WHERE e] [ORDER BY col [DESC]] [LIMIT n].
+// SelectItem is one projected output of a SELECT: a (possibly
+// table-qualified) column reference, or an aggregate over one.
+type SelectItem struct {
+	// Agg is "" for a plain column, or one of COUNT, SUM, MIN, MAX,
+	// PUNION. PUNION is the policy-union aggregate: the distinct non-NULL
+	// values of a column within each group, byte-sorted and joined with
+	// 0x1f — the engine-level carrier the filter uses to propagate the
+	// union of input policy sets through aggregation (docs/SQL.md).
+	Agg  string
+	Star bool   // COUNT(*) — row count, no input column
+	Col  string // column name, possibly "table.col"; empty for COUNT(*)
+}
+
+// SQL renders the item back to dialect text.
+func (it SelectItem) SQL() string {
+	switch {
+	case it.Agg != "" && it.Star:
+		return it.Agg + "(*)"
+	case it.Agg != "":
+		return it.Agg + "(" + it.Col + ")"
+	default:
+		return it.Col
+	}
+}
+
+// JoinClause is [INNER|LEFT] JOIN t2 ON l = r. The ON condition is
+// restricted to equality of one column from each side (hash-joinable by
+// construction); arbitrary residual predicates belong in WHERE.
+type JoinClause struct {
+	Type  string // "INNER" or "LEFT"
+	Table string
+	L, R  string // ON L = R; each possibly "table.col"
+}
+
+// Select is SELECT items FROM t [JOIN t2 ON l = r] [WHERE e]
+// [GROUP BY cols] [ORDER BY col [DESC]] [LIMIT n].
 type Select struct {
 	Table   string
 	Star    bool
-	Columns []string
+	Items   []SelectItem
+	Join    *JoinClause
 	Where   Expr
+	GroupBy []string
 	OrderBy string
 	Desc    bool
 	Limit   int // -1 means no limit
@@ -84,6 +121,26 @@ type Select struct {
 	// never sets it; it is the differential-test hook that lets the
 	// scan-vs-index harness run both paths against the same snapshot.
 	ForceScan bool
+
+	// ForceLoop disables the hash join in favor of the nested-loop
+	// fallback. The parser never sets it; it is the differential-test
+	// hook that makes the always-correct loop path the oracle.
+	ForceLoop bool
+}
+
+// grouped reports whether the SELECT aggregates: any aggregate item or
+// a GROUP BY clause. A grouped query without GROUP BY columns is a
+// whole-input aggregate (one output row, even over empty input).
+func (s *Select) grouped() bool {
+	if len(s.GroupBy) > 0 {
+		return true
+	}
+	for _, it := range s.Items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // Update is UPDATE t SET col = e, ... [WHERE e].
@@ -250,12 +307,24 @@ func (s *Select) SQL() string {
 	if s.Star {
 		b.WriteString("*")
 	} else {
-		b.WriteString(strings.Join(s.Columns, ", "))
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.SQL())
+		}
 	}
 	b.WriteString(" FROM ")
 	b.WriteString(s.Table)
+	if s.Join != nil {
+		b.WriteString(" " + s.Join.Type + " JOIN " + s.Join.Table +
+			" ON " + s.Join.L + " = " + s.Join.R)
+	}
 	if s.Where != nil {
 		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(s.GroupBy, ", "))
 	}
 	if s.OrderBy != "" {
 		b.WriteString(" ORDER BY " + s.OrderBy)

@@ -18,8 +18,16 @@ type docPasswordPolicy struct {
 
 func (p *docPasswordPolicy) ExportCheck(ctx *core.Context) error { return nil }
 
+// docReviewPolicy taints every quoted literal of the §10 worked
+// examples, so the block's † markers are checked against real
+// annotation round-trips, not hand-set flags.
+type docReviewPolicy struct{}
+
+func (p *docReviewPolicy) ExportCheck(ctx *core.Context) error { return nil }
+
 func init() {
 	core.RegisterPolicyClass("docs.PasswordPolicy", &docPasswordPolicy{})
+	core.RegisterPolicyClass("docs.ReviewPolicy", &docReviewPolicy{})
 }
 
 // figure4Pairs extracts the pinned (issued, rewritten) statement pairs
@@ -132,6 +140,9 @@ func TestSQLDocCoversEveryStatementForm(t *testing.T) {
 		"CREATE TABLE", "DROP TABLE", "CREATE INDEX", "DROP INDEX",
 		"INSERT INTO", "SELECT", "UPDATE", "DELETE FROM",
 		"ORDER BY", "LIMIT", "WHERE", "LIKE", "NULL",
+		// The multi-table surface of §10.
+		"INNER JOIN", "LEFT JOIN", "GROUP BY",
+		"COUNT(*)", "COUNT(col)", "SUM(col)", "MIN(col)", "MAX(col)", "PUNION(col)",
 		// The binding surface of §6 and the driver facade of §7.
 		"placeholder", "Prepare", "Stmt.Query", "Stmt.Exec",
 		"NumArgs", "resinsql", "sql.Register",
@@ -363,5 +374,104 @@ func TestTxVisibilityDocExample(t *testing.T) {
 	}
 	if got := balance(db, "bob"); got != 36 {
 		t.Fatalf("step 10: bob = %d, want 36", got)
+	}
+}
+
+// TestJoinAggDocExamples executes docs/SQL.md §10.5's worked block
+// verbatim. Every single-quoted setup literal is tainted with
+// docs.ReviewPolicy before execution, each pinned query runs through
+// BOTH executors (diffPlanned: hash join vs nested-loop oracle), and
+// the first column of each result row must match the documented value,
+// NULLness, and taint: a † marker pins "this cell carries the policy",
+// its absence pins "this cell carries none". The doc's propagation
+// claims — COUNT(*)/SUM of untainted ints stay clean while joined
+// strings, MIN, and unioned group keys stay tainted — cannot drift
+// from the engine without failing here.
+func TestJoinAggDocExamples(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SQL.md")
+	if err != nil {
+		t.Fatalf("docs/SQL.md must exist: %v", err)
+	}
+	text := string(data)
+	start := strings.Index(text, "<!-- join-agg:begin -->")
+	end := strings.Index(text, "<!-- join-agg:end -->")
+	if start < 0 || end < 0 || end < start {
+		t.Fatal("docs/SQL.md lost its join-agg:begin/end markers")
+	}
+
+	db := Open(core.NewRuntime())
+	pol := &docReviewPolicy{}
+	// Taint the bytes between each quote pair, exactly as an application
+	// splicing untrusted tracked strings into SQL text would.
+	taintLiterals := func(q string) core.String {
+		parts := strings.Split(q, "'")
+		out := core.NewString(parts[0])
+		for i := 1; i < len(parts); i++ {
+			out = core.Concat(out, core.NewString("'"))
+			if i%2 == 1 {
+				out = core.Concat(out, core.NewStringPolicy(parts[i], pol))
+			} else {
+				out = core.Concat(out, core.NewString(parts[i]))
+			}
+		}
+		return out
+	}
+
+	var query string
+	checked := 0
+	for _, line := range strings.Split(text[start:end], "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "-- SELECT"):
+			query = strings.TrimPrefix(line, "-- ")
+		case strings.HasPrefix(line, "--   -> "):
+			if query == "" {
+				t.Fatalf("expected values %q without a preceding query", line)
+			}
+			type wantCell struct {
+				val     string
+				tainted bool
+			}
+			var want []wantCell
+			for _, v := range strings.Split(strings.TrimPrefix(line, "--   -> "), ",") {
+				v = strings.TrimSpace(v)
+				w := wantCell{val: strings.TrimSuffix(v, "†"), tainted: strings.HasSuffix(v, "†")}
+				want = append(want, w)
+			}
+			diffPlanned(t, db, query)
+			res, err := db.Query(core.NewString(query))
+			if err != nil {
+				t.Fatalf("%s: %v", query, err)
+			}
+			if res.Len() != len(want) {
+				t.Fatalf("%s: %d rows, doc pins %d", query, res.Len(), len(want))
+			}
+			for i, w := range want {
+				c := res.Rows[i][0]
+				switch {
+				case w.val == "NULL":
+					if !c.Null {
+						t.Errorf("%s row %d: %q, doc pins NULL", query, i, c.Text().Raw())
+					}
+				case c.Null:
+					t.Errorf("%s row %d: NULL, doc pins %q", query, i, w.val)
+				case c.Text().Raw() != w.val:
+					t.Errorf("%s row %d: %q, doc pins %q", query, i, c.Text().Raw(), w.val)
+				}
+				if got := c.Text().IsTainted(); got != w.tainted {
+					t.Errorf("%s row %d (%s): tainted=%v, doc pins %v", query, i, w.val, got, w.tainted)
+				}
+			}
+			query = ""
+			checked++
+		case line == "" || strings.HasPrefix(line, "```") || strings.HasPrefix(line, "<!--") || strings.HasPrefix(line, "--"):
+		default: // setup statement, quoted literals tainted
+			if _, err := db.Exec(taintLiterals(line)); err != nil {
+				t.Fatalf("setup %q: %v", line, err)
+			}
+		}
+	}
+	if checked < 6 {
+		t.Fatalf("join-agg block pins only %d queries; the doc examples shrank", checked)
 	}
 }

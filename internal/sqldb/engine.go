@@ -151,6 +151,61 @@ func (t *table) colIndex(name string) int {
 	return -1
 }
 
+// scope resolves column references to positions in the row layout an
+// expression evaluates against. A single table is a scope over its own
+// columns; a join evaluates against concatenated left++right rows via
+// joinScope (join.go). Keeping resolution behind this interface lets
+// eval/validate code serve both layouts unchanged.
+type scope interface {
+	resolveCol(name string) (int, error)
+}
+
+// splitQualifier splits a table-qualified column reference "t.c" into
+// its qualifier and column. Names without a dot — or with an empty half,
+// which no real qualification produces — return ok=false and resolve as
+// plain column names.
+func splitQualifier(name string) (qual, col string, ok bool) {
+	i := strings.IndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return "", "", false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// resolveCol resolves a (possibly table-qualified) column reference
+// against this table. Exact column names win first — a column literally
+// named "a.b" keeps resolving as it always has — then "t.c" resolves c
+// when t names this table. The returned error always names the table(s)
+// searched (the ErrNoColumn contract).
+func (t *table) resolveCol(name string) (int, error) {
+	if ci := t.colIndex(name); ci >= 0 {
+		return ci, nil
+	}
+	if qual, col, ok := splitQualifier(name); ok {
+		if !strings.EqualFold(qual, t.name) {
+			return -1, fmt.Errorf("%w: %s (table %s is not in this query)", ErrNoColumn, name, qual)
+		}
+		if ci := t.colIndex(col); ci >= 0 {
+			return ci, nil
+		}
+		return -1, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, col)
+	}
+	return -1, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, name)
+}
+
+// outColName names a projected column in a result: a reference that
+// resolved through a table qualifier keeps its qualification (with the
+// table and column canonically spelled), everything else keeps the
+// column's declared name.
+func (t *table) outColName(ref string, ci int) string {
+	if t.colIndex(ref) < 0 {
+		if _, _, ok := splitQualifier(ref); ok {
+			return t.name + "." + t.cols[ci].Name
+		}
+	}
+	return t.cols[ci].Name
+}
+
 // indexKey is the canonical equality key of a value: non-null values key
 // by their rendered form, matching valueCompare's MySQL-ish coercion
 // (int 1 and text '1' compare equal and share a key); NULL gets a
@@ -378,6 +433,15 @@ func (e *Engine) minActiveSnap() uint64 {
 type rawResult struct {
 	cols []string
 	rows [][]value
+}
+
+// Len reports the row count. Callers outside the package hold *rawResult
+// values returned by ExecuteRaw; this lets them size-check results.
+func (r *rawResult) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rows)
 }
 
 // ExecuteRaw runs a statement and returns the raw result (SELECT) or nil.
@@ -996,13 +1060,31 @@ type selCand struct {
 
 // execSelect runs a SELECT. On a speculative engine, reads of tables
 // the transaction has not written go straight to the base engine at the
-// transaction's snapshot — Begin pays no copy for them.
+// transaction's snapshot — Begin pays no copy for them. A join whose
+// sides straddle the two engines (one side written by the transaction,
+// the other not) materializes the unwritten side first: both sides then
+// read one engine at one snapshot, never a mix.
 func (e *Engine) execSelect(s *Select) (*rawResult, error) {
 	if e.txBase != nil {
-		key := strings.ToLower(s.Table)
-		if t, ok := e.tables[key]; ok && !e.owned[key] {
+		lkey := strings.ToLower(s.Table)
+		lt, lok := e.tables[lkey]
+		if s.Join == nil {
+			if lok && !e.owned[lkey] {
+				snap := e.txSnap
+				return e.txBase.selectAt(lt, s, &snap)
+			}
+			return e.selectAt(nil, s, nil)
+		}
+		rkey := strings.ToLower(s.Join.Table)
+		rt, rok := e.tables[rkey]
+		if e.owned[lkey] || e.owned[rkey] {
+			e.materialize(lkey)
+			e.materialize(rkey)
+			return e.selectAt(nil, s, nil)
+		}
+		if lok && rok {
 			snap := e.txSnap
-			return e.txBase.selectAt(t, s, &snap)
+			return e.txBase.selectComplexAt(lt, rt, s, &snap)
 		}
 	}
 	return e.selectAt(nil, s, nil)
@@ -1018,6 +1100,9 @@ func (e *Engine) execSelect(s *Select) (*rawResult, error) {
 // immutable versions — row evaluation never blocks a writer, and no
 // writer can perturb it.
 func (e *Engine) selectAt(t *table, s *Select, pinned *uint64) (*rawResult, error) {
+	if s.Join != nil || s.grouped() {
+		return e.selectComplexAt(t, nil, s, pinned)
+	}
 	e.mu.RLock()
 	locked := true
 	unlock := func() {
@@ -1043,12 +1128,12 @@ func (e *Engine) selectAt(t *table, s *Select, pinned *uint64) (*rawResult, erro
 			outIdx = append(outIdx, i)
 		}
 	} else {
-		for _, name := range s.Columns {
-			ci := t.colIndex(name)
-			if ci < 0 {
-				return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, name)
+		for _, it := range s.Items {
+			ci, err := t.resolveCol(it.Col)
+			if err != nil {
+				return nil, err
 			}
-			outCols = append(outCols, t.cols[ci].Name)
+			outCols = append(outCols, t.outColName(it.Col, ci))
 			outIdx = append(outIdx, ci)
 		}
 	}
@@ -1057,9 +1142,10 @@ func (e *Engine) selectAt(t *table, s *Select, pinned *uint64) (*rawResult, erro
 	}
 	orderCI := -1
 	if s.OrderBy != "" {
-		orderCI = t.colIndex(s.OrderBy)
-		if orderCI < 0 {
-			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, s.OrderBy)
+		var err error
+		orderCI, err = t.resolveCol(s.OrderBy)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -1120,8 +1206,17 @@ func (e *Engine) selectAt(t *table, s *Select, pinned *uint64) (*rawResult, erro
 	unlock()
 
 	// Lock-free phase: resolve visibility, evaluate, order, project.
+	// When candidates already arrive in final order — an ordered-index
+	// traversal, or no ORDER BY at all (scan order is result order) —
+	// the LIMIT short-circuits the walk after k visible matches instead
+	// of collecting everything and truncating (top-k is O(k), not O(n)).
+	canStop := s.Limit >= 0 && (ordered || orderCI < 0)
 	matched := make([][]value, 0, len(cands))
 	for _, c := range cands {
+		if canStop && len(matched) >= s.Limit {
+			limitStops.Add(1)
+			break
+		}
 		v := c.en.visible(snap)
 		if v == nil {
 			continue
@@ -1220,24 +1315,22 @@ func (e *Engine) delete(s *Delete) (int, []rowOp, error) {
 	return len(ops), ops, nil
 }
 
-// validateExpr checks that every column reference in an expression names
-// a column of the table, so malformed queries fail even on empty tables.
-func validateExpr(ex Expr, t *table) error {
+// validateExpr checks that every column reference in an expression
+// resolves in the scope, so malformed queries fail even on empty tables.
+func validateExpr(ex Expr, sc scope) error {
 	switch v := ex.(type) {
 	case nil, *NullLit, *IntLit, *StringLit:
 		return nil
 	case *ColumnRef:
-		if t.colIndex(v.Name) < 0 {
-			return fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, v.Name)
-		}
-		return nil
+		_, err := sc.resolveCol(v.Name)
+		return err
 	case *Unary:
-		return validateExpr(v.X, t)
+		return validateExpr(v.X, sc)
 	case *Binary:
-		if err := validateExpr(v.L, t); err != nil {
+		if err := validateExpr(v.L, sc); err != nil {
 			return err
 		}
-		return validateExpr(v.R, t)
+		return validateExpr(v.R, sc)
 	case *Param:
 		return fmt.Errorf("sqldb: unbound plan parameter ?%d", v.Idx)
 	case *Placeholder:
@@ -1248,11 +1341,11 @@ func validateExpr(ex Expr, t *table) error {
 }
 
 // evalBool evaluates a WHERE expression; a nil expression matches all.
-func evalBool(ex Expr, t *table, row []value) (bool, error) {
+func evalBool(ex Expr, sc scope, row []value) (bool, error) {
 	if ex == nil {
 		return true, nil
 	}
-	v, err := eval(ex, t, row)
+	v, err := eval(ex, sc, row)
 	if err != nil {
 		return false, err
 	}
@@ -1265,7 +1358,7 @@ func evalBool(ex Expr, t *table, row []value) (bool, error) {
 	return v.s != "", nil
 }
 
-func eval(ex Expr, t *table, row []value) (value, error) {
+func eval(ex Expr, sc scope, row []value) (value, error) {
 	switch v := ex.(type) {
 	case *NullLit:
 		return nullValue(), nil
@@ -1274,19 +1367,19 @@ func eval(ex Expr, t *table, row []value) (value, error) {
 	case *StringLit:
 		return textValue(v.Val.Raw()), nil
 	case *ColumnRef:
-		ci := t.colIndex(v.Name)
-		if ci < 0 {
-			return value{}, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, v.Name)
+		ci, err := sc.resolveCol(v.Name)
+		if err != nil {
+			return value{}, err
 		}
 		return row[ci], nil
 	case *Unary:
-		b, err := evalBool(v.X, t, row)
+		b, err := evalBool(v.X, sc, row)
 		if err != nil {
 			return value{}, err
 		}
 		return boolValue(!b), nil
 	case *Binary:
-		return evalBinary(v, t, row)
+		return evalBinary(v, sc, row)
 	case *Param:
 		return value{}, fmt.Errorf("sqldb: unbound plan parameter ?%d", v.Idx)
 	case *Placeholder:
@@ -1303,40 +1396,40 @@ func boolValue(b bool) value {
 	return intValue(0)
 }
 
-func evalBinary(b *Binary, t *table, row []value) (value, error) {
+func evalBinary(b *Binary, sc scope, row []value) (value, error) {
 	switch b.Op {
 	case "AND":
-		l, err := evalBool(b.L, t, row)
+		l, err := evalBool(b.L, sc, row)
 		if err != nil {
 			return value{}, err
 		}
 		if !l {
 			return boolValue(false), nil
 		}
-		r, err := evalBool(b.R, t, row)
+		r, err := evalBool(b.R, sc, row)
 		if err != nil {
 			return value{}, err
 		}
 		return boolValue(r), nil
 	case "OR":
-		l, err := evalBool(b.L, t, row)
+		l, err := evalBool(b.L, sc, row)
 		if err != nil {
 			return value{}, err
 		}
 		if l {
 			return boolValue(true), nil
 		}
-		r, err := evalBool(b.R, t, row)
+		r, err := evalBool(b.R, sc, row)
 		if err != nil {
 			return value{}, err
 		}
 		return boolValue(r), nil
 	}
-	l, err := eval(b.L, t, row)
+	l, err := eval(b.L, sc, row)
 	if err != nil {
 		return value{}, err
 	}
-	r, err := eval(b.R, t, row)
+	r, err := eval(b.R, sc, row)
 	if err != nil {
 		return value{}, err
 	}

@@ -21,6 +21,40 @@ func policyColName(col string) string { return PolicyColPrefix + strings.ToLower
 // IsPolicyColumn reports whether a column name is a shadow policy column.
 func IsPolicyColumn(name string) bool { return strings.HasPrefix(name, PolicyColPrefix) }
 
+// isPolicyRef is IsPolicyColumn for possibly table-qualified references:
+// "reviews.__policy_body" is a policy reference just like
+// "__policy_body".
+func isPolicyRef(name string) bool {
+	if _, col, ok := splitQualifier(name); ok {
+		return IsPolicyColumn(col)
+	}
+	return IsPolicyColumn(name)
+}
+
+// policyCompanionName maps a data-column reference to its shadow policy
+// column, preserving any table qualifier: "title" → "__policy_title",
+// "papers.title" → "papers.__policy_title".
+func policyCompanionName(col string) string {
+	if qual, c, ok := splitQualifier(col); ok {
+		return qual + "." + policyColName(c)
+	}
+	return policyColName(col)
+}
+
+// aggInner splits an aggregate output column name "AGG(inner)" into its
+// parts; ok is false for plain column names.
+func aggInner(name string) (agg, inner string, ok bool) {
+	i := strings.IndexByte(name, '(')
+	if i <= 0 || !strings.HasSuffix(name, ")") {
+		return "", "", false
+	}
+	switch up := strings.ToUpper(name[:i]); up {
+	case "COUNT", "SUM", "MIN", "MAX", "PUNION":
+		return up, name[i+1 : len(name)-1], true
+	}
+	return "", "", false
+}
+
 // InjectionError reports a SQL injection assertion failure, pointing at
 // the offending character range of the query.
 type InjectionError struct {
@@ -352,18 +386,27 @@ func (r *Result) Get(i int, name string) Cell {
 // Len returns the number of rows.
 func (r *Result) Len() int { return len(r.Rows) }
 
-// stmtPolicyTable names the table whose policy-column set the rewrite
-// of stmt consults; needs is false for statements rewritten without it.
-func stmtPolicyTable(stmt Statement) (table string, needs bool) {
+// stmtPolicyTables names the tables whose policy-column sets the
+// rewrite of stmt consults; nil for statements rewritten without them.
+// A join consults both sides (qualified references resolve against
+// either table's shadow columns).
+func stmtPolicyTables(stmt Statement) []string {
 	switch s := stmt.(type) {
 	case *Insert:
-		return s.Table, true
+		return []string{s.Table}
 	case *Update:
-		return s.Table, true
+		return []string{s.Table}
 	case *Select:
-		return s.Table, !s.Star
+		if s.Star {
+			return nil
+		}
+		ts := []string{s.Table}
+		if s.Join != nil {
+			ts = append(ts, s.Join.Table)
+		}
+		return ts
 	}
-	return "", false
+	return nil
 }
 
 // executeWithPolicies rewrites stmt to persist/fetch policy columns,
@@ -373,8 +416,8 @@ func stmtPolicyTable(stmt Statement) (table string, needs bool) {
 // rewrite state on the plan.
 func executeWithPolicies(engine *Engine, stmt Statement) (*Result, error) {
 	var pcols map[string]bool
-	if table, needs := stmtPolicyTable(stmt); needs {
-		pcols = policyColSet(engine, table)
+	if tables := stmtPolicyTables(stmt); len(tables) > 0 {
+		pcols = policyColSet(engine, tables)
 	}
 	return execWithPCols(engine, stmt, pcols)
 }
@@ -384,11 +427,11 @@ func executeWithPolicies(engine *Engine, stmt Statement) (*Result, error) {
 // engine's schema generation moved since compilation.
 func executePlanned(plans *planCache, plan *cachedPlan, engine *Engine, stmt Statement) (*Result, error) {
 	var pcols map[string]bool
-	if table, needs := stmtPolicyTable(stmt); needs {
+	if tables := stmtPolicyTables(stmt); len(tables) > 0 {
 		if plan != nil {
-			pcols = plans.pcolsFor(plan, engine, table)
+			pcols = plans.pcolsFor(plan, engine, tables)
 		} else {
-			pcols = policyColSet(engine, table)
+			pcols = policyColSet(engine, tables)
 		}
 	}
 	return execWithPCols(engine, stmt, pcols)
@@ -420,8 +463,8 @@ func execWithPCols(engine *Engine, stmt Statement, pcols map[string]bool) (*Resu
 // by a test.
 func RewriteWithPolicies(engine *Engine, stmt Statement) (Statement, error) {
 	var pcols map[string]bool
-	if table, needs := stmtPolicyTable(stmt); needs {
-		pcols = policyColSet(engine, table)
+	if tables := stmtPolicyTables(stmt); len(tables) > 0 {
+		pcols = policyColSet(engine, tables)
 	}
 	return rewriteWithPCols(stmt, pcols)
 }
@@ -478,19 +521,26 @@ func annotationFor(e Expr) (Expr, error) {
 	return &StringLit{Val: core.NewString(string(ann))}, nil
 }
 
-// policyColSet returns the lower-cased policy column names present in the
-// table schema (it may be empty, if the table was created while tracking
-// was disabled). One schema fetch serves the whole statement.
-func policyColSet(engine *Engine, table string) map[string]bool {
-	schema, err := engine.Schema(table)
-	if err != nil {
-		return nil
-	}
+// policyColSet returns the lower-cased policy column names present in
+// the tables' schemas (it may be empty, if a table was created while
+// tracking was disabled). Each column appears under both its bare name
+// and its table-qualified form, so the rewrite can check companions for
+// qualified and unqualified references alike with one map. One schema
+// fetch per table serves the whole statement.
+func policyColSet(engine *Engine, tables []string) map[string]bool {
 	out := make(map[string]bool)
-	for _, c := range schema {
-		name := strings.ToLower(c.Name)
-		if strings.HasPrefix(name, PolicyColPrefix) {
-			out[name] = true
+	for _, table := range tables {
+		schema, err := engine.Schema(table)
+		if err != nil {
+			continue
+		}
+		tl := strings.ToLower(table)
+		for _, c := range schema {
+			name := strings.ToLower(c.Name)
+			if strings.HasPrefix(name, PolicyColPrefix) {
+				out[name] = true
+				out[tl+"."+name] = true
+			}
 		}
 	}
 	return out
@@ -541,21 +591,35 @@ func rewriteUpdate(s *Update, pcols map[string]bool) (*Update, error) {
 	return &Update{Table: s.Table, Set: set, Where: s.Where}, nil
 }
 
-// rewriteSelect fetches the policy column alongside each selected data
-// column; fromRaw later attaches the de-serialized policies to each
-// cell and hides the policy columns from the visible result.
+// rewriteSelect fetches a policy companion alongside each selected data
+// item; fromRaw later attaches the de-serialized policies to each cell
+// and hides the companions from the visible result. Plain items get
+// their shadow column (span-preserving). In aggregate queries every
+// value-carrying item instead gets a PUNION over the shadow column —
+// the engine-level carrier of "an aggregate output carries the union of
+// its inputs' policy sets". COUNT(*) aggregates row presence, not
+// values, and carries nothing.
 func rewriteSelect(s *Select, pcols map[string]bool) *Select {
 	if s.Star {
 		return s
 	}
 	sel := *s
-	cols := append([]string(nil), s.Columns...)
-	for _, c := range s.Columns {
-		if !IsPolicyColumn(c) && pcols[policyColName(c)] {
-			cols = append(cols, policyColName(c))
+	items := append([]SelectItem(nil), s.Items...)
+	grouped := s.grouped()
+	for _, it := range s.Items {
+		switch {
+		case it.Agg == "PUNION" || (it.Agg != "" && it.Star):
+			// PUNION is already a policy carrier; COUNT(*) has no inputs.
+		case isPolicyRef(it.Col) || !pcols[strings.ToLower(policyCompanionName(it.Col))]:
+			// Policy columns stay opaque; columns without a shadow column
+			// (created untracked) have no policies to fetch.
+		case grouped:
+			items = append(items, SelectItem{Agg: "PUNION", Col: policyCompanionName(it.Col)})
+		default:
+			items = append(items, SelectItem{Col: policyCompanionName(it.Col)})
 		}
 	}
-	sel.Columns = cols
+	sel.Items = items
 	return &sel
 }
 
@@ -567,36 +631,70 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 	if raw == nil {
 		return &Result{Affected: affected}, nil
 	}
-	// A policy column is consumed as an annotation only when its data
-	// column is also part of the result; a policy column selected on its
-	// own is returned as opaque data.
-	dataCols := make(map[string]bool)
-	for _, c := range raw.cols {
-		if !IsPolicyColumn(c) {
-			dataCols[strings.ToLower(c)] = true
+	// A policy companion is consumed as an annotation only when the data
+	// column it was fetched for is also part of the result; a policy
+	// column selected on its own is returned as opaque data. Pairing is
+	// driven from the data side: each data column computes the companion
+	// name the rewrite would have added — the PUNION form first (grouped
+	// results carry unions, non-grouped results span companions; one
+	// query never mixes the two for a column) — and claims it by name.
+	lower := make([]string, len(raw.cols))
+	colPos := make(map[string]int, len(raw.cols))
+	for i, c := range raw.cols {
+		lower[i] = strings.ToLower(c)
+		colPos[lower[i]] = i
+	}
+	type companion struct {
+		pi    int
+		union bool // PUNION carrier: whole-value union, not spans
+	}
+	companions := make([]companion, len(raw.cols))
+	for i := range companions {
+		companions[i].pi = -1
+	}
+	claimed := map[string]bool{}
+	if attach {
+		for i, lc := range lower {
+			if agg, inner, ok := aggInner(lc); ok {
+				if agg == "PUNION" || inner == "*" || isPolicyRef(inner) {
+					continue // policy carriers and COUNT(*) pair with nothing
+				}
+				want := "punion(" + strings.ToLower(policyCompanionName(inner)) + ")"
+				if pi, found := colPos[want]; found {
+					companions[i] = companion{pi: pi, union: true}
+					claimed[want] = true
+				}
+				continue
+			}
+			if isPolicyRef(lc) {
+				continue // policy columns are never a pairing's data side
+			}
+			comp := strings.ToLower(policyCompanionName(lc))
+			if pi, found := colPos["punion("+comp+")"]; found {
+				companions[i] = companion{pi: pi, union: true}
+				claimed["punion("+comp+")"] = true
+			} else if pi, found := colPos[comp]; found {
+				companions[i] = companion{pi: pi}
+				claimed[comp] = true
+			}
 		}
 	}
-	policyIdx := make(map[string]int) // lower data col name → policy col idx
 	var visible []int
 	var visibleCols []string
 	for i, c := range raw.cols {
-		if attach && IsPolicyColumn(c) {
-			if base := strings.TrimPrefix(strings.ToLower(c), PolicyColPrefix); dataCols[base] {
-				policyIdx[base] = i
-				continue
-			}
+		if attach && claimed[lower[i]] {
+			continue
 		}
 		visible = append(visible, i)
 		visibleCols = append(visibleCols, c)
 	}
-	// Resolve each visible column's policy column once; the row loop
-	// then indexes by position instead of re-lowering names per cell.
+	// Resolve each visible column's companion once; the row loop then
+	// indexes by position instead of re-lowering names per cell.
 	visPolicy := make([]int, len(visible))
-	for vi := range visible {
-		visPolicy[vi] = -1
-		if pi, ok := policyIdx[strings.ToLower(visibleCols[vi])]; ok {
-			visPolicy[vi] = pi
-		}
+	visUnion := make([]bool, len(visible))
+	for vi, i := range visible {
+		visPolicy[vi] = companions[i].pi
+		visUnion[vi] = companions[i].union
 	}
 	// Batched shadow-policy decode: each distinct annotation in the
 	// result set is compiled (JSON-parsed, policies instantiated, sets
@@ -620,19 +718,49 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 		compiled[ann] = c
 		return c, nil
 	}
+	// PUNION cells decode once per distinct joined value: split on the
+	// separator, compile each annotation, union the per-span policy sets
+	// into one whole-value set (interned operands make repeats cheap).
+	var unionSets map[string]*core.PolicySet
+	unionFor := func(cell string) (*core.PolicySet, error) {
+		if s, ok := unionSets[cell]; ok {
+			return s, nil
+		}
+		var set *core.PolicySet
+		for _, part := range strings.Split(cell, punionSep) {
+			c, err := compileAnn(part)
+			if err != nil {
+				return nil, err
+			}
+			set = set.Union(c.PolicySet())
+		}
+		if unionSets == nil {
+			unionSets = make(map[string]*core.PolicySet, 4)
+		}
+		unionSets[cell] = set
+		return set, nil
+	}
 	for _, row := range raw.rows {
 		out := make([]Cell, 0, len(visible))
 		for vi, i := range visible {
 			v := row[i]
-			var comp *core.CompiledAnnotation
 			if pi := visPolicy[vi]; pi >= 0 && !row[pi].null && row[pi].s != "" {
-				var err error
-				comp, err = compileAnn(row[pi].s)
+				if visUnion[vi] {
+					set, err := unionFor(row[pi].s)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, makeCellUnion(v, set))
+					continue
+				}
+				comp, err := compileAnn(row[pi].s)
 				if err != nil {
 					return nil, err
 				}
+				out = append(out, makeCell(v, comp))
+				continue
 			}
-			out = append(out, makeCell(v, comp))
+			out = append(out, makeCell(v, nil))
 		}
 		res.Rows = append(res.Rows, out)
 	}
@@ -660,6 +788,27 @@ func makeCell(v value, comp *core.CompiledAnnotation) Cell {
 		return Cell{IsInt: true, Int: n}
 	}
 	return Cell{Str: tracked}
+}
+
+// makeCellUnion builds a tracked cell carrying a whole-value policy set
+// — the attach path for aggregate outputs, whose policies are a union
+// of the group's inputs with no meaningful byte positions.
+func makeCellUnion(v value, set *core.PolicySet) Cell {
+	if v.null {
+		return Cell{Null: true}
+	}
+	if v.isInt {
+		n := core.NewInt(v.i)
+		if set.Len() > 0 {
+			n = n.WithPolicy(set.Policies()...)
+		}
+		return Cell{IsInt: true, Int: n}
+	}
+	s := core.NewString(v.s)
+	if set.Len() > 0 {
+		s = s.WithPolicySet(set)
+	}
+	return Cell{Str: s}
 }
 
 // DB couples an engine with its RESIN SQL channel. Applications issue

@@ -51,6 +51,17 @@ var sortCalls atomic.Uint64
 // far in this process. A SELECT served in index order does not move it.
 func SortCount() uint64 { return sortCalls.Load() }
 
+// limitStops counts LIMIT short-circuits: SELECTs whose candidate walk
+// stopped early because k rows were already in final order (an ordered
+// traversal, or no ORDER BY). Top-k over an ordered index is O(k), and
+// tests observe this counter through LimitStopCount to pin that down.
+var limitStops atomic.Uint64
+
+// LimitStopCount returns the number of LIMIT short-circuits so far in
+// this process. A SELECT that had to collect (or sort) every matching
+// row before truncating does not move it.
+func LimitStopCount() uint64 { return limitStops.Load() }
+
 // orderedIndex is an ordered index over one column: equality buckets
 // keyed by canonical equality key, plus the distinct non-null values in
 // valueLess order. Buckets always hold ascending row ids — ids are
@@ -376,8 +387,11 @@ func (t *table) collectBounds(ex Expr, cons []colBounds) []colBounds {
 	} else {
 		return cons
 	}
-	ci := t.colIndex(cr.Name)
-	if ci < 0 || t.indexes[ci] == nil {
+	// Qualified references ("t.c" on this table) probe like plain ones;
+	// references that do not resolve here contribute nothing and fall
+	// back to the scan (the full WHERE still re-evaluates them).
+	ci, err := t.resolveCol(cr.Name)
+	if err != nil || t.indexes[ci] == nil {
 		return cons
 	}
 	var cb *colBounds

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"resin/internal/core"
@@ -146,11 +147,11 @@ func (p *parser) parseSelect() (Statement, error) {
 		sel.Star = true
 	} else {
 		for {
-			col, err := p.expectIdent()
+			it, err := p.parseSelectItem()
 			if err != nil {
 				return nil, err
 			}
-			sel.Columns = append(sel.Columns, col)
+			sel.Items = append(sel.Items, it)
 			if p.peek().Type != TokComma {
 				break
 			}
@@ -165,12 +166,65 @@ func (p *parser) parseSelect() (Statement, error) {
 		return nil, err
 	}
 	sel.Table = table
+	joinType := ""
+	switch {
+	case p.acceptKeyword("INNER"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		joinType = "INNER"
+	case p.acceptKeyword("LEFT"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		joinType = "LEFT"
+	case p.acceptKeyword("JOIN"): // bare JOIN is INNER
+		joinType = "INNER"
+	}
+	if joinType != "" {
+		jt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		l, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.Type != TokOp || t.Text != "=" {
+			return nil, p.errf("expected = in ON clause, got %q", t.Text)
+		}
+		p.next()
+		r, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.Join = &JoinClause{Type: joinType, Table: jt, L: l, R: r}
+	}
 	if p.acceptKeyword("WHERE") {
 		w, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if p.peek().Type != TokComma {
+				break
+			}
+			p.next()
+		}
 	}
 	if p.acceptKeyword("ORDER") {
 		if err := p.expectKeyword("BY"); err != nil {
@@ -199,6 +253,41 @@ func (p *parser) parseSelect() (Statement, error) {
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// parseSelectItem parses one projection item: a column reference, or an
+// aggregate call AGG(col) / COUNT(*). Aggregate names are contextual
+// identifiers (not reserved), recognized only when directly followed by
+// an opening parenthesis — a column named "count" stays selectable.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if t := p.peek(); t.Type == TokIdent && p.toks[p.pos+1].Type == TokLParen {
+		agg := strings.ToUpper(t.Text)
+		switch agg {
+		case "COUNT", "SUM", "MIN", "MAX", "PUNION":
+			p.next() // aggregate name
+			p.next() // (
+			if agg == "COUNT" && p.peek().Type == TokStar {
+				p.next()
+				if _, err := p.expect(TokRParen); err != nil {
+					return SelectItem{}, err
+				}
+				return SelectItem{Agg: agg, Star: true}, nil
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: agg, Col: col}, nil
+		}
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
 }
 
 func (p *parser) parseInsert() (Statement, error) {

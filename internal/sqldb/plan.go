@@ -448,11 +448,13 @@ func (c *planCache) prepareQuery(q core.String, auto bool, bound []Expr) (Statem
 	return c.prepare(toks, planModeStandard, bound)
 }
 
-// pcolsFor returns the cached policy-column set of the plan's table for
-// engine's current schema, recompiling it when the schema generation
-// moved (the plan-cache invalidation rule: any CREATE/DROP of a table
-// or index invalidates every plan's schema-derived state).
-func (c *planCache) pcolsFor(plan *cachedPlan, engine *Engine, table string) map[string]bool {
+// pcolsFor returns the cached policy-column set of the plan's tables
+// for engine's current schema, recompiling it when the schema
+// generation moved (the plan-cache invalidation rule: any CREATE/DROP
+// of a table or index invalidates every plan's schema-derived state —
+// which also covers both sides of a join, since every DDL bumps the
+// generation).
+func (c *planCache) pcolsFor(plan *cachedPlan, engine *Engine, tables []string) map[string]bool {
 	gen := engine.SchemaGen()
 	plan.mu.Lock()
 	defer plan.mu.Unlock()
@@ -460,7 +462,7 @@ func (c *planCache) pcolsFor(plan *cachedPlan, engine *Engine, table string) map
 		if plan.gen != 0 {
 			c.invalidations.Add(1)
 		}
-		plan.pcols = policyColSet(engine, table)
+		plan.pcols = policyColSet(engine, tables)
 		if plan.pcols == nil {
 			plan.pcols = map[string]bool{}
 		}

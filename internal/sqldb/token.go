@@ -149,6 +149,7 @@ var keywords = map[string]bool{
 	"NULL": true, "LIKE": true, "TEXT": true,
 	"INT": true, "INTEGER": true,
 	"INDEX": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "GROUP": true,
 }
 
 // LexError is a tokenization error with its byte offset.
