@@ -1,0 +1,116 @@
+// Command resin-server serves a RESIN tracked database over TCP,
+// speaking the framed wire protocol in internal/wire (docs/WIRE.md).
+// Clients connect with the wire client API or database/sql via the
+// resinsql "net:host:port" DSN; policy annotations cross the socket in
+// the canonical EncodeSpans form, so taint survives the network.
+//
+// Primary (read-write, WAL-backed, ships its log to followers):
+//
+//	resin-server -addr :7634 -wal /var/data/forum.wal [-seed-forum]
+//
+// Follower (read-only replica of a primary, serving at its applied
+// frontier):
+//
+//	resin-server -addr :7635 -wal /var/data/replica.wal -follow primary:7634
+//
+// SIGTERM or SIGINT drains gracefully: the listener closes, in-flight
+// requests finish (bounded by -drain-timeout), idle connections close,
+// and a follower's shipping stream stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"resin/internal/apps/forum"
+	"resin/internal/core"
+	"resin/internal/sqldb"
+	"resin/internal/wire"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7634", "TCP listen address")
+		walPath      = flag.String("wal", "", "WAL path (empty = in-memory, non-durable; required with -follow)")
+		follow       = flag.String("follow", "", "primary address to replicate from (follower mode, read-only)")
+		seedForum    = flag.Bool("seed-forum", false, "create and seed the forum schema before serving")
+		maxConns     = flag.Int("max-conns", 0, "max concurrent connections (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+
+	rt := core.NewRuntime()
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("resin-server: listen: %v", err)
+	}
+	cfg := wire.Config{MaxConns: *maxConns}
+
+	var srv *wire.Server
+	var wg sync.WaitGroup
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if *follow != "" {
+		if *walPath == "" {
+			log.Fatal("resin-server: -follow requires -wal (the replica's local log)")
+		}
+		r, err := wire.NewReplica(rt, *follow, *walPath)
+		if err != nil {
+			log.Fatalf("resin-server: open replica: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run(ctx) //nolint:errcheck
+		}()
+		srv = wire.NewFollowerServer(r, cfg)
+		log.Printf("resin-server: follower on %s, shipping from %s into %s", lis.Addr(), *follow, *walPath)
+	} else {
+		var db *sqldb.DB
+		if *walPath != "" {
+			db, err = sqldb.OpenDB(rt, *walPath)
+			if err != nil {
+				log.Fatalf("resin-server: open %s: %v", *walPath, err)
+			}
+			log.Printf("resin-server: primary on %s, log %s (frontier %d)", lis.Addr(), *walPath, db.Frontier())
+		} else {
+			db = sqldb.Open(rt)
+			log.Printf("resin-server: primary on %s, in-memory (non-durable)", lis.Addr())
+		}
+		if *seedForum {
+			forum.NewWithDB(rt, nil, true, db)
+			log.Printf("resin-server: forum schema ready")
+		}
+		srv = wire.NewServer(db, cfg)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("resin-server: draining (up to %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("resin-server: drain: %v", err)
+		}
+		stop()     // second signal kills immediately from here on
+		wg.Wait()  // stop the shipping stream
+		<-serveErr // Serve returns once the listener is closed
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resin-server: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -117,6 +117,12 @@ type Select struct {
 	Desc    bool
 	Limit   int // -1 means no limit
 
+	// LimitExpr is a `LIMIT ?` (or `LIMIT :name`) binding slot. The
+	// parser sets it instead of Limit when the count is a placeholder;
+	// bindStatement resolves it to Limit before execution, and the
+	// engine rejects a SELECT whose LimitExpr was never bound.
+	LimitExpr Expr
+
 	// ForceScan disables index access paths for this SELECT. The parser
 	// never sets it; it is the differential-test hook that lets the
 	// scan-vs-index harness run both paths against the same snapshot.
@@ -334,6 +340,8 @@ func (s *Select) SQL() string {
 	}
 	if s.Limit >= 0 {
 		b.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
+	} else if s.LimitExpr != nil {
+		b.WriteString(" LIMIT " + s.LimitExpr.SQL())
 	}
 	return b.String()
 }

@@ -20,10 +20,10 @@ import (
 //     are ordinary content — only trusted quotes terminate the literal,
 //     so a "quote breakout" payload stays inside the value.
 //
-// Trusted bytes lex exactly as in Lex — including `?` binding
-// placeholders, which only trusted bytes can form: an untrusted `?` is
-// swallowed into a value token like any other untrusted byte, so
-// attacker input can never mint a binding slot.
+// Trusted bytes lex exactly as in Lex — including `?` and `:name`
+// binding placeholders, which only trusted bytes can form: an untrusted
+// `?` or `:` is swallowed into a value token like any other untrusted
+// byte, so attacker input can never mint a binding slot.
 func LexAutoSanitize(q core.String) ([]Token, error) {
 	lexCalls.Add(1)
 	src := q.Raw()
@@ -84,7 +84,9 @@ func LexAutoSanitize(q core.String) ([]Token, error) {
 		}
 	}
 	toks = append(toks, Token{Type: TokEOF, Start: len(src), End: len(src)})
-	numberPlaceholders(toks)
+	if err := numberPlaceholders(toks); err != nil {
+		return nil, err
+	}
 	return toks, nil
 }
 

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"resin/internal/core"
 )
 
 // The engine executes parsed statements over in-memory tables holding
@@ -675,6 +677,61 @@ func (e *Engine) applyReplayOps(ops []rowOp) error {
 	return nil
 }
 
+// applyReplayGroup validates and applies one committed WAL transaction
+// group under a single commit version — the replay mirror of commitOps,
+// which logs a whole group and bumps the frontier exactly once. Using it
+// for every B..C group (and for standalone records, as one-item groups)
+// keeps replayed and shipped frontiers numerically identical to the
+// primary's live frontier, which is what lets a replica report "applied
+// through version N" meaningfully. DDL applies without a version bump
+// and without re-appending to the log: the record's bytes are already in
+// the log being replayed (recovery) or mirrored (follower shipping).
+func (e *Engine) applyReplayGroup(items []walItem) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	born := e.frontier.Load() + 1
+	bumped := false
+	for _, it := range items {
+		if it.ops != nil {
+			if err := e.checkOps(it.ops); err != nil {
+				return err
+			}
+			e.applyOps(it.ops, born)
+			bumped = true
+			continue
+		}
+		stmt, err := Parse(core.NewString(it.stmt))
+		if err != nil {
+			return err
+		}
+		switch stmt.(type) {
+		case *CreateTable, *DropTable, *CreateIndex, *DropIndex:
+			_, apply, verr := e.validateDDL(stmt)
+			if verr != nil {
+				return verr
+			}
+			apply()
+		case *Select:
+			return fmt.Errorf("sqldb: non-mutating statement in WAL: %s", it.stmt)
+		default:
+			// Legacy v1 DML statement record: validate and apply under
+			// the group's single version.
+			_, ops, verr := e.validateDML(stmt)
+			if verr != nil {
+				return verr
+			}
+			if len(ops) > 0 {
+				e.applyOps(ops, born)
+				bumped = true
+			}
+		}
+	}
+	if bumped {
+		e.frontier.Store(born)
+	}
+	return nil
+}
+
 // afterMutate runs the post-apply housekeeping a real engine does under
 // its held write lock: vacuum on cadence, and the auto-compact trigger.
 // Speculative engines skip both — their versions die with the Tx.
@@ -1065,6 +1122,9 @@ type selCand struct {
 // the other not) materializes the unwritten side first: both sides then
 // read one engine at one snapshot, never a mix.
 func (e *Engine) execSelect(s *Select) (*rawResult, error) {
+	if s.LimitExpr != nil {
+		return nil, fmt.Errorf("sqldb: unbound LIMIT placeholder")
+	}
 	if e.txBase != nil {
 		lkey := strings.ToLower(s.Table)
 		lt, lok := e.tables[lkey]

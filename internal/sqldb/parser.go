@@ -242,15 +242,26 @@ func (p *parser) parseSelect() (Statement, error) {
 		}
 	}
 	if p.acceptKeyword("LIMIT") {
-		t, err := p.expect(TokNumber)
-		if err != nil {
-			return nil, err
+		switch t := p.peek(); t.Type {
+		case TokPlaceholder:
+			// `LIMIT ?` / `LIMIT :name`: a binding slot the
+			// prepared-statement layer resolves per execution.
+			p.next()
+			sel.LimitExpr = &Placeholder{Ord: t.ParamIdx}
+		case TokParam:
+			p.next()
+			sel.LimitExpr = &Param{Idx: t.ParamIdx}
+		default:
+			t, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(t.Text)
+			if err != nil || n < 0 {
+				return nil, p.errf("bad LIMIT %q", t.Text)
+			}
+			sel.Limit = n
 		}
-		n, err := strconv.Atoi(t.Text)
-		if err != nil || n < 0 {
-			return nil, p.errf("bad LIMIT %q", t.Text)
-		}
-		sel.Limit = n
 	}
 	return sel, nil
 }

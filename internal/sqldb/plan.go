@@ -105,12 +105,13 @@ func (c *planCache) reset() {
 // slots. It is the single source of truth for planKey and parameterize:
 // both derive from it, so slot numbering in templates can never drift
 // from the key's '?' positions. String and number literals are slots,
-// and so are `?` binding placeholders — a spliced query and its prepared
-// form therefore share one cache key and one template. LIMIT counts are
-// the exception: the parser folds those into the plan itself, so they
-// cannot be bound per execution; distinct limits simply get distinct
-// plans (and `LIMIT ?` is rejected by the parser on both the template
-// and the fallback path).
+// and so are binding placeholders (`?` and `:name`) — a spliced query
+// and its prepared form therefore share one cache key and one template.
+// Inline LIMIT counts are the exception: the parser folds those into
+// the plan itself, so they cannot be bound per execution; distinct
+// inline limits simply get distinct plans. A `LIMIT ?` placeholder *is*
+// a slot (the template carries Select.LimitExpr and binding resolves
+// it), so prepared statements vary the limit without growing the cache.
 func literalSlots(toks []Token) []bool {
 	slots := make([]bool, len(toks))
 	prevLimit := false
@@ -121,16 +122,30 @@ func literalSlots(toks []Token) []bool {
 	return slots
 }
 
-// countPlaceholders returns the number of `?` binding placeholders in a
-// token stream.
+// countPlaceholders returns the number of binding ordinals in a token
+// stream — the arguments an execution must supply. Repeated `:name`
+// placeholders share one ordinal, so the count is distinct ordinals,
+// not placeholder tokens.
 func countPlaceholders(toks []Token) int {
 	n := 0
 	for _, t := range toks {
-		if t.Type == TokPlaceholder {
-			n++
+		if t.Type == TokPlaceholder && t.ParamIdx+1 > n {
+			n = t.ParamIdx + 1
 		}
 	}
 	return n
+}
+
+// placeholderNames returns the name of each binding ordinal ("" for the
+// positional `?` form), indexed by ordinal.
+func placeholderNames(toks []Token) []string {
+	out := make([]string, countPlaceholders(toks))
+	for _, t := range toks {
+		if t.Type == TokPlaceholder {
+			out[t.ParamIdx] = t.Name
+		}
+	}
+	return out
 }
 
 // planKey renders the canonical parameterized form of a token stream:
@@ -199,19 +214,18 @@ func litExpr(t Token) (Expr, error) {
 
 // literalBinds converts the literal-slot tokens of a stream into the
 // per-slot expressions a template is bound with: inline string/number
-// literals convert as parsePrimary would, and `?` placeholder slots take
-// the next bound-argument expression in ordinal order. The caller has
-// already checked arity (placeholder count == len(bound)).
+// literals convert as parsePrimary would, and placeholder slots take
+// the bound-argument expression at their binding ordinal (so every
+// repetition of one `:name` binds the same argument). The caller has
+// already checked arity (binding ordinal count == len(bound)).
 func literalBinds(lits []Token, bound []Expr) ([]Expr, error) {
 	binds := make([]Expr, len(lits))
-	ord := 0
 	for i, t := range lits {
 		if t.Type == TokPlaceholder {
-			if ord >= len(bound) {
-				return nil, fmt.Errorf("sqldb: placeholder ?%d has no bound argument", ord)
+			if t.ParamIdx >= len(bound) {
+				return nil, fmt.Errorf("sqldb: placeholder ?%d has no bound argument", t.ParamIdx)
 			}
-			binds[i] = bound[ord]
-			ord++
+			binds[i] = bound[t.ParamIdx]
 			continue
 		}
 		ex, err := litExpr(t)
@@ -279,11 +293,22 @@ func bindStatement(tmpl Statement, binds, ph []Expr) (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		if w == s.Where {
+		le, err := bindExpr(s.LimitExpr, binds, ph)
+		if err != nil {
+			return nil, err
+		}
+		if w == s.Where && le == s.LimitExpr {
 			return s, nil
 		}
 		out := *s
 		out.Where = w
+		if le != s.LimitExpr {
+			n, err := limitValue(le)
+			if err != nil {
+				return nil, err
+			}
+			out.Limit, out.LimitExpr = n, nil
+		}
 		return &out, nil
 	case *Insert:
 		rows := make([][]Expr, len(s.Rows))
@@ -327,6 +352,19 @@ func bindStatement(tmpl Statement, binds, ph []Expr) (Statement, error) {
 		// slots; the template is the statement.
 		return tmpl, nil
 	}
+}
+
+// limitValue resolves a bound LIMIT expression: the argument must be a
+// non-negative integer (a string or NULL cannot cap a row count).
+func limitValue(e Expr) (int, error) {
+	lit, ok := e.(*IntLit)
+	if !ok {
+		return 0, fmt.Errorf("sqldb: LIMIT must bind an integer, got %s", e.SQL())
+	}
+	if lit.Val < 0 {
+		return 0, fmt.Errorf("sqldb: LIMIT must bind a non-negative integer, got %d", lit.Val)
+	}
+	return int(lit.Val), nil
 }
 
 // bindArity checks that a token stream's placeholder count matches the

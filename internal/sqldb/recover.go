@@ -247,10 +247,11 @@ func replayWAL(path string, engine *Engine) (*wal, bool, error) {
 			if !inTx {
 				return corrupt(recStart, "commit marker without begin", nil)
 			}
-			for _, it := range group {
-				if err := applyWALItem(engine, it); err != nil {
-					return corrupt(recStart, "transaction replay failed", err)
-				}
+			// The whole group applies under one commit version, exactly
+			// as commitOps installed it live, so replayed frontiers match
+			// the primary's numbering record for record.
+			if err := engine.applyReplayGroup(group); err != nil {
+				return corrupt(recStart, "transaction replay failed", err)
 			}
 			inTx, group = false, nil
 			goodEnd = int64(off)

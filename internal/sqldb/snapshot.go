@@ -120,5 +120,9 @@ func (w *wal) rewrite(payloads [][]byte) error {
 	w.f = f
 	w.size = size
 	w.pending = 0
+	// Offsets into the old log are meaningless now; bump the epoch so
+	// shipping streams re-handshake, and wake any waiter so it notices.
+	w.epoch++
+	w.signal()
 	return nil
 }

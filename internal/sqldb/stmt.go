@@ -32,6 +32,8 @@ func argExpr(a any) (Expr, error) {
 	switch v := a.(type) {
 	case nil:
 		return &NullLit{}, nil
+	case NamedArg:
+		return nil, fmt.Errorf("sqldb: named argument %q outside a prepared-statement execution", v.Name)
 	case core.String:
 		return &StringLit{Val: v}, nil
 	case core.Int:
@@ -83,6 +85,26 @@ func argExprs(args []any) ([]Expr, error) {
 	return out, nil
 }
 
+// phSlot maps one placeholder slot of a plan template to its binding
+// ordinal. Positional `?` placeholders get sequential ordinals; repeated
+// `:name` placeholders share one ordinal, so a single bound argument can
+// fill several slots.
+type phSlot struct {
+	slot int // literal-slot index in the template
+	ord  int // binding ordinal (Token.ParamIdx)
+}
+
+// NamedArg binds a value to a `:name` placeholder by name instead of by
+// position. Construct one with Named. A statement execution must bind
+// either all positionally or all by name.
+type NamedArg struct {
+	Name  string
+	Value any
+}
+
+// Named returns a NamedArg binding value to the `:name` placeholder.
+func Named(name string, value any) NamedArg { return NamedArg{Name: name, Value: value} }
+
 // Stmt is a prepared statement: query text compiled once, executed many
 // times with bound arguments. Create one with DB.Prepare or Tx.Prepare;
 // a Stmt is safe for concurrent use (its compiled state is immutable;
@@ -94,8 +116,9 @@ type Stmt struct {
 	query   core.String
 	plan    *cachedPlan // shared template via the filter's plan cache
 	fixed   []Expr      // per-slot inline-literal expressions; nil at placeholder slots
-	phSlots []int       // placeholder ordinal → slot index, fixed at Prepare
-	nargs   int         // number of `?` placeholders
+	phSlots []phSlot    // placeholder slot index → binding ordinal, fixed at Prepare
+	names   []string    // binding ordinal → placeholder name ("" for positional)
+	nargs   int         // number of distinct binding ordinals
 
 	// direct is the fallback when the parameterized template could not
 	// be compiled (e.g. a shape the template parser rejects): the
@@ -142,6 +165,7 @@ func prepareStmt(db *DB, tx *Tx, q core.String) (*Stmt, error) {
 		return s, nil
 	}
 	s.nargs = countPlaceholders(toks)
+	s.names = placeholderNames(toks)
 	s.s2Err = checkTaintedStructureTokens(q, toks)
 
 	plans := db.filter.planner()
@@ -174,7 +198,7 @@ func (s *Stmt) compileTemplate(plans *planCache, toks []Token) (*cachedPlan, err
 	s.fixed = make([]Expr, len(lits))
 	for i, t := range lits {
 		if t.Type == TokPlaceholder {
-			s.phSlots = append(s.phSlots, i)
+			s.phSlots = append(s.phSlots, phSlot{slot: i, ord: t.ParamIdx})
 			continue
 		}
 		ex, lerr := litExpr(t)
@@ -217,11 +241,76 @@ func (s *Stmt) bind(bound []Expr) (Statement, error) {
 	if s.nargs > 0 {
 		binds = make([]Expr, len(s.fixed))
 		copy(binds, s.fixed)
-		for ord, slot := range s.phSlots {
-			binds[slot] = bound[ord]
+		for _, m := range s.phSlots {
+			binds[m.slot] = bound[m.ord]
 		}
 	}
 	return bindStatement(s.plan.tmpl, binds, nil)
+}
+
+// bindArgs converts the caller's argument list to per-ordinal bound
+// expressions. Positional calls bind in order; NamedArg calls bind by
+// `:name`, in any order, with repeats of a name sharing one ordinal.
+// Mixing the two styles in one call is an error, as is an unknown,
+// missing, or duplicate name.
+func (s *Stmt) bindArgs(args []any) ([]Expr, error) {
+	named := 0
+	for _, a := range args {
+		if _, ok := a.(NamedArg); ok {
+			named++
+		}
+	}
+	if named == 0 {
+		return argExprs(args)
+	}
+	if named != len(args) {
+		return nil, fmt.Errorf("sqldb: cannot mix named and positional arguments in one execution")
+	}
+	bound := make([]Expr, s.nargs)
+	seen := make([]bool, s.nargs)
+	for _, a := range args {
+		na := a.(NamedArg)
+		ord := -1
+		for i, n := range s.names {
+			if n != "" && n == na.Name {
+				ord = i
+				break
+			}
+		}
+		if ord < 0 {
+			return nil, fmt.Errorf("sqldb: no placeholder named %q in statement", na.Name)
+		}
+		if seen[ord] {
+			return nil, fmt.Errorf("sqldb: placeholder %q bound twice", na.Name)
+		}
+		ex, err := argExpr(na.Value)
+		if err != nil {
+			return nil, fmt.Errorf("%w (argument %q)", err, na.Name)
+		}
+		bound[ord], seen[ord] = ex, true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("sqldb: placeholder %q not bound", s.names[i])
+		}
+	}
+	return bound, nil
+}
+
+// ReadOnly reports whether the statement is a SELECT — the only
+// statement form a read replica will execute. Statements whose compile
+// was deferred (untrusted text needing the auto-sanitizing lexer) report
+// false: their shape is unknown until execution.
+func (s *Stmt) ReadOnly() bool {
+	if s.lexErr != nil {
+		return false
+	}
+	tmpl := s.direct
+	if tmpl == nil && s.plan != nil {
+		tmpl = s.plan.tmpl
+	}
+	_, ok := tmpl.(*Select)
+	return ok
 }
 
 // preparedExec is the value the prepared-statement API routes through
@@ -235,9 +324,10 @@ type preparedExec struct {
 }
 
 // Query executes the prepared statement with the given arguments bound
-// into its `?` placeholders and returns the tracked result.
+// into its placeholders — positionally for `?`, or via Named values for
+// `:name` — and returns the tracked result.
 func (s *Stmt) Query(args ...any) (*Result, error) {
-	bound, err := argExprs(args)
+	bound, err := s.bindArgs(args)
 	if err != nil {
 		return nil, err
 	}

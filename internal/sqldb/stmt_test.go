@@ -491,16 +491,37 @@ func TestPreparedSchemaChanges(t *testing.T) {
 	}
 }
 
-// TestLimitPlaceholderRejected: LIMIT counts fold into the plan and
-// cannot be bound.
-func TestLimitPlaceholderRejected(t *testing.T) {
+// TestLimitPlaceholder: a LIMIT count is bindable like any other slot;
+// inline counts still fold into the plan (plan_test pins that part).
+func TestLimitPlaceholder(t *testing.T) {
 	db := openDB(t)
 	db.MustExec("CREATE TABLE t (a TEXT)")
-	if _, err := db.PrepareRaw("SELECT a FROM t LIMIT ?"); err == nil {
-		t.Error("LIMIT ? prepared successfully")
+	for _, v := range []string{"a", "b", "c", "d"} {
+		db.MustExec("INSERT INTO t (a) VALUES ('" + v + "')")
 	}
-	if _, err := db.QueryRaw("SELECT a FROM t LIMIT ?", 3); err == nil {
-		t.Error("LIMIT ? executed successfully")
+	st := db.MustPrepare("SELECT a FROM t ORDER BY a LIMIT ?")
+	for _, want := range []int{0, 2, 4, 10} {
+		res, err := st.Query(want)
+		if err != nil {
+			t.Fatalf("LIMIT %d: %v", want, err)
+		}
+		if n := min(want, 4); res.Len() != n {
+			t.Errorf("LIMIT %d: got %d rows, want %d", want, res.Len(), n)
+		}
+	}
+	if _, err := st.Query(-1); err == nil {
+		t.Error("negative LIMIT bound successfully")
+	}
+	if _, err := st.Query("x"); err == nil {
+		t.Error("string LIMIT bound successfully")
+	}
+	// Direct text execution binds the same way.
+	res, err := db.QueryRaw("SELECT a FROM t ORDER BY a LIMIT ?", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("text-path LIMIT ?: got %d rows, want 3", res.Len())
 	}
 }
 

@@ -64,11 +64,14 @@ const (
 	// TokParam is a literal slot in a parameterized plan-template token
 	// stream (see plan.go); the lexers never produce it from query text.
 	TokParam
-	// TokPlaceholder is a `?` binding placeholder in query text (the
-	// prepared-statement API): it marks a slot that an argument of
-	// Stmt.Query / Stmt.Exec (or the variadic DB.Query form) is bound
-	// into as a value, never as text. ParamIdx carries the placeholder's
-	// zero-based ordinal in text order.
+	// TokPlaceholder is a binding placeholder in query text (the
+	// prepared-statement API): `?`, or the named form `:name`. It marks a
+	// slot that an argument of Stmt.Query / Stmt.Exec (or the variadic
+	// DB.Query form) is bound into as a value, never as text. ParamIdx
+	// carries the placeholder's zero-based binding ordinal: text order
+	// for `?`, distinct-name first-occurrence order for `:name` (every
+	// repetition of one name shares one ordinal, so one argument feeds
+	// them all). A statement uses one style; mixing is a lex error.
 	TokPlaceholder
 )
 
@@ -131,8 +134,11 @@ type Token struct {
 	Value core.String
 	// Start and End delimit the token's byte range in the query source.
 	Start, End int
-	// ParamIdx is the literal slot index for TokParam tokens.
+	// ParamIdx is the literal slot index for TokParam tokens and the
+	// binding ordinal for TokPlaceholder tokens.
 	ParamIdx int
+	// Name is the placeholder name for the `:name` form ("" for `?`).
+	Name string
 }
 
 // Keyword returns the upper-cased text for keyword comparison.
@@ -178,7 +184,9 @@ func Lex(q core.String) ([]Token, error) {
 		}
 		toks = append(toks, tok)
 		if tok.Type == TokEOF {
-			numberPlaceholders(toks)
+			if err := numberPlaceholders(toks); err != nil {
+				return nil, err
+			}
 			return toks, nil
 		}
 		i = next
@@ -186,16 +194,44 @@ func Lex(q core.String) ([]Token, error) {
 }
 
 // numberPlaceholders stamps each TokPlaceholder with its zero-based
-// ordinal in text order — the index into the bound-argument list that
-// placeholder binds.
-func numberPlaceholders(toks []Token) {
+// binding ordinal — the index into the bound-argument list that
+// placeholder binds. Positional `?` placeholders number in text order;
+// named `:name` placeholders number by distinct name in first-occurrence
+// order, every repetition of a name sharing its ordinal. The two styles
+// cannot mix in one statement: positional binding is order-based and
+// named binding is identity-based, and a statement using both has no
+// unambiguous argument list.
+func numberPlaceholders(toks []Token) error {
 	ord := 0
+	named := map[string]int{}
+	positionalAt, namedAt := -1, -1
 	for i := range toks {
-		if toks[i].Type == TokPlaceholder {
+		if toks[i].Type != TokPlaceholder {
+			continue
+		}
+		if toks[i].Name == "" {
+			positionalAt = toks[i].Start
 			toks[i].ParamIdx = ord
 			ord++
+			continue
 		}
+		namedAt = toks[i].Start
+		if n, ok := named[toks[i].Name]; ok {
+			toks[i].ParamIdx = n
+			continue
+		}
+		named[toks[i].Name] = ord
+		toks[i].ParamIdx = ord
+		ord++
 	}
+	if positionalAt >= 0 && namedAt >= 0 {
+		off := namedAt
+		if positionalAt > off {
+			off = positionalAt
+		}
+		return &LexError{Offset: off, Msg: "cannot mix ? and :name placeholders in one statement"}
+	}
+	return nil
 }
 
 // scanToken skips whitespace and comments from offset i, then lexes one
@@ -243,6 +279,17 @@ func scanToken(q core.String, src string, i, limit int) (Token, int, error) {
 			return Token{Type: TokSemi, Text: ";", Value: q.Slice(i, i+1), Start: i, End: i + 1}, i + 1, nil
 		case c == '?':
 			return Token{Type: TokPlaceholder, Text: "?", Value: q.Slice(i, i+1), Start: i, End: i + 1}, i + 1, nil
+		case c == ':':
+			// Named binding placeholder `:name` (letters, digits,
+			// underscore; no dots — a name is not a column path).
+			j := i + 1
+			for j < limit && (isIdentStart(src[j]) || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			if j == i+1 || !isIdentStart(src[i+1]) {
+				return Token{}, 0, &LexError{Offset: i, Msg: "expected placeholder name after ':'"}
+			}
+			return Token{Type: TokPlaceholder, Text: src[i:j], Name: src[i+1 : j], Value: q.Slice(i, j), Start: i, End: j}, j, nil
 		case c == '=' || c == '<' || c == '>' || c == '!':
 			j := i + 1
 			if j < limit && (src[j] == '=' || (c == '<' && src[j] == '>')) {

@@ -69,6 +69,13 @@ const (
 	walMaxRecord = 64 << 20
 )
 
+// WALMaxRecord is the exported record-payload bound, so the wire
+// protocol can pin its frame limit to the same value: a result or log
+// chunk the server frames is never larger than what the log itself
+// would have accepted, and neither side can ack bytes the other must
+// then truncate.
+const WALMaxRecord = walMaxRecord
+
 // WAL record type bytes.
 const (
 	walRecStmt   = 'S'
@@ -136,6 +143,28 @@ type wal struct {
 
 	closed bool
 	broken error // sticky first write/sync failure; the wal is fail-stop
+
+	// epoch counts whole-log rewrites (compaction). A shipped byte offset
+	// is only meaningful within one epoch: after a rewrite the same
+	// offsets name different bytes, so replication streams carry the
+	// epoch and a follower that observes a change re-handshakes (ship.go).
+	epoch uint64
+
+	// notify, when non-nil (armed by DB.WALNotify), receives a
+	// non-blocking token after every size-changing append so a shipping
+	// loop can wait for new bytes without polling.
+	notify chan struct{}
+}
+
+// signal wakes a WALNotify waiter, if any; never blocks.
+func (w *wal) signal() {
+	if w.notify == nil {
+		return
+	}
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
 }
 
 // usable reports whether the log can accept an append.
@@ -308,10 +337,28 @@ func (w *wal) write(frame []byte) error {
 	}
 	w.size += int64(len(frame))
 	w.pending++
+	w.signal()
 	if w.groupEvery <= 1 || w.pending >= w.groupEvery {
 		return w.syncNow()
 	}
 	return nil
+}
+
+// appendRaw appends pre-framed record bytes verbatim and fsyncs — the
+// follower mirror path: a replica's local log is a byte-prefix copy of
+// the primary's, so shipped chunks land exactly as received (ship.go).
+func (w *wal) appendRaw(data []byte) error {
+	if err := w.usable(); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(data); err != nil {
+		w.broken = err
+		return fmt.Errorf("sqldb: WAL append: %w", err)
+	}
+	w.size += int64(len(data))
+	w.pending++
+	w.signal()
+	return w.syncNow()
 }
 
 // appendStmt logs one DDL statement.
@@ -354,6 +401,7 @@ func (w *wal) appendTxGroup(payloads [][]byte) error {
 	}
 	w.size += int64(len(buf))
 	w.pending++
+	w.signal()
 	return w.syncNow()
 }
 

@@ -1,0 +1,115 @@
+package resinsql
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+
+	"resin/internal/sqldb"
+)
+
+// Context-aware driver interfaces for the in-process connection.
+//
+// The RESIN engine executes queries synchronously in memory, so a
+// context cannot interrupt one mid-flight; what these implementations
+// guarantee is that a done context is observed before execution starts
+// (database/sql otherwise falls back to the contextless methods and
+// ignores ctx entirely), and that named arguments (sql.Named) reach the
+// prepared-statement layer as sqldb named bindings. The net: DSN
+// connection (net.go) additionally turns ctx deadlines into socket
+// deadlines — see wire.Conn.
+
+// namedAnyArgs converts driver named values to engine arguments:
+// values with names become sqldb named bindings, the rest positional.
+func namedAnyArgs(args []driver.NamedValue) []any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]any, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			out[i] = sqldb.Named(a.Name, a.Value)
+		} else {
+			out[i] = a.Value
+		}
+	}
+	return out
+}
+
+// QueryContext implements driver.QueryerContext: one-shot queries skip
+// the driver.Stmt round trip.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Route through the prepared-statement layer (the plan cache makes
+	// this cheap) so named arguments bind uniformly, as on the server.
+	var st *sqldb.Stmt
+	var err error
+	if c.tx != nil {
+		st, err = c.tx.PrepareRaw(query)
+	} else {
+		st, err = c.db.PrepareRaw(query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := st.Query(namedAnyArgs(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	r, err := c.QueryContext(ctx, query, args)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: int64(r.(*rows).res.Affected)}, nil
+}
+
+// BeginTx implements driver.ConnBeginTx. The engine has one isolation
+// level — serializable speculative copies — so any explicit weaker
+// request is refused rather than silently upgraded; read-only
+// transactions are not modeled (use plain queries, which read a
+// consistent MVCC snapshot anyway).
+func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if lvl := sql.IsolationLevel(opts.Isolation); lvl != sql.LevelDefault && lvl != sql.LevelSerializable {
+		return nil, fmt.Errorf("resinsql: isolation level %s not supported (transactions are serializable)", lvl)
+	}
+	if opts.ReadOnly {
+		return nil, errors.New("resinsql: read-only transactions are not supported")
+	}
+	return c.Begin()
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := s.st.Query(namedAnyArgs(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	affected, err := s.st.Exec(namedAnyArgs(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return result{affected: int64(affected)}, nil
+}

@@ -22,8 +22,12 @@
 // opens one explicitly over a caller-supplied runtime, and an unbound
 // file: DSN reaching sql.Open is opened lazily over a shared default
 // runtime, so plain database/sql code gets durable policy annotations
-// with nothing but a path. Statements use `?` placeholders; see
-// docs/SQL.md §6 for the binding semantics.
+// with nothing but a path. A DSN of the form "net:host:port" connects
+// over TCP to a resin-server (docs/WIRE.md): annotations cross the
+// socket in the canonical EncodeSpans form, so taint survives the
+// network exactly as it survives the driver boundary. Statements use
+// `?` or `:name` placeholders; see docs/SQL.md §6 for the binding
+// semantics.
 package resinsql
 
 import (
@@ -178,6 +182,9 @@ type Driver struct{}
 // unbound name with the file: prefix is opened (recovering the WAL at
 // that path) over a shared default runtime and bound for later calls.
 func (*Driver) Open(name string) (driver.Conn, error) {
+	if strings.HasPrefix(name, NetPrefix) {
+		return openNetConn(name)
+	}
 	registry.mu.RLock()
 	db := registry.m[name]
 	registry.mu.RUnlock()
