@@ -24,6 +24,7 @@ import (
 
 	"resin/internal/apps/hotcrp"
 	"resin/internal/core"
+	"resin/internal/lineage"
 	"resin/internal/microbench"
 	"resin/internal/seceval"
 	"resin/internal/sqldb"
@@ -897,4 +898,45 @@ func BenchmarkSQLWALReplay(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLineageOverhead measures the flow monitor's cost on the hot
+// string-and-boundary path, recording off vs on (docs/LINEAGE.md §2).
+// The "off" variant must match the pre-monitor profile — the gate is a
+// single atomic load — and the "on" variant prices full provenance
+// recording for a concat + serialize + decode round trip.
+func BenchmarkLineageOverhead(b *testing.B) {
+	run := func(b *testing.B) {
+		left := core.NewStringPolicy("user-controlled ", &ablationPolicy{ID: 91})
+		right := core.NewStringPolicy("suffix", &ablationPolicy{ID: 92})
+		ann, err := core.EncodeSpans(left)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := core.Concat(left, right)
+			if out.Len() == 0 {
+				b.Fatal("empty concat")
+			}
+			if _, err := core.DecodeSpans("user-controlled ", ann); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		lineage.Disable()
+		lineage.Reset()
+		run(b)
+	})
+	b.Run("on", func(b *testing.B) {
+		lineage.Reset()
+		lineage.Enable()
+		defer func() {
+			lineage.Disable()
+			lineage.Reset()
+		}()
+		run(b)
+	})
 }

@@ -17,6 +17,16 @@
 //
 // -smoke is the CI mode: a handful of connections, one batch of
 // requests, full taint-round-trip assertion, same JSON shape.
+//
+// -audit additionally runs the lineage probe after the load: an
+// in-process forum app posts a tainted body (httpd taint filter → SQL
+// shadow column), ships it across the wire connection, and the run
+// fails unless /audit reports every crossing in execution order
+// (docs/LINEAGE.md §5).
+//
+// The run also fails if the replica staleness sampler ever observes a
+// negative lag — the PrimarySize/Applied accounting regressing across a
+// resync is a bug, never something to clamp away silently.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,14 +47,15 @@ import (
 	"time"
 
 	"resin/internal/core"
+	"resin/internal/lineage"
 	"resin/internal/sanitize"
 	"resin/internal/sqldb"
 	"resin/internal/wire"
 
 	// A wire client must have the policy classes of the data it reads
 	// registered (docs/WIRE.md §3); a -seed-forum server's rows carry
-	// forum.MessagePolicy.
-	_ "resin/internal/apps/forum"
+	// forum.MessagePolicy. The -audit probe also drives the app itself.
+	"resin/internal/apps/forum"
 )
 
 type report struct {
@@ -64,6 +76,7 @@ type report struct {
 	PrimaryFront   uint64  `json:"primary_frontier"`
 	ReplicaFront   uint64  `json:"replica_frontier"`
 	TaintRoundTrip string  `json:"taint_roundtrip"`
+	Audit          string  `json:"audit,omitempty"`
 }
 
 func main() {
@@ -75,6 +88,7 @@ func main() {
 		writeFrac = flag.Float64("write-frac", 0.25, "fraction of requests that write")
 		out       = flag.String("out", "BENCH_wire.json", "JSON report path")
 		smoke     = flag.Bool("smoke", false, "CI smoke: 8 conns, 2 requests each, full assertions")
+		audit     = flag.Bool("audit", false, "run the /audit lineage probe after the load; fail unless the trace is complete and ordered")
 	)
 	flag.Parse()
 	if *smoke {
@@ -100,13 +114,19 @@ func main() {
 	mustExec(setup, "CREATE INDEX ON messages (id)")
 
 	// Staleness sampler: poll the replica's own status over its socket
-	// (or in-process when self-contained) while the load runs.
-	var maxStale atomic.Int64
+	// (or in-process when self-contained) while the load runs. The lag
+	// is the raw PrimarySize-Applied difference — a negative sample is a
+	// replication accounting bug and fails the run (tripwire below),
+	// never a value to clamp away.
+	var maxStale, negStale atomic.Int64
 	stopSample := make(chan struct{})
 	var sampleWG sync.WaitGroup
 	staleness := func() (int64, bool) { return 0, false }
 	if rep != nil {
-		staleness = func() (int64, bool) { return rep.Staleness(), true }
+		staleness = func() (int64, bool) {
+			st := rep.Status()
+			return st.PrimarySize - st.Applied, true
+		}
 	} else if *replica != "" {
 		rc, err := wire.Dial(*replica)
 		if err != nil {
@@ -118,11 +138,7 @@ func main() {
 			if err != nil {
 				return 0, false
 			}
-			lag := st.PrimarySize - st.Applied
-			if lag < 0 {
-				lag = 0
-			}
-			return lag, true
+			return st.PrimarySize - st.Applied, true
 		}
 	}
 	sampleWG.Add(1)
@@ -135,7 +151,12 @@ func main() {
 			case <-stopSample:
 				return
 			case <-t.C:
-				if lag, ok := staleness(); ok && lag > maxStale.Load() {
+				lag, ok := staleness()
+				switch {
+				case !ok:
+				case lag < 0:
+					negStale.Store(lag)
+				case lag > maxStale.Load():
 					maxStale.Store(lag)
 				}
 			}
@@ -225,18 +246,29 @@ func main() {
 		log.Fatalf("resin-loadgen: taint round trip: %v", err)
 	}
 
+	// Lineage probe: drive a tainted value httpd → SQL → wire and
+	// require the complete ordered trace from /audit.
+	auditStatus := ""
+	if *audit {
+		auditStatus, err = runAuditProbe(setup)
+		if err != nil {
+			log.Fatalf("resin-loadgen: audit probe: %v", err)
+		}
+	}
+
 	rpt := report{
-		Bench:         "wire",
-		Date:          time.Now().UTC().Format(time.RFC3339),
-		Conns:         *conns,
-		Requests:      *conns * *requests,
-		Writes:        writes.Load(),
-		Reads:         reads.Load(),
-		Errors:        failures.Load(),
-		DurationSec:   elapsed.Seconds(),
-		ThroughputRPS: float64(writes.Load()+reads.Load()) / elapsed.Seconds(),
-		MaxStaleBytes: maxStale.Load(),
+		Bench:          "wire",
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		Conns:          *conns,
+		Requests:       *conns * *requests,
+		Writes:         writes.Load(),
+		Reads:          reads.Load(),
+		Errors:         failures.Load(),
+		DurationSec:    elapsed.Seconds(),
+		ThroughputRPS:  float64(writes.Load()+reads.Load()) / elapsed.Seconds(),
+		MaxStaleBytes:  maxStale.Load(),
 		TaintRoundTrip: taintStatus,
+		Audit:          auditStatus,
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -257,6 +289,9 @@ func main() {
 		rpt.ReplicaFront = rep.DB().Frontier()
 	} else if *replica != "" {
 		if lag, ok := staleness(); ok {
+			if lag < 0 {
+				negStale.Store(lag)
+			}
 			rpt.FinalStale = lag
 		}
 	}
@@ -271,6 +306,9 @@ func main() {
 		log.Fatalf("resin-loadgen: write %s: %v", *out, err)
 	}
 	os.Stdout.Write(blob) //nolint:errcheck
+	if neg := negStale.Load(); neg < 0 {
+		log.Fatalf("resin-loadgen: sampled negative replica staleness %d bytes — PrimarySize/Applied accounting regressed", neg)
+	}
 	if rpt.Errors > 0 {
 		log.Fatalf("resin-loadgen: %d request(s) failed", rpt.Errors)
 	}
@@ -326,8 +364,8 @@ func selfContained() (*sqldb.DB, *wire.Replica, string, string, func()) {
 		psrv.Shutdown(ctx) //nolint:errcheck
 		rcancel()
 		<-repDone
-		rep.DB().Close() //nolint:errcheck
-		db.Close()       //nolint:errcheck
+		rep.DB().Close()  //nolint:errcheck
+		db.Close()        //nolint:errcheck
 		os.RemoveAll(dir) //nolint:errcheck
 	}
 	return db, rep, plis.Addr().String(), flis.Addr().String(), cleanup
@@ -374,6 +412,85 @@ func assertTaintRoundTrip(c *wire.Conn, local *sqldb.DB) (string, error) {
 		if string(got) != string(localAnn) {
 			return "", fmt.Errorf("wire annotation %s != in-process %s", got, localAnn)
 		}
+	}
+	return "ok", nil
+}
+
+// runAuditProbe drives a tainted value across every instrumented
+// boundary class and replays the /audit trace against it: an in-process
+// forum app posts a body (httpd taint filter is the source), the body is
+// re-read from its SQL shadow column, shipped over the wire connection
+// both directions, and the /audit endpoint must report each crossing in
+// execution order. Recording is enabled only for the probe — the load
+// itself runs with the gate closed.
+func runAuditProbe(c *wire.Conn) (string, error) {
+	lineage.Reset()
+	lineage.Enable()
+	defer func() {
+		lineage.Disable()
+		lineage.Reset()
+	}()
+
+	rt := core.NewRuntime()
+	app := forum.New(rt, nil, true)
+	sess := app.Server.NewSession("admin")
+	resp, err := app.Server.Do("POST", "/post", map[string]string{
+		"forum": "1", "subject": "audit probe", "body": "lineage-audit-probe-body",
+	}, sess)
+	if err != nil {
+		return "", fmt.Errorf("post: %w", err)
+	}
+	reply := resp.RawBody()
+	if !strings.HasPrefix(reply, "posted #") {
+		return "", fmt.Errorf("unexpected post reply %q", reply)
+	}
+	id, err := strconv.Atoi(strings.TrimPrefix(reply, "posted #"))
+	if err != nil {
+		return "", fmt.Errorf("parse post id from %q: %w", reply, err)
+	}
+
+	res, err := app.DB.QueryRaw("SELECT body FROM messages WHERE id = ?", id)
+	if err != nil {
+		return "", fmt.Errorf("body read-back: %w", err)
+	}
+	if res.Len() != 1 {
+		return "", fmt.Errorf("body read-back: %d rows", res.Len())
+	}
+	body := res.Get(0, "body").Str
+	if !body.IsTainted() {
+		return "", fmt.Errorf("posted body lost its policies")
+	}
+
+	// Wire hop: the tainted body crosses the connection in both
+	// directions — the bound argument is encoded on send, the selected
+	// row decoded on receive — so the wire edges record client-side even
+	// against an external server.
+	if _, err := c.QueryRaw(
+		"INSERT INTO messages (id, forum, author, subject, body) VALUES (?, ?, ?, ?, ?)",
+		-2, 98, "auditor", "audit probe", body); err != nil {
+		return "", fmt.Errorf("wire insert: %w", err)
+	}
+	if _, err := c.QueryRaw("SELECT body FROM messages WHERE forum = 98"); err != nil {
+		return "", fmt.Errorf("wire select: %w", err)
+	}
+
+	aresp, err := app.Server.Do("GET", "/audit", map[string]string{"msg": strconv.Itoa(id)}, sess)
+	if err != nil {
+		return "", fmt.Errorf("audit: %w", err)
+	}
+	text := aresp.RawBody()
+	pos := 0
+	for _, marker := range []string{
+		"filter:TaintReadFilter(http)",
+		"sql-store", "sql:messages.body",
+		"sql-load",
+		"wire-send", "wire-recv",
+	} {
+		i := strings.Index(text[pos:], marker)
+		if i < 0 {
+			return "", fmt.Errorf("audit trace missing %q after offset %d:\n%s", marker, pos, text)
+		}
+		pos += i
 	}
 	return "ok", nil
 }

@@ -153,7 +153,22 @@ func NewWithDB(rt *core.Runtime, whoisSrv *whois.Server, withAssertions bool, db
 	a.Server.Handle("/whois", a.handleWhois)
 	a.Server.Handle("/plugin/latest", a.pluginLatest)
 	a.Server.Handle("/plugin/search", a.pluginSearch)
+	a.Server.Handle("/audit", httpd.AuditHandler(a.resolveAudit))
 	return a
+}
+
+// resolveAudit backs the /audit endpoint: ?msg=N audits the message's
+// body — "show every boundary this message crossed".
+func (a *App) resolveAudit(req *httpd.Request) (core.String, string, error) {
+	id, err := intParam(req, "msg")
+	if err != nil {
+		return core.String{}, "", fmt.Errorf("forum: bad msg id %q", req.ParamRaw("msg"))
+	}
+	_, _, _, body, err := a.fetchMessage(id)
+	if err != nil {
+		return core.String{}, "", err
+	}
+	return body, fmt.Sprintf("message #%d body", id), nil
 }
 
 // ensureSchema creates a table and its indexes only where missing, so

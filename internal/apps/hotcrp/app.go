@@ -120,7 +120,22 @@ func New(rt *core.Runtime, withAssertions bool) *App {
 	}
 	a.Server.Handle("/paper", a.handlePaper)
 	a.Server.Handle("/remind", a.handleRemind)
+	a.Server.Handle("/audit", httpd.AuditHandler(a.resolveAudit))
 	return a
+}
+
+// resolveAudit backs the /audit endpoint: ?email=X audits the account's
+// stored password — "show every boundary this password crossed".
+func (a *App) resolveAudit(req *httpd.Request) (core.String, string, error) {
+	email := req.Param("email")
+	res, err := a.selPassword.Query(email)
+	if err != nil {
+		return core.String{}, "", err
+	}
+	if res.Len() == 0 {
+		return core.String{}, "", fmt.Errorf("hotcrp: no account %q", email.Raw())
+	}
+	return res.Get(0, "password").Str, "password of " + email.Raw(), nil
 }
 
 // AddUser stores an account; with assertions on, the password is annotated

@@ -101,16 +101,24 @@ func (ch *Channel) Write(data String) error {
 	defer ch.mu.Unlock()
 	off := ch.writeOff
 	if ch.tracking() {
+		lin := lineageOn()
 		for _, f := range ch.filters {
 			wf, ok := f.(WriteFilter)
 			if !ok {
 				continue
 			}
+			in := data
 			var err error
 			data, err = wf.FilterWrite(ch, data, off)
 			if err != nil {
+				if lin && len(in.spans) > 0 {
+					lineageRecordSpans(in, "filter-deny", lineageFilterNode(f, ch.ctx))
+				}
 				ch.runtime.noteViolation(err)
 				return err
+			}
+			if lin && len(data.spans) > 0 {
+				lineageRecordSpans(data, "filter-pass", lineageFilterNode(f, ch.ctx))
 			}
 		}
 	}
@@ -144,16 +152,26 @@ func (ch *Channel) Read(data String) (String, error) {
 	defer ch.mu.Unlock()
 	off := ch.readOff
 	if ch.tracking() {
+		lin := lineageOn()
 		for _, f := range ch.filters {
 			rf, ok := f.(ReadFilter)
 			if !ok {
 				continue
 			}
+			in := data
 			var err error
 			data, err = rf.FilterRead(ch, data, off)
 			if err != nil {
+				if lin && len(in.spans) > 0 {
+					lineageRecordSpans(in, "filter-deny", lineageFilterNode(f, ch.ctx))
+				}
 				ch.runtime.noteViolation(err)
 				return String{}, err
+			}
+			// A read filter that attaches policies (TaintReadFilter) makes
+			// this the value's source edge.
+			if lin && len(data.spans) > 0 {
+				lineageRecordSpans(data, "filter-pass", lineageFilterNode(f, ch.ctx))
 			}
 		}
 	}
@@ -177,16 +195,24 @@ func (ch *Channel) Call(args []any) ([]any, error) {
 	if !tracking {
 		return args, nil
 	}
+	lin := lineageOn()
 	var err error
 	for _, f := range fs {
 		ff, ok := f.(FuncFilter)
 		if !ok {
 			continue
 		}
+		in := args
 		args, err = ff.FilterFunc(ch, args)
 		if err != nil {
+			if lin {
+				lineageRecordArgs(in, "filter-deny", lineageFilterNode(f, ch.ctx))
+			}
 			ch.runtime.noteViolation(err)
 			return nil, err
+		}
+		if lin {
+			lineageRecordArgs(args, "filter-pass", lineageFilterNode(f, ch.ctx))
 		}
 	}
 	return args, nil

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Lineage hook points. The flow monitor itself lives in internal/lineage
+// (core must stay stdlib-only, see arch_test.go); it installs these hooks
+// from its package init, and every instrumented site in core and in the
+// boundary packages reports through them.
+//
+// The contract is zero cost while disabled: each instrumented hot path
+// pays exactly one atomic load (lineageOn) and must not allocate, touch a
+// map, or compute a node name before that check passes. Tests pin this
+// with testing.AllocsPerRun over Concat and DecodeSpans.
+
+// lineageGate is the package-level atomic gate. Off by default.
+var lineageGate atomic.Bool
+
+// lineageHooks holds the installed monitor callbacks. They are written
+// only by SetLineageHooks — in practice once, from internal/lineage's
+// package init, before any goroutines run — and read behind the gate.
+var lineageHooks struct {
+	// record reports that a value carrying set crossed node via op.
+	record func(set *PolicySet, op, node string)
+	// derive reports that child was derived from parent sets a and b
+	// (either may be nil), so traces can follow policy-set unions.
+	derive func(child, a, b *PolicySet)
+}
+
+// SetLineageHooks installs the flow monitor's callbacks. It must be
+// called before the gate is ever enabled (package-init time); installing
+// hooks while recording is live is a data race by contract.
+func SetLineageHooks(record func(set *PolicySet, op, node string), derive func(child, a, b *PolicySet)) {
+	lineageHooks.record = record
+	lineageHooks.derive = derive
+}
+
+// SetLineageGate toggles lineage recording. Enabling without hooks
+// installed is harmless: every report site checks for a nil hook.
+func SetLineageGate(on bool) { lineageGate.Store(on) }
+
+// LineageEnabled reports whether lineage recording is on. Boundary
+// packages use it to skip node-name computation on their hot paths.
+func LineageEnabled() bool { return lineageGate.Load() }
+
+// lineageOn is the internal spelling of the gate check.
+func lineageOn() bool { return lineageGate.Load() }
+
+// LineageRecord reports a boundary crossing for one policy set. It is
+// safe to call unconditionally: the gate check is the first thing it
+// does, and empty sets are ignored (lineage is keyed on policy content,
+// so untainted data has nothing to record under).
+func LineageRecord(set *PolicySet, op, node string) {
+	if !lineageGate.Load() {
+		return
+	}
+	lineageRecordSet(set, op, node)
+}
+
+// lineageRecordSet is LineageRecord after the gate check.
+func lineageRecordSet(set *PolicySet, op, node string) {
+	if set.Len() == 0 {
+		return
+	}
+	if rec := lineageHooks.record; rec != nil {
+		rec(set, op, node)
+	}
+}
+
+// LineageRecordValue reports a boundary crossing for every distinct
+// policy set carried by v's spans (consecutive spans sharing a set
+// report once). Safe to call unconditionally; gate-checked first.
+func LineageRecordValue(v String, op, node string) {
+	if !lineageGate.Load() || len(v.spans) == 0 {
+		return
+	}
+	lineageRecordSpans(v, op, node)
+}
+
+// lineageRecordSpans reports each distinct span set of v. Caller has
+// checked the gate and that v has spans.
+func lineageRecordSpans(v String, op, node string) {
+	rec := lineageHooks.record
+	if rec == nil {
+		return
+	}
+	// Report each span set once per crossing. Adjacent spans sharing a
+	// set are already coalesced by the Builder; interleaved repeats
+	// ([a][b][a]) are deduped against the whole prefix, which is cheap
+	// because span lists are short.
+	for i, sp := range v.spans {
+		if sp.ps.Len() == 0 {
+			continue
+		}
+		dup := false
+		for _, prev := range v.spans[:i] {
+			if prev.ps == sp.ps {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rec(sp.ps, op, node)
+		}
+	}
+}
+
+// lineageFilterNode names a filter crossing for lineage, e.g.
+// "filter:ExportCheckFilter(http)". Only called with the gate on, so
+// the fmt cost never lands on the disabled path.
+func lineageFilterNode(f Filter, ctx *Context) string {
+	name := fmt.Sprintf("%T", f)
+	name = strings.TrimPrefix(name, "*")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return "filter:" + name + "(" + ctx.Type() + ")"
+}
+
+// lineageRecordArgs reports a function-call filter crossing for every
+// tracked-string argument. Caller has checked the gate.
+func lineageRecordArgs(args []any, op, node string) {
+	for _, a := range args {
+		if s, ok := a.(String); ok && len(s.spans) > 0 {
+			lineageRecordSpans(s, op, node)
+		}
+	}
+}
+
+// lineageDerive reports that child was derived from parents a and/or b,
+// if it is a genuinely new set. Called from the PolicySet constructors'
+// union/merge paths.
+func lineageDerive(child, a, b *PolicySet) {
+	if !lineageGate.Load() {
+		return
+	}
+	der := lineageHooks.derive
+	if der == nil || child.Len() == 0 {
+		return
+	}
+	if child == a || child == b {
+		return
+	}
+	der(child, a, b)
+}

@@ -181,7 +181,9 @@ func (s *PolicySet) Add(p Policy) *PolicySet {
 		out = append(out, s.policies...)
 	}
 	out = append(out, p)
-	return newPolicySet(out)
+	u := newPolicySet(out)
+	lineageDerive(u, s, nil)
+	return u
 }
 
 // Remove returns a set without the policy object p (matched by identity).
@@ -245,6 +247,7 @@ func (s *PolicySet) Union(t *PolicySet) *PolicySet {
 	bothInterned := s.interned && t.interned
 	if bothInterned {
 		if u, ok := cachedUnion(s, t); ok {
+			lineageDerive(u, s, t)
 			return u
 		}
 	}
@@ -265,6 +268,7 @@ func (s *PolicySet) Union(t *PolicySet) *PolicySet {
 		if bothInterned {
 			u = u.Intern()
 		}
+		lineageDerive(u, s, t)
 	}
 	if bothInterned {
 		storeUnion(s, t, u)
@@ -366,5 +370,7 @@ func MergePolicies(a, b *PolicySet) (*PolicySet, error) {
 	if err := mergeSide(b, a); err != nil {
 		return nil, err
 	}
-	return newPolicySet(out), nil
+	merged := newPolicySet(out)
+	lineageDerive(merged, a, b)
+	return merged, nil
 }

@@ -173,6 +173,9 @@ func EncodeSpans(t String) ([]byte, error) {
 	if !t.IsTainted() {
 		return nil, nil
 	}
+	if lineageOn() {
+		lineageRecordSpans(t, "serialize", "core.encode")
+	}
 	var ws []wireSpan
 	err := t.EachTaintedSpan(func(start, end int, ps *PolicySet) error {
 		w := wireSpan{Start: start, End: end}
@@ -380,6 +383,11 @@ func DecodeSpans(raw string, annotation []byte) (String, error) {
 		memoized, ok := spanDecodeMemo.m[raw][string(annotation)]
 		spanDecodeMemo.mu.RUnlock()
 		if ok {
+			// A memo hit is still a boundary crossing: the caller is
+			// re-reading stored bytes, so lineage must see it.
+			if lineageOn() && len(memoized.spans) > 0 {
+				lineageRecordSpans(memoized, "deserialize", "core.decode")
+			}
 			return memoized, nil
 		}
 	}
@@ -388,6 +396,9 @@ func DecodeSpans(raw string, annotation []byte) (String, error) {
 		return String{}, err
 	}
 	t = comp.Apply(raw)
+	if lineageOn() && len(t.spans) > 0 {
+		lineageRecordSpans(t, "deserialize", "core.decode")
+	}
 	if memoizable {
 		spanDecodeMemo.mu.Lock()
 		if spanDecodeMemo.m == nil || spanDecodeMemo.n >= spanDecodeMemoCap ||

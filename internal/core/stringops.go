@@ -26,10 +26,14 @@ func Concat(parts ...String) String {
 		nbytes += len(p.s)
 		nspans += len(p.spans)
 	}
+	lin := lineageOn()
 	var b Builder
 	b.Grow(nbytes, nspans)
 	for _, p := range parts {
-		b.Append(p)
+		if lin && len(p.spans) > 0 {
+			lineageRecordSpans(p, "concat", "core.concat")
+		}
+		b.appendQuiet(p)
 	}
 	return b.String()
 }
@@ -215,6 +219,14 @@ func (t String) Replace(old string, new String, n int) String {
 	if old == "" || n == 0 {
 		return t
 	}
+	if lineageOn() {
+		if len(t.spans) > 0 {
+			lineageRecordSpans(t, "replace", "core.replace")
+		}
+		if len(new.spans) > 0 {
+			lineageRecordSpans(new, "replace", "core.replace")
+		}
+	}
 	var b Builder
 	start := 0
 	for n != 0 {
@@ -222,14 +234,14 @@ func (t String) Replace(old string, new String, n int) String {
 		if i < 0 {
 			break
 		}
-		b.Append(t.Slice(start, start+i))
-		b.Append(new)
+		b.appendQuiet(t.Slice(start, start+i))
+		b.appendQuiet(new)
 		start += i + len(old)
 		if n > 0 {
 			n--
 		}
 	}
-	b.Append(t.Slice(start, len(t.s)))
+	b.appendQuiet(t.Slice(start, len(t.s)))
 	return b.String()
 }
 
@@ -350,6 +362,16 @@ func (b *Builder) Reset() {
 
 // Append adds a tracked string to the builder.
 func (b *Builder) Append(t String) {
+	if len(t.spans) > 0 && lineageOn() {
+		lineageRecordSpans(t, "append", "core.append")
+	}
+	b.appendQuiet(t)
+}
+
+// appendQuiet is Append without the lineage report; compound ops
+// (Concat, Replace) record one edge at their own level instead of one
+// per internal append.
+func (b *Builder) appendQuiet(t String) {
 	off := b.buf.Len()
 	b.buf.WriteString(t.s)
 	if len(t.spans) == 0 {

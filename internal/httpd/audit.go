@@ -1,0 +1,39 @@
+package httpd
+
+import (
+	"fmt"
+
+	"resin/internal/core"
+	"resin/internal/lineage"
+)
+
+// AuditHandler builds the standard /audit endpoint (docs/LINEAGE.md §5):
+// resolve picks the tracked value to audit from the request and returns
+// a short label naming it; the handler replies with the value's recorded
+// lineage, one edge per line in lineage.RenderText form, preceded by a
+// summary line "audit <label>: <n> edges".
+//
+// The endpoint is diagnostic: it answers 404 while lineage recording is
+// disabled (there is nothing to show and the route should not probe as
+// live), and 404 with the resolver's error text when the value cannot
+// be resolved. Resolving the value typically re-reads it through the
+// instrumented boundaries, so the audit query's own crossings appear at
+// the tail of the trace — that is truthful, not an artifact.
+func AuditHandler(resolve func(req *Request) (core.String, string, error)) Handler {
+	return func(req *Request, resp *Response) error {
+		if !lineage.Enabled() {
+			resp.Status = 404
+			return resp.WriteRaw("audit: lineage recording is disabled\n")
+		}
+		v, label, err := resolve(req)
+		if err != nil {
+			resp.Status = 404
+			return resp.WriteRaw(fmt.Sprintf("audit: %v\n", err))
+		}
+		edges := lineage.Trace(v)
+		if err := resp.WriteRaw(fmt.Sprintf("audit %s: %d edges\n", label, len(edges))); err != nil {
+			return err
+		}
+		return resp.WriteRaw(lineage.RenderText(edges))
+	}
+}

@@ -1,0 +1,111 @@
+package lineage_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/lineage"
+	"resin/internal/sqldb"
+)
+
+// docPasswordPolicy is the policy class of the worked example in
+// docs/LINEAGE.md: the password may only flow to its own account.
+type docPasswordPolicy struct {
+	Email string `json:"email"`
+}
+
+func (p *docPasswordPolicy) ExportCheck(ctx *core.Context) error {
+	if u, ok := ctx.GetString("user"); ok && u == p.Email {
+		return nil
+	}
+	return fmt.Errorf("password of %s may only be disclosed to its owner", p.Email)
+}
+
+func init() {
+	core.RegisterPolicyClass("docs.PasswordPolicy", &docPasswordPolicy{})
+}
+
+// docBlock extracts the text between the given begin/end HTML markers of
+// docs/LINEAGE.md, with fence lines stripped.
+func docBlock(t *testing.T, name string) []string {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/LINEAGE.md")
+	if err != nil {
+		t.Fatalf("docs/LINEAGE.md must exist: %v", err)
+	}
+	text := string(data)
+	start := strings.Index(text, "<!-- "+name+":begin -->")
+	end := strings.Index(text, "<!-- "+name+":end -->")
+	if start < 0 || end < 0 || end < start {
+		t.Fatalf("docs/LINEAGE.md lost its %s:begin/end markers", name)
+	}
+	var lines []string
+	for _, line := range strings.Split(text[start:end], "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "<!--") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestLineageDocExample executes docs/LINEAGE.md §6's worked example
+// verbatim: the SQL statements of the lineage-example block run exactly
+// as written (the password bound as a tracked argument), the composed
+// reminder is denied at an HTTP boundary for the wrong user, and the
+// rendered trace must match the doc's lineage-trace block byte for
+// byte. If the edge vocabulary, node naming, ordering, or render format
+// drift, the doc fails with this test.
+func TestLineageDocExample(t *testing.T) {
+	stmts := docBlock(t, "lineage-example")
+	if len(stmts) != 3 {
+		t.Fatalf("lineage-example block must pin CREATE, INSERT, and SELECT; got %d statements", len(stmts))
+	}
+	wantTrace := ""
+	for _, line := range docBlock(t, "lineage-trace") {
+		wantTrace += line + "\n"
+	}
+
+	lineage.Reset()
+	lineage.Enable()
+	defer func() {
+		lineage.Disable()
+		lineage.Reset()
+	}()
+
+	rt := core.NewRuntime()
+	db := sqldb.Open(rt)
+	pw := core.NewStringPolicy("s3cretpw", &docPasswordPolicy{Email: "u@example.org"})
+
+	if _, err := db.Exec(core.NewString(strings.TrimSpace(stmts[0]))); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := db.Exec(core.NewString(strings.TrimSpace(stmts[1])), "u@example.org", pw); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	res, err := db.Query(core.NewString(strings.TrimSpace(stmts[2])), "u@example.org")
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("select returned %d rows", res.Len())
+	}
+	loaded := res.Get(0, "password").Str
+
+	msg := core.Format("Your password is: %s\n", loaded)
+
+	ch := core.NewChannel(rt, core.KindHTTP, core.ExportCheckFilter{})
+	ch.Context().Set("user", "attacker@evil.org")
+	if err := ch.Write(msg); err == nil {
+		t.Fatal("the password flowed to the attacker")
+	}
+
+	got := lineage.RenderText(lineage.Trace(msg))
+	if got != wantTrace {
+		t.Errorf("docs/LINEAGE.md trace drifted:\n--- doc pins ---\n%s--- recorded ---\n%s", wantTrace, got)
+	}
+}

@@ -1,0 +1,117 @@
+package lineage_test
+
+import (
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/lineage"
+)
+
+// FuzzLineageTrace drives an arbitrary byte-encoded program of
+// instrumented operations over a small pool of tracked strings, then
+// checks the monitor's two safety properties: Trace never panics, and
+// every edge it reports names an (op, node) the program actually
+// executed with tracked input. The harness keeps a may-have-recorded
+// superset (it marks an op whenever any input was tainted), so a trace
+// edge outside the set is a genuine fabrication.
+func FuzzLineageTrace(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 3, 1, 4, 0, 5, 2})
+	f.Add([]byte{3, 0, 3, 0, 3, 0})
+	f.Add([]byte{9, 250, 17, 42, 1, 1, 0, 0, 255, 254})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		// Bound the run: long programs add no new op interleavings, and
+		// unbounded concat growth makes span-quadratic filter checks
+		// dominate the 20s CI budget.
+		if len(program) > 128 {
+			program = program[:128]
+		}
+		lineage.Reset()
+		lineage.Enable()
+		defer func() {
+			lineage.Disable()
+			lineage.Reset()
+		}()
+
+		rt := core.NewRuntime()
+		ch := core.NewChannel(rt, core.KindHTTP, core.ExportCheckFilter{})
+		pool := []core.String{
+			core.NewStringPolicy("alpha", &testSecret{Owner: "alpha"}),
+			core.NewStringPolicy("beta", &testSecret{Owner: "beta"}),
+			core.NewString("plain"),
+		}
+		executed := map[string]bool{}
+		mark := func(op, node string) { executed[op+"|"+node] = true }
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op, sel := program[i]%6, int(program[i+1])%len(pool)
+			v := pool[sel]
+			w := pool[(sel+1)%len(pool)]
+			switch op {
+			case 0: // concat (bounded: repeated concat doubles lengths)
+				if v.Len()+w.Len() > 256 {
+					continue
+				}
+				pool[sel] = core.Concat(v, w)
+				if v.IsTainted() || w.IsTainted() {
+					mark("concat", "core.concat")
+				}
+			case 1: // builder append
+				var b core.Builder
+				b.Append(v)
+				pool[sel] = b.String()
+				if v.IsTainted() {
+					mark("append", "core.append")
+				}
+			case 2: // replace
+				pool[sel] = v.Replace("a", core.NewString("A"), -1)
+				if v.IsTainted() {
+					mark("replace", "core.replace")
+				}
+			case 3: // serialize + deserialize round trip
+				ann, err := core.EncodeSpans(v)
+				if err != nil {
+					t.Fatalf("EncodeSpans: %v", err)
+				}
+				if v.IsTainted() {
+					mark("serialize", "core.encode")
+				}
+				dec, err := core.DecodeSpans(v.Raw(), ann)
+				if err != nil {
+					t.Fatalf("DecodeSpans: %v", err)
+				}
+				pool[sel] = dec
+				if dec.IsTainted() {
+					mark("deserialize", "core.decode")
+				}
+			case 4: // channel export through the default filter
+				if err := ch.Write(v); err != nil {
+					t.Fatalf("permissive policy denied: %v", err)
+				}
+				if v.IsTainted() {
+					mark("filter-pass", "filter:ExportCheckFilter(http)")
+					// The channel accumulates released output through
+					// Builder.Append, so a successful tracked write also
+					// executes an append.
+					mark("append", "core.append")
+				}
+			case 5: // union derivation
+				pool[sel] = core.NewString(v.Raw()).WithPolicySet(v.Policies().Union(w.Policies()))
+			}
+		}
+
+		for _, v := range pool {
+			edges := lineage.Trace(v) // must never panic
+			var last uint64
+			for _, e := range edges {
+				if !executed[e.Op+"|"+e.To] {
+					t.Fatalf("trace reports %s at %s, which never executed; trace:\n%s",
+						e.Op, e.To, lineage.RenderText(edges))
+				}
+				if e.Seq <= last {
+					t.Fatalf("Seq not strictly increasing:\n%s", lineage.RenderText(edges))
+				}
+				last = e.Seq
+			}
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package lineage_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/lineage"
+)
+
+// testSecret is the policy class the lineage tests tag values with. Its
+// ExportCheck always passes, so tagged values can cross channels and the
+// tests observe filter-pass edges; the deny tests use denyAlways.
+type testSecret struct {
+	Owner string `json:"owner"`
+}
+
+func (p *testSecret) ExportCheck(ctx *core.Context) error { return nil }
+
+// denyAlways vetoes every export, producing filter-deny edges. It is
+// deliberately not registered for serialization: the monitor's label
+// fallback (PolicyName + fields) must cover unregistered classes too.
+type denyAlways struct{}
+
+func (denyAlways) ExportCheck(ctx *core.Context) error { return errors.New("denied by policy") }
+
+func init() {
+	core.RegisterPolicyClass("lineagetest.Secret", &testSecret{})
+}
+
+// withLineage turns recording on for one test and restores the global
+// disabled state (and empty monitor) afterwards.
+func withLineage(t *testing.T) {
+	t.Helper()
+	lineage.Reset()
+	lineage.Enable()
+	t.Cleanup(func() {
+		lineage.Disable()
+		lineage.Reset()
+	})
+}
+
+// requireOps asserts that want appears as an ordered (Op, To)
+// subsequence of edges.
+func requireOps(t *testing.T, edges []lineage.Edge, want [][2]string) {
+	t.Helper()
+	i := 0
+	for _, e := range edges {
+		if i < len(want) && e.Op == want[i][0] && e.To == want[i][1] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("trace missing step %d %v; got:\n%s", i, want[i], lineage.RenderText(edges))
+	}
+}
+
+// TestTraceSurvivesSerializationBoundary is the core content-keying
+// property: DecodeSpans instantiates fresh policy objects (new interned
+// set pointers), yet the trace of the decoded value still begins at the
+// pre-encode source, and the From chain threads encode → decode →
+// concat in order.
+func TestTraceSurvivesSerializationBoundary(t *testing.T) {
+	withLineage(t)
+
+	pw := core.NewStringPolicy("hunter2", &testSecret{Owner: "alice"})
+	ann, err := core.EncodeSpans(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.DecodeSpans("hunter2", ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Policies() == pw.Policies() {
+		t.Fatal("test premise broken: decode returned the identical set pointer")
+	}
+	out := core.Concat(dec, core.NewString("!"))
+
+	edges := lineage.Trace(out)
+	requireOps(t, edges, [][2]string{
+		{"serialize", "core.encode"},
+		{"deserialize", "core.decode"},
+		{"concat", "core.concat"},
+	})
+	if len(edges) != 3 {
+		t.Fatalf("want exactly 3 edges, got:\n%s", lineage.RenderText(edges))
+	}
+	// The From chain threads node to node, starting at the source.
+	if edges[0].From != "" || edges[1].From != "core.encode" || edges[2].From != "core.decode" {
+		t.Fatalf("From chain broken:\n%s", lineage.RenderText(edges))
+	}
+	var last uint64
+	for _, e := range edges {
+		if e.Seq <= last {
+			t.Fatalf("Seq not strictly increasing:\n%s", lineage.RenderText(edges))
+		}
+		last = e.Seq
+	}
+	if !strings.Contains(edges[0].Set, "lineagetest.Secret") {
+		t.Fatalf("edge set %q does not name the policy class", edges[0].Set)
+	}
+}
+
+// TestMemoHitStillRecords: a second decode of the same annotation is
+// served from the decode memo, but it is still a boundary crossing and
+// must appear in the trace.
+func TestMemoHitStillRecords(t *testing.T) {
+	withLineage(t)
+
+	pw := core.NewStringPolicy("s3cret", &testSecret{Owner: "bob"})
+	ann, err := core.EncodeSpans(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.DecodeSpans("s3cret", ann); err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := core.DecodeSpans("s3cret", ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deser := 0
+	for _, e := range lineage.Trace(dec2) {
+		if e.Op == "deserialize" {
+			deser++
+		}
+	}
+	if deser != 2 {
+		t.Fatalf("want 2 deserialize edges (memo hit is a crossing too), got %d", deser)
+	}
+}
+
+// TestUnionLinksParents: a value whose set is the union of two tagged
+// values' sets traces back through both parents' histories.
+func TestUnionLinksParents(t *testing.T) {
+	withLineage(t)
+
+	a := core.NewStringPolicy("left", &testSecret{Owner: "a"})
+	b := core.NewStringPolicy("right", &testSecret{Owner: "b"})
+	if _, err := core.EncodeSpans(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.EncodeSpans(b); err != nil {
+		t.Fatal(err)
+	}
+	u := core.NewString("merged").WithPolicySet(a.Policies().Union(b.Policies()))
+	if _, err := core.EncodeSpans(u); err != nil {
+		t.Fatal(err)
+	}
+
+	edges := lineage.Trace(u)
+	serialize := 0
+	for _, e := range edges {
+		if e.Op == "serialize" {
+			serialize++
+		}
+	}
+	// a's encode + b's encode (via parent links) + u's own encode.
+	if serialize != 3 {
+		t.Fatalf("want 3 serialize edges across the union closure, got:\n%s", lineage.RenderText(edges))
+	}
+}
+
+// TestObserverFiresOncePerNovelPair: the Reiss-style always-on observer
+// sees each (From, To) crossing pair exactly once, across all policy
+// contents.
+func TestObserverFiresOncePerNovelPair(t *testing.T) {
+	withLineage(t)
+
+	var mu sync.Mutex
+	var novel []lineage.Edge
+	lineage.SetObserver(func(e lineage.Edge) {
+		mu.Lock()
+		novel = append(novel, e)
+		mu.Unlock()
+	})
+	t.Cleanup(func() { lineage.SetObserver(nil) })
+
+	a := core.NewStringPolicy("x", &testSecret{Owner: "a"})
+	b := core.NewStringPolicy("y", &testSecret{Owner: "b"})
+	if _, err := core.EncodeSpans(a); err != nil {
+		t.Fatal(err)
+	}
+	// Same ("" -> core.encode) pair under a different policy content:
+	// not novel, must not fire again.
+	if _, err := core.EncodeSpans(b); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(novel) != 1 {
+		t.Fatalf("observer fired %d times, want 1 (one novel source->core.encode pair)", len(novel))
+	}
+	if novel[0].To != "core.encode" || novel[0].From != "" {
+		t.Fatalf("unexpected novel edge %+v", novel[0])
+	}
+}
+
+// TestDisabledRecordsNothing: with the gate off, instrumented operations
+// leave no trace and no monitor state.
+func TestDisabledRecordsNothing(t *testing.T) {
+	lineage.Reset()
+	lineage.Disable()
+
+	s := core.NewStringPolicy("quiet", &testSecret{Owner: "q"})
+	ann, err := core.EncodeSpans(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.DecodeSpans("quiet", ann); err != nil {
+		t.Fatal(err)
+	}
+	_ = core.Concat(s, s)
+
+	if edges := lineage.Trace(s); len(edges) != 0 {
+		t.Fatalf("disabled monitor recorded %d edges", len(edges))
+	}
+	if st := lineage.ReadStats(); st.Events != 0 || st.Sets != 0 {
+		t.Fatalf("disabled monitor accumulated state: %+v", st)
+	}
+}
+
+// TestResetClearsState: Reset drops all recorded history.
+func TestResetClearsState(t *testing.T) {
+	withLineage(t)
+
+	s := core.NewStringPolicy("tmp", &testSecret{Owner: "t"})
+	if _, err := core.EncodeSpans(s); err != nil {
+		t.Fatal(err)
+	}
+	if st := lineage.ReadStats(); st.Events == 0 {
+		t.Fatal("setup recorded nothing")
+	}
+	lineage.Reset()
+	if edges := lineage.Trace(s); len(edges) != 0 {
+		t.Fatalf("Reset left %d edges behind", len(edges))
+	}
+	if st := lineage.ReadStats(); st.Events != 0 || st.Sets != 0 {
+		t.Fatalf("Reset left stats behind: %+v", st)
+	}
+}
+
+// TestFilterVerdictEdges: channel filter crossings become edges — a
+// denial as filter-deny, a successful export as filter-pass, both named
+// after the filter type and channel kind.
+func TestFilterVerdictEdges(t *testing.T) {
+	withLineage(t)
+	rt := core.NewRuntime()
+	ch := core.NewChannel(rt, core.KindHTTP, core.ExportCheckFilter{})
+
+	secret := core.NewString("secret").WithPolicy(denyAlways{})
+	if err := ch.Write(secret); err == nil {
+		t.Fatal("denyAlways let the write through")
+	}
+	requireOps(t, lineage.Trace(secret), [][2]string{
+		{"filter-deny", "filter:ExportCheckFilter(http)"},
+	})
+
+	ok := core.NewString("public").WithPolicy(&testSecret{Owner: "p"})
+	if err := ch.Write(ok); err != nil {
+		t.Fatal(err)
+	}
+	requireOps(t, lineage.Trace(ok), [][2]string{
+		{"filter-pass", "filter:ExportCheckFilter(http)"},
+	})
+}
+
+// TestRenderTextFormat pins the /audit line format.
+func TestRenderTextFormat(t *testing.T) {
+	got := lineage.RenderText([]lineage.Edge{
+		{Seq: 3, Op: "serialize", From: "", To: "core.encode", Set: "{x}"},
+		{Seq: 9, Op: "sql-load", From: "core.encode", To: "sql:users.password", Set: "{x}"},
+	})
+	want := "#3 serialize   (source) -> core.encode {x}\n" +
+		"#9 sql-load    core.encode -> sql:users.password {x}\n"
+	if got != want {
+		t.Fatalf("RenderText drifted:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+// TestStatsCount: ReadStats reflects recorded state.
+func TestStatsCount(t *testing.T) {
+	withLineage(t)
+	s := core.NewStringPolicy("v", &testSecret{Owner: "s"})
+	if _, err := core.EncodeSpans(s); err != nil {
+		t.Fatal(err)
+	}
+	st := lineage.ReadStats()
+	if st.Sets != 1 || st.Events != 1 || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want 1 set / 1 event / 0 dropped", st)
+	}
+}

@@ -1,0 +1,64 @@
+package lineage_test
+
+import (
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/lineage"
+)
+
+// TestDisabledConcatZeroAlloc pins the zero-cost-when-disabled
+// guarantee for the hottest string op: with the gate off, Concat of
+// tainted strings allocates exactly the same before and after a full
+// enable → record → disable cycle — the instrumentation costs one
+// atomic load and nothing else.
+func TestDisabledConcatZeroAlloc(t *testing.T) {
+	lineage.Disable()
+	lineage.Reset()
+
+	a := core.NewStringPolicy("hello ", &testSecret{Owner: "h"})
+	b := core.NewStringPolicy("world", &testSecret{Owner: "w"})
+	concat := func() { _ = core.Concat(a, b) }
+
+	before := testing.AllocsPerRun(200, concat)
+
+	lineage.Enable()
+	_ = core.Concat(a, b)
+	lineage.Disable()
+
+	after := testing.AllocsPerRun(200, concat)
+	if before != after {
+		t.Fatalf("Concat allocs with lineage off changed across an enable cycle: %v -> %v", before, after)
+	}
+	lineage.Reset()
+}
+
+// TestDisabledDecodeZeroAlloc: same guarantee for the DecodeSpans
+// memo-hit path, the hot boundary of SQL row loads.
+func TestDisabledDecodeZeroAlloc(t *testing.T) {
+	lineage.Disable()
+	lineage.Reset()
+
+	s := core.NewStringPolicy("payload", &testSecret{Owner: "d"})
+	ann, err := core.EncodeSpans(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the memo so every measured run is the hit path.
+	if _, err := core.DecodeSpans("payload", ann); err != nil {
+		t.Fatal(err)
+	}
+	decode := func() { _, _ = core.DecodeSpans("payload", ann) }
+
+	before := testing.AllocsPerRun(200, decode)
+
+	lineage.Enable()
+	_, _ = core.DecodeSpans("payload", ann)
+	lineage.Disable()
+
+	after := testing.AllocsPerRun(200, decode)
+	if before != after {
+		t.Fatalf("DecodeSpans allocs with lineage off changed across an enable cycle: %v -> %v", before, after)
+	}
+	lineage.Reset()
+}

@@ -81,6 +81,9 @@ func (e *Endpoint) Send(data core.String) error {
 		if err != nil {
 			return fmt.Errorf("remote: cannot serialize policies: %w", err)
 		}
+		if len(ann) > 0 {
+			core.LineageRecordValue(filtered, "remote-send", "remote.link")
+		}
 		msg.Annotation = ann
 	}
 	e.peer.mu.Lock()
@@ -113,6 +116,7 @@ func (e *Endpoint) Recv() (core.String, error) {
 	if err != nil {
 		return core.String{}, fmt.Errorf("remote: cannot restore policies: %w", err)
 	}
+	core.LineageRecordValue(data, "remote-recv", "remote.link")
 	return e.ch.Read(data)
 }
 

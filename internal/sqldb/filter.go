@@ -448,10 +448,10 @@ func execWithPCols(engine *Engine, stmt Statement, pcols map[string]bool) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	if _, isSelect := stmt.(*Select); isSelect {
-		return fromRaw(raw, 0, true)
+	if sel, isSelect := stmt.(*Select); isSelect {
+		return fromRaw(raw, 0, true, sel.Table)
 	}
-	return fromRaw(nil, affected, false)
+	return fromRaw(nil, affected, false, "")
 }
 
 // RewriteWithPolicies returns the statement the RESIN filter hands the
@@ -496,8 +496,9 @@ func rewriteCreate(s *CreateTable) *CreateTable {
 }
 
 // annotationFor serializes the policy spans of a literal's stored form.
-// It returns the expression to store in the policy column.
-func annotationFor(e Expr) (Expr, error) {
+// It returns the expression to store in the policy column. table and col
+// name the destination cell for lineage.
+func annotationFor(e Expr, table, col string) (Expr, error) {
 	var tracked core.String
 	switch v := e.(type) {
 	case *StringLit:
@@ -518,7 +519,33 @@ func annotationFor(e Expr) (Expr, error) {
 	if ann == nil {
 		return &NullLit{}, nil
 	}
+	if core.LineageEnabled() {
+		core.LineageRecordValue(tracked, "sql-store", lineageColNode(table, col))
+	}
 	return &StringLit{Val: core.NewString(string(ann))}, nil
+}
+
+// lineageColNode names a table cell for lineage, e.g. "sql:users.password".
+// Qualified references keep their own qualifier. Only called with the
+// lineage gate on.
+func lineageColNode(table, col string) string {
+	lc := strings.ToLower(col)
+	if table == "" || strings.Contains(lc, ".") {
+		return "sql:" + lc
+	}
+	return "sql:" + strings.ToLower(table) + "." + lc
+}
+
+// recordCellLineage reports a shadow-column load for a policy-carrying
+// result cell. Only called with the lineage gate on.
+func recordCellLineage(c Cell, node string) {
+	switch {
+	case c.Null:
+	case c.IsInt:
+		core.LineageRecord(c.Int.Policies(), "sql-load", node)
+	default:
+		core.LineageRecordValue(c.Str, "sql-load", node)
+	}
 }
 
 // policyColSet returns the lower-cased policy column names present in
@@ -564,7 +591,7 @@ func rewriteInsert(s *Insert, pcols map[string]bool) (*Insert, error) {
 			if !augment[i] {
 				continue
 			}
-			ann, err := annotationFor(row[i])
+			ann, err := annotationFor(row[i], s.Table, s.Columns[i])
 			if err != nil {
 				return nil, err
 			}
@@ -582,7 +609,7 @@ func rewriteUpdate(s *Update, pcols map[string]bool) (*Update, error) {
 		if IsPolicyColumn(a.Column) || !pcols[policyColName(a.Column)] {
 			continue
 		}
-		ann, err := annotationFor(a.Value)
+		ann, err := annotationFor(a.Value, s.Table, a.Column)
 		if err != nil {
 			return nil, err
 		}
@@ -626,8 +653,9 @@ func rewriteSelect(s *Select, pcols map[string]bool) *Select {
 // fromRaw converts an engine result to a tracked Result. When attach is
 // true, policy columns are consumed: their annotations are de-serialized
 // and attached to the corresponding data cells, and the policy columns
-// are removed from the visible result.
-func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
+// are removed from the visible result. tbl qualifies unqualified column
+// names in lineage nodes (it may be empty on attach-free paths).
+func fromRaw(raw *rawResult, affected int, attach bool, tbl string) (*Result, error) {
 	if raw == nil {
 		return &Result{Affected: affected}, nil
 	}
@@ -696,6 +724,15 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 		visPolicy[vi] = companions[i].pi
 		visUnion[vi] = companions[i].union
 	}
+	// Lineage nodes per visible column, resolved once per result; nil
+	// keeps the disabled path at exactly one gate check.
+	var linNodes []string
+	if attach && core.LineageEnabled() {
+		linNodes = make([]string, len(visible))
+		for vi := range visible {
+			linNodes[vi] = lineageColNode(tbl, visibleCols[vi])
+		}
+	}
 	// Batched shadow-policy decode: each distinct annotation in the
 	// result set is compiled (JSON-parsed, policies instantiated, sets
 	// interned) exactly once — core.CompileAnnotation memoizes globally
@@ -744,23 +781,28 @@ func fromRaw(raw *rawResult, affected int, attach bool) (*Result, error) {
 		out := make([]Cell, 0, len(visible))
 		for vi, i := range visible {
 			v := row[i]
+			var c Cell
 			if pi := visPolicy[vi]; pi >= 0 && !row[pi].null && row[pi].s != "" {
 				if visUnion[vi] {
 					set, err := unionFor(row[pi].s)
 					if err != nil {
 						return nil, err
 					}
-					out = append(out, makeCellUnion(v, set))
-					continue
+					c = makeCellUnion(v, set)
+				} else {
+					comp, err := compileAnn(row[pi].s)
+					if err != nil {
+						return nil, err
+					}
+					c = makeCell(v, comp)
 				}
-				comp, err := compileAnn(row[pi].s)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, makeCell(v, comp))
-				continue
+			} else {
+				c = makeCell(v, nil)
 			}
-			out = append(out, makeCell(v, nil))
+			if linNodes != nil {
+				recordCellLineage(c, linNodes[vi])
+			}
+			out = append(out, c)
 		}
 		res.Rows = append(res.Rows, out)
 	}
@@ -883,7 +925,7 @@ func (db *DB) Query(q core.String, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromRaw(raw, affected, false)
+	return fromRaw(raw, affected, false, "")
 }
 
 // queryCallArgs builds the channel-call argument list for a text query:

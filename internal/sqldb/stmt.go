@@ -397,7 +397,7 @@ func execPreparedRaw(s *Stmt, bound []Expr, engine *Engine) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromRaw(raw, affected, false)
+	return fromRaw(raw, affected, false, "")
 }
 
 // Prepare compiles query text into a Stmt executing against this

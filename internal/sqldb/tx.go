@@ -221,7 +221,7 @@ func (tx *Tx) Query(q core.String, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromRaw(raw, affected, false)
+	return fromRaw(raw, affected, false, "")
 }
 
 // QueryRaw is Query for untracked text.

@@ -183,6 +183,9 @@ func appendTracked(p []byte, s core.String) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: encode policy spans: %w", err)
 	}
+	if len(ann) > 0 {
+		core.LineageRecordValue(s, "wire-send", "wire.frame")
+	}
 	p = binary.AppendUvarint(p, uint64(len(s.Raw())))
 	p = append(p, s.Raw()...)
 	p = binary.AppendUvarint(p, uint64(len(ann)))
@@ -206,6 +209,7 @@ func (d *decoder) readTracked() (core.String, error) {
 	if err != nil {
 		return core.String{}, fmt.Errorf("wire: decode policy spans: %w", err)
 	}
+	core.LineageRecordValue(s, "wire-recv", "wire.frame")
 	return s, nil
 }
 
@@ -241,6 +245,9 @@ func appendArg(p []byte, a any) ([]byte, error) {
 		ann, err := core.EncodeSpans(v.ToString())
 		if err != nil {
 			return nil, fmt.Errorf("wire: encode policy spans: %w", err)
+		}
+		if len(ann) > 0 {
+			core.LineageRecord(v.Policies(), "wire-send", "wire.frame")
 		}
 		p = binary.AppendUvarint(p, uint64(len(ann)))
 		return append(p, ann...), nil
@@ -338,7 +345,9 @@ func decodeInt(n int64, ann []byte) (core.Int, error) {
 	if err != nil {
 		return core.Int{}, fmt.Errorf("wire: decode policy spans: %w", err)
 	}
-	return iv.WithPolicy(s.Policies().Policies()...), nil
+	out := iv.WithPolicy(s.Policies().Policies()...)
+	core.LineageRecord(out.Policies(), "wire-recv", "wire.frame")
+	return out, nil
 }
 
 // appendArgs encodes a bound-argument list.
@@ -400,6 +409,9 @@ func resultPayload(res *sqldb.Result) ([]byte, error) {
 				var ann []byte
 				if ann, err = core.EncodeSpans(cell.Int.ToString()); err != nil {
 					return nil, fmt.Errorf("wire: encode policy spans: %w", err)
+				}
+				if len(ann) > 0 {
+					core.LineageRecord(cell.Int.Policies(), "wire-send", "wire.frame")
 				}
 				p = binary.AppendUvarint(p, uint64(len(ann)))
 				p = append(p, ann...)
