@@ -1,0 +1,24 @@
+// Command resin-vet is the static pre-flight boundary checker: it
+// AST-scans every internal/apps package for SQL text assembled from
+// non-constant parts, HTTP output that bypasses the channel filter
+// chain, and uses of internal/core outside its public boundary API
+// (rules: docs/VET.md).
+//
+// Modes:
+//
+//	resin-vet                  scan and print findings (exit 1 if any
+//	                           unsuppressed)
+//	resin-vet -write CERT      scan and write the certificate (refuses
+//	                           while unsuppressed findings exist)
+//	resin-vet -check CERT      re-verify a committed certificate
+//	                           against a fresh scan; exit 1 on drift
+//
+// The certificate (docs/vet-certificate.json) is machine-generated and
+// checksummed; fixed-finding records come from docs/vet-fixed.log.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

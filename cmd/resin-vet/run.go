@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"resin/internal/vet"
+)
+
+// run is the testable entry point; it returns the process exit code:
+// 0 clean, 1 findings or drift, 2 usage or I/O failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("resin-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "repository root to scan")
+	write := fs.String("write", "", "write the certificate to this path and exit")
+	check := fs.String("check", "", "verify this certificate against a fresh scan")
+	fixedLog := fs.String("fixedlog", "", "fixed-findings record (default <root>/docs/vet-fixed.log)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *write != "" && *check != "" {
+		fmt.Fprintln(stderr, "resin-vet: -write and -check are mutually exclusive")
+		return 2
+	}
+	if *fixedLog == "" {
+		*fixedLog = filepath.Join(*root, "docs", "vet-fixed.log")
+	}
+
+	findings, err := vet.ScanApps(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "resin-vet:", err)
+		return 2
+	}
+
+	switch {
+	case *write != "":
+		fixed, err := vet.LoadFixedLog(*fixedLog)
+		if err != nil {
+			fmt.Fprintln(stderr, "resin-vet:", err)
+			return 2
+		}
+		cert, err := vet.BuildCertificate(findings, fixed)
+		if err != nil {
+			fmt.Fprintln(stderr, "resin-vet:", err)
+			printFindings(stderr, findings, true)
+			return 1
+		}
+		if err := vet.WriteCertificate(*write, cert); err != nil {
+			fmt.Fprintln(stderr, "resin-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "resin-vet: wrote %s (%d findings: %d fixed, %d suppressed)\n",
+			*write, len(cert.Findings), countStatus(cert, "fixed"), countStatus(cert, "suppressed"))
+		return 0
+
+	case *check != "":
+		cert, err := vet.LoadCertificate(*check)
+		if err != nil {
+			fmt.Fprintln(stderr, "resin-vet:", err)
+			return 1
+		}
+		if err := vet.CheckCertificate(cert, findings); err != nil {
+			fmt.Fprintln(stderr, "resin-vet:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "resin-vet: %s verified against %d live findings (%d certificate entries)\n",
+			*check, len(findings), len(cert.Findings))
+		return 0
+
+	default:
+		printFindings(stdout, findings, false)
+		for _, f := range findings {
+			if !f.Suppressed {
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "resin-vet: clean (%d suppressed findings)\n", len(findings))
+		return 0
+	}
+}
+
+func printFindings(w io.Writer, findings []vet.Finding, onlyUnsuppressed bool) {
+	for _, f := range findings {
+		if f.Suppressed {
+			if !onlyUnsuppressed {
+				fmt.Fprintf(w, "%s:%d: [%s] suppressed (%s): %s\n", f.File, f.Line, f.Rule, f.Reason, f.Detail)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s:%d: [%s] %s\n", f.File, f.Line, f.Rule, f.Detail)
+	}
+}
+
+func countStatus(c *vet.Certificate, status string) int {
+	n := 0
+	for _, e := range c.Findings {
+		if e.Status == status {
+			n++
+		}
+	}
+	return n
+}

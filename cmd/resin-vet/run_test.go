@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeApp lays out a synthetic repo root with one app file.
+func writeApp(t *testing.T, content string) string {
+	t.Helper()
+	root := t.TempDir()
+	p := filepath.Join(root, "internal", "apps", "demo", "app.go")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+const cleanApp = `package demo
+
+import "resin/internal/sqldb"
+
+type App struct{ DB *sqldb.DB }
+
+func (a *App) list() {
+	a.DB.QueryRaw("SELECT * FROM t")
+}
+`
+
+const suppressedApp = `package demo
+
+import (
+	"resin/internal/httpd"
+	"resin/internal/sqldb"
+)
+
+type App struct{ DB *sqldb.DB }
+
+func (a *App) search(req *httpd.Request) {
+	//resin:vet-allow sql-concat deliberate demo bug
+	a.DB.QueryRaw("SELECT * FROM t WHERE name = '" + req.ParamRaw("name") + "'")
+}
+`
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunCleanTreeExitsZero(t *testing.T) {
+	root := writeApp(t, cleanApp)
+	code, out, errOut := runVet(t, "-root", root)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestRunUnsuppressedFindingExitsOne(t *testing.T) {
+	root := writeApp(t, `package demo
+
+import (
+	"resin/internal/httpd"
+	"resin/internal/sqldb"
+)
+
+type App struct{ DB *sqldb.DB }
+
+func (a *App) search(req *httpd.Request) {
+	a.DB.QueryRaw("SELECT * FROM t WHERE name = '" + req.ParamRaw("name") + "'")
+}
+`)
+	code, out, _ := runVet(t, "-root", root)
+	if code != 1 {
+		t.Fatalf("exit = %d, stdout = %s", code, out)
+	}
+	if !strings.Contains(out, "sql-concat") {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestRunWriteThenCheckRoundTrip(t *testing.T) {
+	root := writeApp(t, suppressedApp)
+	cert := filepath.Join(root, "cert.json")
+	if code, _, errOut := runVet(t, "-root", root, "-write", cert); code != 0 {
+		t.Fatalf("-write exit = %d, stderr = %s", code, errOut)
+	}
+	if code, out, errOut := runVet(t, "-root", root, "-check", cert); code != 0 {
+		t.Fatalf("-check exit = %d, stderr = %s", code, errOut)
+	} else if !strings.Contains(out, "verified") {
+		t.Fatalf("stdout = %q", out)
+	}
+}
+
+func TestRunCheckFailsOnTamperedCertificate(t *testing.T) {
+	root := writeApp(t, suppressedApp)
+	cert := filepath.Join(root, "cert.json")
+	if code, _, errOut := runVet(t, "-root", root, "-write", cert); code != 0 {
+		t.Fatalf("-write exit = %d, stderr = %s", code, errOut)
+	}
+	raw, err := os.ReadFile(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), "deliberate demo bug", "nothing to see", 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(cert, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runVet(t, "-root", root, "-check", cert)
+	if code != 1 || !strings.Contains(errOut, "checksum") {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+func TestRunCheckFailsWhenSuppressionRemoved(t *testing.T) {
+	root := writeApp(t, suppressedApp)
+	cert := filepath.Join(root, "cert.json")
+	if code, _, errOut := runVet(t, "-root", root, "-write", cert); code != 0 {
+		t.Fatalf("-write exit = %d, stderr = %s", code, errOut)
+	}
+	// Remove the vet-allow comment: the certified suppression is now stale
+	// and the underlying finding resurfaces unsuppressed.
+	app := filepath.Join(root, "internal", "apps", "demo", "app.go")
+	raw, err := os.ReadFile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := strings.Replace(string(raw), "\t//resin:vet-allow sql-concat deliberate demo bug\n", "", 1)
+	if stripped == string(raw) {
+		t.Fatal("suppression comment not found")
+	}
+	if err := os.WriteFile(app, []byte(stripped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runVet(t, "-root", root, "-check", cert)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+func TestRunWriteRefusesUnsuppressedFindings(t *testing.T) {
+	root := writeApp(t, `package demo
+
+import (
+	"resin/internal/httpd"
+	"resin/internal/sqldb"
+)
+
+type App struct{ DB *sqldb.DB }
+
+func (a *App) search(req *httpd.Request) {
+	a.DB.QueryRaw("SELECT * FROM t WHERE name = '" + req.ParamRaw("name") + "'")
+}
+`)
+	cert := filepath.Join(root, "cert.json")
+	code, _, errOut := runVet(t, "-root", root, "-write", cert)
+	if code != 1 || !strings.Contains(errOut, "unsuppressed") {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	if _, err := os.Stat(cert); !os.IsNotExist(err) {
+		t.Fatal("certificate written despite unsuppressed findings")
+	}
+}
+
+func TestRunWriteAndCheckAreExclusive(t *testing.T) {
+	if code, _, _ := runVet(t, "-write", "a.json", "-check", "b.json"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -12,6 +12,7 @@ package admissions
 
 import (
 	"fmt"
+	"strconv"
 
 	"resin/internal/core"
 	"resin/internal/httpd"
@@ -74,6 +75,7 @@ func (a *App) handleSearch(req *httpd.Request, resp *httpd.Response) error {
 		req.Param("name"), // BUG: unescaped
 		core.NewString("'"),
 	)
+	//resin:vet-allow sql-concat deliberate Table 4 bug #1: search concatenates the name into a quoted literal; kept so the SQL-filter assertion is what stops the injection
 	res, err := a.DB.Query(q)
 	if err != nil {
 		return err
@@ -99,11 +101,12 @@ func (a *App) handleSetScore(req *httpd.Request, resp *httpd.Response) error {
 		core.NewString(" WHERE id = "),
 		req.Param("id"), // BUG: unescaped
 	)
+	//resin:vet-allow sql-concat deliberate Table 4 bug #2: set-score splices unquoted numeric params; kept so the SQL-filter assertion is what stops the injection
 	res, err := a.DB.Query(q)
 	if err != nil {
 		return err
 	}
-	return resp.WriteRaw(fmt.Sprintf("updated %d", res.Affected))
+	return resp.WriteRaw("updated " + strconv.Itoa(res.Affected))
 }
 
 // handleComment is discovered bug #3: the comment text is concatenated
@@ -116,11 +119,12 @@ func (a *App) handleComment(req *httpd.Request, resp *httpd.Response) error {
 		core.NewString("' WHERE id = "),
 		req.Param("id"), // BUG: unescaped
 	)
+	//resin:vet-allow sql-concat deliberate Table 4 bug #3: comment update concatenates text and id; kept so the SQL-filter assertion is what stops the injection
 	res, err := a.DB.Query(q)
 	if err != nil {
 		return err
 	}
-	return resp.WriteRaw(fmt.Sprintf("updated %d", res.Affected))
+	return resp.WriteRaw("updated " + strconv.Itoa(res.Affected))
 }
 
 // handleView is a correctly written page (the applicant name binds as a

@@ -13,6 +13,7 @@ import (
 
 	"resin/internal/core"
 	"resin/internal/httpd"
+	"resin/internal/sanitize"
 	"resin/internal/vfs"
 )
 
@@ -129,7 +130,7 @@ func (a *App) handleUpload(req *httpd.Request, resp *httpd.Response) error {
 		resp.Status = 403
 		return err
 	}
-	return resp.WriteRaw("uploaded " + target)
+	return resp.Write(core.Format("uploaded %s", sanitize.HTMLEscape(core.NewString(target))))
 }
 
 // handleMove is PHP Navigator's vulnerable path: the source is validated,
@@ -149,7 +150,7 @@ func (a *App) handleMove(req *httpd.Request, resp *httpd.Response) error {
 		resp.Status = 403
 		return err
 	}
-	return resp.WriteRaw("moved to " + dstPath)
+	return resp.Write(core.Format("moved to %s", sanitize.HTMLEscape(core.NewString(dstPath))))
 }
 
 // handleView reads a file within the user's home; the prefix check here
@@ -176,7 +177,7 @@ func (a *App) handleList(req *httpd.Request, resp *httpd.Response) error {
 	if err != nil {
 		return err
 	}
-	return resp.WriteRaw(strings.Join(names, "\n"))
+	return resp.Write(sanitize.HTMLEscape(core.NewString(strings.Join(names, "\n"))))
 }
 
 func sessionUser(req *httpd.Request) string {

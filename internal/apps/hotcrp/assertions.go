@@ -123,7 +123,7 @@ func paperHasAuthor(ctx *core.Context, paperID int, user string) bool {
 	if !ok {
 		return false
 	}
-	res, err := db.Query(core.Format("SELECT authors FROM papers WHERE id = %d", int64(paperID)))
+	res, err := db.Query(core.NewString("SELECT authors FROM papers WHERE id = ?"), int64(paperID))
 	if err != nil || res.Len() == 0 {
 		return false
 	}

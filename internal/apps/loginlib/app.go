@@ -17,6 +17,7 @@ import (
 
 	"resin/internal/core"
 	"resin/internal/httpd"
+	"resin/internal/sanitize"
 	"resin/internal/vfs"
 )
 
@@ -89,7 +90,7 @@ func (a *App) handleLogin(req *httpd.Request, resp *httpd.Response) error {
 	want := req.ParamRaw("user") + ":" + req.ParamRaw("pw")
 	for _, line := range strings.Split(data.Raw(), "\n") {
 		if line == want {
-			return resp.WriteRaw("welcome " + req.ParamRaw("user"))
+			return resp.Write(core.Format("welcome %s", sanitize.HTMLEscape(req.Param("user"))))
 		}
 	}
 	resp.Status = 403

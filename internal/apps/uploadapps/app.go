@@ -18,6 +18,7 @@ import (
 
 	"resin/internal/core"
 	"resin/internal/httpd"
+	"resin/internal/sanitize"
 	"resin/internal/script"
 	"resin/internal/vfs"
 )
@@ -120,7 +121,7 @@ func (a *App) handleAttach(req *httpd.Request, resp *httpd.Response) error {
 	if err := a.FS.WriteFile(uploadDir+"/"+name, req.Param("content"), nil); err != nil {
 		return err
 	}
-	return resp.WriteRaw("attached uploads/" + name)
+	return resp.Write(core.Format("attached uploads/%s", sanitize.HTMLEscape(core.NewString(name))))
 }
 
 // handleAlbumUpload is Kwalbum: no validation at all.
@@ -133,7 +134,7 @@ func (a *App) handleAlbumUpload(req *httpd.Request, resp *httpd.Response) error 
 	if err := a.FS.WriteFile(uploadDir+"/"+name, req.Param("content"), nil); err != nil {
 		return err
 	}
-	return resp.WriteRaw("uploaded uploads/" + name)
+	return resp.Write(core.Format("uploaded uploads/%s", sanitize.HTMLEscape(core.NewString(name))))
 }
 
 // handleStats is AWStats Totals: the sort parameter is spliced into code
@@ -187,5 +188,5 @@ func (a *App) handleWPUpload(req *httpd.Request, resp *httpd.Response) error {
 	if err := a.FS.WriteFile(siteRoot+"/"+name, req.Param("content"), nil); err != nil {
 		return err
 	}
-	return resp.WriteRaw("uploaded " + name)
+	return resp.Write(core.Format("uploaded %s", sanitize.HTMLEscape(core.NewString(name))))
 }

@@ -231,7 +231,9 @@ func (a *App) handleView(req *httpd.Request, resp *httpd.Response) error {
 	if err != nil {
 		return err
 	}
-	resp.WriteRaw("<html><body><h1>" + name + "</h1>\n<pre>")
+	if werr := resp.Write(core.Format("<html><body><h1>%s</h1>\n<pre>", sanitize.HTMLEscape(req.Param("page")))); werr != nil {
+		return werr
+	}
 	if werr := resp.Write(sanitize.HTMLEscape(a.render(body))); werr != nil {
 		return werr
 	}

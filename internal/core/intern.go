@@ -50,10 +50,16 @@ import (
 // matching the package's guidance that policies be pointers to structs.
 //
 // The intern table and union cache pin their entries, so both are
-// capped and flushed wholesale when the table fills: a workload that
-// churns distinct sets pays a periodic re-warm rather than permanently
-// losing interning. Correctness never depends on the table — equality
-// is decided by canonical IDs — so eviction is always safe.
+// capped. The intern table evicts generationally: each shard keeps a
+// young and an old generation, lookups hit either (an old-generation
+// hit promotes the set back to young), inserts go young, and when the
+// young generation fills to half the cap the old generation is dropped
+// and the young one takes its place. A churn workload therefore sheds
+// only the sets that went a full generation without a hit — the hot
+// set keeps getting promoted and survives — where the previous
+// wholesale flush-at-cap evicted the entire hot set every time the
+// churn crossed the cap. Correctness never depends on the table —
+// equality is decided by canonical IDs — so eviction is always safe.
 
 const (
 	// numInternShards is the shard count of the set intern table; a
@@ -244,46 +250,61 @@ func anyMerger(policies []Policy) bool {
 }
 
 // internShard is one bucket group of the set intern table. Buckets are
-// keyed by the canonical hash; collisions chain in a small slice.
+// keyed by the canonical hash; collisions chain in a small slice. Each
+// shard keeps two generations: g0 receives inserts and promotions, g1
+// is the previous g0 awaiting its drop at the next rotation.
 type internShard struct {
-	mu   sync.Mutex
-	sets map[uint64][]*PolicySet
+	mu sync.Mutex
+	g0 map[uint64][]*PolicySet
+	g1 map[uint64][]*PolicySet
 }
 
 var (
-	internTable      [numInternShards]internShard
-	internedSetCount atomic.Uint64
-	flushMu          sync.Mutex
+	internTable [numInternShards]internShard
+	// internedG0Count / internedG1Count track the generations across
+	// all shards; their sum is the table's size, bounded by
+	// maxInternedSets because each generation is bounded by half of it.
+	internedG0Count atomic.Uint64
+	internedG1Count atomic.Uint64
+	flushMu         sync.Mutex
 
 	// Interning counters (observability for tests and benchmarks).
 	statSetHits     atomic.Uint64
 	statSetMisses   atomic.Uint64
+	statPromotions  atomic.Uint64
 	statUnionHits   atomic.Uint64
 	statUnionMisses atomic.Uint64
 	statFlushes     atomic.Uint64
 )
 
-// flushInternTable empties the intern table and the union cache when
-// the table reaches its cap, so a workload that churns distinct sets
-// (fresh policies per decode, attacker-chosen parameter names) costs a
-// periodic re-warm instead of permanently disabling interning. Already
-// interned sets stay valid — equality never depends on the table, only
-// on canonical IDs — they merely stop deduplicating against it.
-func flushInternTable() {
+// rotateInternTable ages the intern table when the young generation
+// reaches half the cap: every shard drops its old generation and the
+// young one becomes old. Sets referenced since the last rotation were
+// promoted into g0 and survive; only sets that went a full generation
+// without a hit fall out, so a workload that churns distinct sets
+// (fresh policies per decode, attacker-chosen parameter names) sheds
+// the churn while the hot set stays warm. Already-evicted sets stay
+// valid — equality never depends on the table, only on canonical IDs —
+// they merely stop deduplicating against it. The union cache is left
+// alone: its entries are keyed by canonical instances whose identity
+// rotation does not disturb (it has its own cap and flush).
+func rotateInternTable() {
 	flushMu.Lock()
 	defer flushMu.Unlock()
-	if internedSetCount.Load() < maxInternedSets {
-		return // another goroutine flushed first
+	if internedG0Count.Load() < maxInternedSets/2 {
+		return // another goroutine rotated first
 	}
+	// Swap the counter before the maps: an insert racing the shard walk
+	// can mis-attribute its increment by one generation, which skews
+	// pacing by at most a few entries and corrects at the next rotation.
+	internedG1Count.Store(internedG0Count.Swap(0))
 	for i := range internTable {
 		sh := &internTable[i]
 		sh.mu.Lock()
-		sh.sets = nil
+		sh.g1 = sh.g0
+		sh.g0 = nil
 		sh.mu.Unlock()
 	}
-	internedSetCount.Store(0)
-	unionCache.Store(new(sync.Map))
-	unionCacheCount.Store(0)
 	statFlushes.Add(1)
 }
 
@@ -292,7 +313,10 @@ func flushInternTable() {
 // interned. Interning is worthwhile for sets that will be compared or
 // unioned repeatedly — long-lived application policy sets, memoized
 // deserialized annotations — and is a no-op for sets that cannot carry
-// canonical IDs. A full table is flushed wholesale and re-warms.
+// canonical IDs. The table evicts generationally (see
+// rotateInternTable): a hit in the old generation promotes the
+// canonical instance back into the young one, so frequently-interned
+// sets survive cap-crossing churn.
 //
 // ID-equality between live sets implies member identity up to the
 // astronomically unlikely cross-type XOR collision (addrA ^ saltA ==
@@ -306,21 +330,40 @@ func (s *PolicySet) Intern() *PolicySet {
 	if s.interned || !s.idsOK {
 		return s
 	}
-	if internedSetCount.Load() >= maxInternedSets {
-		flushInternTable()
+	if internedG0Count.Load() >= maxInternedSets/2 {
+		rotateInternTable()
 	}
 	sh := &internTable[s.hash&(numInternShards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, c := range sh.sets[s.hash] {
+	for _, c := range sh.g0[s.hash] {
 		if equalPolicyIDs(c.ids, s.ids) && samePolicies(s.policies, c.policies) {
 			statSetHits.Add(1)
 			return c
 		}
 	}
+	for i, c := range sh.g1[s.hash] {
+		if equalPolicyIDs(c.ids, s.ids) && samePolicies(s.policies, c.policies) {
+			// Promote: the set proved it is still hot, so it moves to the
+			// young generation and survives the next rotation. Same
+			// canonical pointer — union-cache entries keyed on it stay
+			// valid.
+			bucket := sh.g1[s.hash]
+			sh.g1[s.hash] = append(bucket[:i:i], bucket[i+1:]...)
+			if sh.g0 == nil {
+				sh.g0 = make(map[uint64][]*PolicySet)
+			}
+			sh.g0[s.hash] = append(sh.g0[s.hash], c)
+			internedG1Count.Add(^uint64(0))
+			internedG0Count.Add(1)
+			statSetHits.Add(1)
+			statPromotions.Add(1)
+			return c
+		}
+	}
 	statSetMisses.Add(1)
-	if sh.sets == nil {
-		sh.sets = make(map[uint64][]*PolicySet)
+	if sh.g0 == nil {
+		sh.g0 = make(map[uint64][]*PolicySet)
 	}
 	// Register a fresh canonical instance rather than mutating s, which
 	// may be shared with concurrent readers. The slices are immutable
@@ -333,8 +376,8 @@ func (s *PolicySet) Intern() *PolicySet {
 		interned: true,
 		mergers:  s.mergers,
 	}
-	sh.sets[s.hash] = append(sh.sets[s.hash], c)
-	internedSetCount.Add(1)
+	sh.g0[s.hash] = append(sh.g0[s.hash], c)
+	internedG0Count.Add(1)
 	return c
 }
 
@@ -369,10 +412,9 @@ func cachedUnion(a, b *PolicySet) (*PolicySet, bool) {
 }
 
 // storeUnion records a computed union. At the cap the cache is flushed
-// wholesale, mirroring the intern table, so union-pair churn costs a
-// periodic re-warm instead of permanently disabling memoization. An
-// entry stored into a map that a concurrent flush is swapping out is
-// simply lost, which is harmless.
+// wholesale, so union-pair churn costs a periodic re-warm instead of
+// permanently disabling memoization. An entry stored into a map that a
+// concurrent flush is swapping out is simply lost, which is harmless.
 func storeUnion(a, b, result *PolicySet) {
 	if unionCacheCount.Load() >= maxUnionCacheEntries {
 		flushUnionCache()
@@ -383,7 +425,7 @@ func storeUnion(a, b, result *PolicySet) {
 }
 
 // flushUnionCache empties the memoized-union cache when it reaches its
-// own cap (the intern-table flush also resets it).
+// own cap; intern-table rotation deliberately leaves it alone.
 func flushUnionCache() {
 	flushMu.Lock()
 	defer flushMu.Unlock()
@@ -398,25 +440,31 @@ func flushUnionCache() {
 // InternStats is a snapshot of the interning machinery's counters,
 // exposed for tests, benchmarks, and operational debugging.
 type InternStats struct {
-	// Sets is the number of canonical sets in the intern table.
+	// Sets is the number of canonical sets in the intern table
+	// (both generations).
 	Sets uint64
 	// SetHits / SetMisses count Intern calls that found / created a
 	// canonical instance.
 	SetHits, SetMisses uint64
+	// Promotions counts old-generation hits that moved a set back into
+	// the young generation.
+	Promotions uint64
 	// UnionHits / UnionMisses count memoized-union lookups.
 	UnionHits, UnionMisses uint64
 	// UnionEntries is the number of memoized union results.
 	UnionEntries uint64
-	// Flushes counts wholesale evictions of the table and union cache.
+	// Flushes counts intern-table generation rotations plus wholesale
+	// union-cache evictions.
 	Flushes uint64
 }
 
 // ReadInternStats returns a snapshot of the interning counters.
 func ReadInternStats() InternStats {
 	return InternStats{
-		Sets:         internedSetCount.Load(),
+		Sets:         internedG0Count.Load() + internedG1Count.Load(),
 		SetHits:      statSetHits.Load(),
 		SetMisses:    statSetMisses.Load(),
+		Promotions:   statPromotions.Load(),
 		UnionHits:    statUnionHits.Load(),
 		UnionMisses:  statUnionMisses.Load(),
 		UnionEntries: unionCacheCount.Load(),

@@ -269,3 +269,70 @@ func TestReadInternStats(t *testing.T) {
 		t.Error("repeated interned union must count a cache hit")
 	}
 }
+
+// TestInternHotSetSurvivesChurnBurst pins the generational eviction
+// contract: a churn workload that pushes the table through several
+// cap-crossing rotations must not evict sets that keep getting
+// re-interned. Under the previous wholesale flush-at-cap every hot set
+// lost its canonical instance on every flush.
+func TestInternHotSetSurvivesChurnBurst(t *testing.T) {
+	hotPolicies := make([]*internPolicyA, 16)
+	hotCanon := make([]*PolicySet, len(hotPolicies))
+	for i := range hotPolicies {
+		hotPolicies[i] = &internPolicyA{Tag: "hot"}
+		hotCanon[i] = NewPolicySet(hotPolicies[i]).Intern()
+	}
+	before := ReadInternStats()
+	// 3× the cap of distinct single-member sets forces several
+	// rotations; the hot sets are touched far more often than once per
+	// generation window (cap/2 inserts), so every rotation finds them
+	// young or promotes them.
+	const churn = 3 * maxInternedSets
+	for i := 0; i < churn; i++ {
+		NewPolicySet(&internPolicyB{Tag: "churn"}).Intern()
+		if i%1024 == 0 {
+			for _, p := range hotPolicies {
+				NewPolicySet(p).Intern()
+			}
+		}
+	}
+	after := ReadInternStats()
+	if rotations := after.Flushes - before.Flushes; rotations < 2 {
+		t.Fatalf("churn burst crossed the cap but caused only %d rotations", rotations)
+	}
+	if after.Promotions == before.Promotions {
+		t.Error("no old-generation promotions recorded during the burst")
+	}
+	if after.Sets > maxInternedSets {
+		t.Errorf("table exceeded its cap: %d sets", after.Sets)
+	}
+	for i, p := range hotPolicies {
+		if c := NewPolicySet(p).Intern(); c != hotCanon[i] {
+			t.Fatalf("hot set %d lost its canonical instance across the churn burst", i)
+		}
+	}
+}
+
+// BenchmarkInternChurnHotStability drives a churn-with-hot-set mix and
+// reports how often a hot set's canonical instance is lost to eviction
+// (canon-lost/op). Generational eviction keeps it at zero; the former
+// wholesale flush lost the entire hot set at every cap crossing.
+func BenchmarkInternChurnHotStability(b *testing.B) {
+	hotPolicies := make([]*internPolicyA, 64)
+	hotCanon := make([]*PolicySet, len(hotPolicies))
+	for i := range hotPolicies {
+		hotPolicies[i] = &internPolicyA{Tag: "hot"}
+		hotCanon[i] = NewPolicySet(hotPolicies[i]).Intern()
+	}
+	lost := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPolicySet(&internPolicyB{Tag: "churn"}).Intern()
+		j := i % len(hotPolicies)
+		if c := NewPolicySet(hotPolicies[j]).Intern(); c != hotCanon[j] {
+			lost++
+			hotCanon[j] = c
+		}
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "canon-lost/op")
+}

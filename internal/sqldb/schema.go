@@ -1,0 +1,85 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Constant-safe schema helpers. Application boot code used to assemble
+// idempotent DDL and existence probes by concatenating table/column
+// names into dialect text — exactly the shape resin-vet's sql-concat
+// rule forbids, because nothing ties the interpolated name to an
+// identifier. These helpers take the names as plain arguments, validate
+// them against a strict identifier grammar, and keep the dialect
+// assembly inside sqldb where the engine owns the text.
+
+// validIdent enforces the dialect's identifier grammar: an ASCII
+// letter or underscore followed by letters, digits, or underscores.
+// Anything else — quotes, spaces, parens — cannot smuggle dialect
+// structure through the helpers below.
+func validIdent(name string) error {
+	if name == "" {
+		return fmt.Errorf("sqldb: empty identifier")
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return fmt.Errorf("sqldb: invalid identifier %q", name)
+		}
+	}
+	return nil
+}
+
+// HasTable reports whether a table with this name exists
+// (case-insensitive, like the rest of the dialect). An invalid
+// identifier matches nothing.
+func (db *DB) HasTable(name string) bool {
+	if validIdent(name) != nil {
+		return false
+	}
+	key := strings.ToLower(name)
+	for _, t := range db.Engine().Tables() {
+		if strings.ToLower(t) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// EnsureIndex creates an index on table(col) if one does not already
+// exist. It is idempotent, so crash-interrupted boot sequences can
+// simply run it again.
+func (db *DB) EnsureIndex(table, col string) error {
+	if err := validIdent(table); err != nil {
+		return err
+	}
+	if err := validIdent(col); err != nil {
+		return err
+	}
+	indexed, err := db.Engine().Indexes(table)
+	if err != nil {
+		return err
+	}
+	key := strings.ToLower(col)
+	for _, c := range indexed {
+		if strings.ToLower(c) == key {
+			return nil
+		}
+	}
+	_, err = db.QueryRaw("CREATE INDEX ON " + table + " (" + col + ")")
+	return err
+}
+
+// TableEmpty reports whether the table currently has no visible rows.
+func (db *DB) TableEmpty(table string) (bool, error) {
+	if err := validIdent(table); err != nil {
+		return false, err
+	}
+	res, err := db.QueryRaw("SELECT * FROM " + table + " LIMIT 1")
+	if err != nil {
+		return false, err
+	}
+	return res.Len() == 0, nil
+}

@@ -1,0 +1,207 @@
+package vet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Certificate is the committed, machine-checkable scan result
+// (docs/vet-certificate.json). CI re-checks it against a fresh scan
+// instead of trusting the working tree: any new unsuppressed finding,
+// stale suppression, changed reason, or hand-edit (checksum mismatch)
+// fails the check.
+type Certificate struct {
+	Version  int         `json:"version"`
+	Tool     string      `json:"tool"`
+	Findings []CertEntry `json:"findings"`
+	// Checksum is the hex SHA-256 of the certificate serialized with
+	// this field empty; it makes hand-edits detectable.
+	Checksum string `json:"checksum"`
+}
+
+// CertEntry is one certificate line: either a currently-suppressed
+// finding (must match the live scan exactly) or the record of a fixed
+// one (the site no longer scans as a finding; the entry documents the
+// fix).
+type CertEntry struct {
+	ID     string `json:"id"`
+	Rule   string `json:"rule"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Status string `json:"status"` // "fixed" | "suppressed"
+	Reason string `json:"reason,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// CertVersion is the current certificate format version.
+const CertVersion = 1
+
+// certTool names the generator; a certificate from another tool is
+// rejected outright.
+const certTool = "resin-vet"
+
+// BuildCertificate assembles a certificate from a scan and the fixed-
+// finding records (see LoadFixedLog). It refuses to certify a tree
+// with unsuppressed findings: the certificate asserts the tree is
+// clean, so drift must be fixed or explicitly suppressed first.
+func BuildCertificate(findings []Finding, fixed []CertEntry) (*Certificate, error) {
+	cert := &Certificate{Version: CertVersion, Tool: certTool}
+	for _, fe := range fixed {
+		fe.Status = "fixed"
+		cert.Findings = append(cert.Findings, fe)
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			return nil, fmt.Errorf("vet: unsuppressed finding %s: %s", f.ID, f.Detail)
+		}
+		cert.Findings = append(cert.Findings, CertEntry{
+			ID: f.ID, Rule: f.Rule, File: f.File, Line: f.Line,
+			Status: "suppressed", Reason: f.Reason, Detail: f.Detail,
+		})
+	}
+	sort.Slice(cert.Findings, func(i, j int) bool {
+		a, b := cert.Findings[i], cert.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	cert.Checksum = cert.computeChecksum()
+	return cert, nil
+}
+
+func (c *Certificate) computeChecksum() string {
+	clone := *c
+	clone.Checksum = ""
+	raw, err := json.Marshal(&clone)
+	if err != nil {
+		panic("vet: certificate marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteCertificate serializes the certificate to path, one finding per
+// line, deterministic for a given tree.
+func WriteCertificate(path string, c *Certificate) error {
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// LoadCertificate reads and structurally validates a certificate:
+// parseable JSON, the expected tool and version, and a checksum that
+// matches the content (a hand-edited certificate fails here).
+func LoadCertificate(path string) (*Certificate, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Certificate
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("vet: certificate %s: %w", path, err)
+	}
+	if c.Tool != certTool {
+		return nil, fmt.Errorf("vet: certificate %s: unknown tool %q", path, c.Tool)
+	}
+	if c.Version != CertVersion {
+		return nil, fmt.Errorf("vet: certificate %s: version %d, want %d", path, c.Version, CertVersion)
+	}
+	if got := c.computeChecksum(); got != c.Checksum {
+		return nil, fmt.Errorf("vet: certificate %s: checksum mismatch (recorded %.12s…, computed %.12s…): certificate was hand-edited; regenerate with -write", path, c.Checksum, got)
+	}
+	return &c, nil
+}
+
+// CheckCertificate verifies a loaded certificate against a fresh scan.
+// It fails on: any unsuppressed finding in the scan; a suppressed scan
+// finding missing from the certificate; a certificate suppression the
+// scan no longer produces (stale); or a suppression whose reason
+// changed. Fixed entries are historical records — a regression at a
+// fixed site resurfaces as a new unsuppressed finding and fails that
+// way.
+func CheckCertificate(c *Certificate, findings []Finding) error {
+	var problems []string
+	certSup := make(map[string]CertEntry)
+	for _, e := range c.Findings {
+		if e.Status == "suppressed" {
+			certSup[e.ID] = e
+		}
+	}
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		if !f.Suppressed {
+			problems = append(problems, fmt.Sprintf("new unsuppressed finding %s: %s", f.ID, f.Detail))
+			continue
+		}
+		seen[f.ID] = true
+		e, ok := certSup[f.ID]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("suppressed finding %s is not in the certificate; regenerate with -write", f.ID))
+			continue
+		}
+		if e.Reason != f.Reason {
+			problems = append(problems, fmt.Sprintf("finding %s: suppression reason drifted (certificate %q, source %q)", f.ID, e.Reason, f.Reason))
+		}
+	}
+	for id := range certSup {
+		if !seen[id] {
+			problems = append(problems, fmt.Sprintf("certificate suppression %s is stale: the scan no longer produces it", id))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("vet: certificate drift:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// LoadFixedLog reads the fixed-findings record (docs/vet-fixed.log):
+// one finding per line, "<rule>/<file>:<line>\t<detail>", '#' comments
+// and blank lines ignored. The log is the human-maintained input from
+// which -write mints the certificate's status:"fixed" entries; the
+// certificate itself stays fully machine-generated.
+func LoadFixedLog(path string) ([]CertEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []CertEntry
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, detail, _ := strings.Cut(line, "\t")
+		rule, loc, ok := strings.Cut(id, "/")
+		if !ok {
+			return nil, fmt.Errorf("vet: %s:%d: malformed finding id %q", path, ln+1, id)
+		}
+		file, lineStr, ok := strings.Cut(loc, ":")
+		var lineNo int
+		if ok {
+			_, err := fmt.Sscanf(lineStr, "%d", &lineNo)
+			if err != nil {
+				return nil, fmt.Errorf("vet: %s:%d: malformed finding id %q", path, ln+1, id)
+			}
+		}
+		out = append(out, CertEntry{
+			ID: id, Rule: rule, File: file, Line: lineNo,
+			Status: "fixed", Detail: strings.TrimSpace(detail),
+		})
+	}
+	return out, nil
+}

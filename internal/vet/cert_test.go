@@ -1,0 +1,160 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// suppressedDemo is a tree whose single finding is suppressed, so it
+// can be certified.
+var suppressedDemo = map[string]string{"app.go": demoHeader + `
+func (a *App) search(req *httpd.Request) {
+	//resin:vet-allow sql-concat deliberate demo bug
+	a.DB.QueryRaw("SELECT * FROM t WHERE name = '" + req.ParamRaw("name") + "'")
+}
+`}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	fs := scanDemo(t, suppressedDemo)
+	fixed := []CertEntry{{ID: "raw-output/internal/apps/demo/old.go:9", Rule: RuleRawOutput,
+		File: "internal/apps/demo/old.go", Line: 9, Detail: "was fixed"}}
+	cert, err := BuildCertificate(fs, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Findings) != 2 {
+		t.Fatalf("entries = %+v", cert.Findings)
+	}
+	path := filepath.Join(t.TempDir(), "cert.json")
+	if err := WriteCertificate(path, cert); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCertificate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCertificate(loaded, fs); err != nil {
+		t.Fatalf("clean check failed: %v", err)
+	}
+}
+
+func TestBuildCertificateRefusesUnsuppressedFindings(t *testing.T) {
+	fs := scanDemo(t, map[string]string{"app.go": demoHeader + `
+func (a *App) search(req *httpd.Request) {
+	a.DB.QueryRaw("SELECT * FROM t WHERE name = '" + req.ParamRaw("name") + "'")
+}
+`})
+	if _, err := BuildCertificate(fs, nil); err == nil {
+		t.Fatal("BuildCertificate certified a tree with unsuppressed findings")
+	}
+}
+
+func TestHandEditedCertificateFailsChecksum(t *testing.T) {
+	fs := scanDemo(t, suppressedDemo)
+	cert, err := BuildCertificate(fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cert.json")
+	if err := WriteCertificate(path, cert); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(raw), "deliberate demo bug", "totally fine", 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCertificate(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered certificate loaded: %v", err)
+	}
+}
+
+func TestCheckCertificateDetectsDrift(t *testing.T) {
+	fs := scanDemo(t, suppressedDemo)
+	cert, err := BuildCertificate(fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New unsuppressed finding.
+	withNew := append(append([]Finding(nil), fs...), Finding{
+		ID: "raw-output/internal/apps/demo/app.go:99", Rule: RuleRawOutput,
+		File: "internal/apps/demo/app.go", Line: 99, Detail: "fresh bypass",
+	})
+	if err := CheckCertificate(cert, withNew); err == nil || !strings.Contains(err.Error(), "new unsuppressed finding") {
+		t.Fatalf("new finding not detected: %v", err)
+	}
+
+	// Suppression removed from the source: the certificate entry is stale.
+	if err := CheckCertificate(cert, nil); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale suppression not detected: %v", err)
+	}
+
+	// Suppression reason drifted.
+	reworded := append([]Finding(nil), fs...)
+	reworded[0].Reason = "some other excuse"
+	if err := CheckCertificate(cert, reworded); err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("reason drift not detected: %v", err)
+	}
+
+	// A suppressed finding the certificate never recorded.
+	extra := append([]Finding(nil), fs...)
+	extra = append(extra, Finding{
+		ID: "sql-concat/internal/apps/demo/app.go:55", Rule: RuleSQLConcat,
+		File: "internal/apps/demo/app.go", Line: 55, Suppressed: true, Reason: "undocumented",
+	})
+	if err := CheckCertificate(cert, extra); err == nil || !strings.Contains(err.Error(), "not in the certificate") {
+		t.Fatalf("unrecorded suppression not detected: %v", err)
+	}
+}
+
+func TestLoadFixedLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fixed.log")
+	content := "# comment\n\nsql-concat/internal/apps/demo/app.go:12\tconcat over name\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := LoadFixedLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("fixed = %+v", fixed)
+	}
+	e := fixed[0]
+	if e.Rule != RuleSQLConcat || e.File != "internal/apps/demo/app.go" || e.Line != 12 ||
+		e.Status != "fixed" || e.Detail != "concat over name" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := LoadFixedLog(filepath.Join(t.TempDir(), "missing.log")); err != nil {
+		t.Fatalf("missing log should be empty, not an error: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("garbage without slash\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFixedLog(path); err == nil {
+		t.Fatal("malformed log line accepted")
+	}
+}
+
+// TestCommittedCertificateMatchesTree is the CI contract as a Go test:
+// the checked-in certificate must verify against a live scan of this
+// repository.
+func TestCommittedCertificateMatchesTree(t *testing.T) {
+	cert, err := LoadCertificate("../../docs/vet-certificate.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ScanApps("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCertificate(cert, fs); err != nil {
+		t.Fatalf("certificate drift (regenerate with resin-vet -write): %v", err)
+	}
+}

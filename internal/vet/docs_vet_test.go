@@ -1,0 +1,51 @@
+package vet
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// vetDocSnippet extracts the Go code block between the named marker
+// pair in docs/VET.md §7.
+func vetDocSnippet(t *testing.T, begin, end string) string {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/VET.md")
+	if err != nil {
+		t.Fatalf("docs/VET.md must exist: %v", err)
+	}
+	text := string(data)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("docs/VET.md lost its %s/%s markers", begin, end)
+	}
+	block := text[i+len(begin) : j]
+	open := strings.Index(block, "```go\n")
+	close := strings.LastIndex(block, "```")
+	if open < 0 || close <= open {
+		t.Fatalf("no fenced go block between %s and %s", begin, end)
+	}
+	return block[open+len("```go\n") : close]
+}
+
+// TestVetDocWorkedExample executes docs/VET.md §7: the before-snippet
+// scans to exactly one sql-concat finding, the after-snippet scans
+// clean.
+func TestVetDocWorkedExample(t *testing.T) {
+	before := vetDocSnippet(t, "<!-- vetfix:before -->", "<!-- vetfix:end-before -->")
+	after := vetDocSnippet(t, "<!-- vetfix:after -->", "<!-- vetfix:end-after -->")
+
+	fs := scanDemo(t, map[string]string{"app.go": before})
+	f := one(t, fs, RuleSQLConcat)
+	if f.Suppressed {
+		t.Fatalf("before-snippet finding unexpectedly suppressed: %+v", f)
+	}
+	if f.Line != 12 {
+		t.Fatalf("before-snippet finding at line %d; docs/VET.md §7 records the fixed-log ID as line 12", f.Line)
+	}
+
+	if fs := scanDemo(t, map[string]string{"app.go": after}); len(fs) != 0 {
+		t.Fatalf("after-snippet should scan clean, got %+v", fs)
+	}
+}

@@ -1,0 +1,345 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The scanner types just enough of the program to tell a prepared
+// statement apart from dialect text and a response writer apart from a
+// result set. Types are rendered as strings — "sqldb.DB", "sqldb.Stmt",
+// "core.String", or a package-local struct name — and flow from three
+// places: declared receiver/parameter/field types, := assignments whose
+// right-hand side is a call with a known result type, and type
+// assertions. Anything else resolves to "" (unknown), and a
+// sink-shaped call on an unknown receiver is reported under
+// RuleUnresolved rather than silently passed.
+
+// renderType renders a declared type expression: pointers are
+// dereferenced ("*sqldb.DB" → "sqldb.DB"), selector types keep their
+// package qualifier, and local named types keep their bare name.
+func renderType(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return renderType(t.X)
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name + "." + t.Sel.Name
+		}
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}
+
+// callResultType maps constructor and method calls to their (first)
+// result type. The table covers the boundary API the application
+// packages are allowed to use; an unlisted call yields "".
+func (sc *scope) callResultType(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	method := sel.Sel.Name
+	// Package-qualified constructors.
+	if id, ok := sel.X.(*ast.Ident); ok && sc.typeOf(id) == "" {
+		switch id.Name + "." + method {
+		case "sqldb.Open", "sqldb.OpenDB":
+			return "sqldb.DB"
+		case "httpd.NewServer":
+			return "httpd.Server"
+		case "core.NewString", "core.NewStringPolicy", "core.Format", "core.Concat":
+			return "core.String"
+		case "vfs.New":
+			return "vfs.FS"
+		case "vfs.Resolve":
+			return "string"
+		case "whois.NewClient":
+			return "whois.Client"
+		case "script.New":
+			return "script.Interp"
+		case "wire.Dial":
+			return "wire.Conn"
+		case "strconv.Itoa", "strconv.FormatInt", "strconv.FormatUint", "strconv.Quote",
+			"strings.Join", "strings.TrimSpace", "fmt.Sprintf":
+			return "string"
+		}
+		return ""
+	}
+	// Methods on a typed receiver.
+	switch sc.typeOf(sel.X) {
+	case "sqldb.DB":
+		switch method {
+		case "Prepare", "PrepareRaw", "MustPrepare":
+			return "sqldb.Stmt"
+		case "Begin":
+			return "sqldb.Tx"
+		case "Query", "QueryRaw", "MustExec":
+			return "sqldb.Result"
+		}
+	case "sqldb.Tx":
+		switch method {
+		case "Prepare", "PrepareRaw":
+			return "sqldb.Stmt"
+		case "Query", "QueryRaw", "MustExec":
+			return "sqldb.Result"
+		}
+	case "sqldb.Stmt":
+		if method == "Query" {
+			return "sqldb.Result"
+		}
+	case "wire.Conn":
+		if method == "Prepare" || method == "PrepareContext" {
+			return "wire.Stmt"
+		}
+	case "httpd.Request":
+		switch method {
+		case "Param":
+			return "core.String"
+		case "ParamRaw":
+			return "string"
+		}
+	case "httpd.Response":
+		if method == "Channel" {
+			return "core.Channel"
+		}
+	case "core.String":
+		switch method {
+		case "Raw":
+			return "string"
+		case "Slice", "WithPolicy", "Replace":
+			return "core.String"
+		}
+	case "core.Builder":
+		if method == "String" {
+			return "core.String"
+		}
+	case "whois.Client":
+		if method == "Lookup" {
+			return "core.String"
+		}
+	}
+	return ""
+}
+
+// scope is one function's name→type environment plus the constness
+// facts for its locals.
+type scope struct {
+	pkg  *pkg
+	vars map[string]string
+	// assigns maps a local name to its defining expressions; a name
+	// assigned exactly once is a candidate constant.
+	assigns map[string][]ast.Expr
+}
+
+// typeOf resolves an expression to a rendered type, or "".
+func (sc *scope) typeOf(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return sc.vars[x.Name]
+	case *ast.ParenExpr:
+		return sc.typeOf(x.X)
+	case *ast.SelectorExpr:
+		base := sc.typeOf(x.X)
+		if fields, ok := sc.pkg.structs[base]; ok {
+			return fields[x.Sel.Name]
+		}
+		return ""
+	case *ast.CallExpr:
+		return sc.callResultType(x)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return sc.typeOf(x.X)
+		}
+	case *ast.CompositeLit:
+		if x.Type != nil {
+			return renderType(x.Type)
+		}
+	case *ast.TypeAssertExpr:
+		if x.Type != nil {
+			return renderType(x.Type)
+		}
+	}
+	return ""
+}
+
+// newScope builds the environment for one function declaration:
+// receiver and parameters enter with their declared types, then a walk
+// over the body records := definitions (for type flow) and every
+// assignment (for constness).
+func (p *pkg) newScope(fn *ast.FuncDecl) *scope {
+	sc := &scope{pkg: p, vars: make(map[string]string), assigns: make(map[string][]ast.Expr)}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			t := renderType(f.Type)
+			for _, n := range f.Names {
+				sc.vars[n.Name] = t
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			t := renderType(f.Type)
+			for _, n := range f.Names {
+				sc.vars[n.Name] = t
+			}
+		}
+	}
+	if fn.Body == nil {
+		return sc
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					// Multi-value RHS: only the first LHS gets the
+					// call/assert result type.
+					if i == 0 {
+						rhs = st.Rhs[0]
+					}
+				}
+				sc.assigns[id.Name] = append(sc.assigns[id.Name], rhs)
+				if st.Tok == token.DEFINE && rhs != nil {
+					if t := sc.typeOf(rhs); t != "" && sc.vars[id.Name] == "" {
+						sc.vars[id.Name] = t
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						t := ""
+						if vs.Type != nil {
+							t = renderType(vs.Type)
+						}
+						for i, n := range vs.Names {
+							if t != "" {
+								sc.vars[n.Name] = t
+							}
+							if gd.Tok == token.CONST && i < len(vs.Values) {
+								sc.assigns[n.Name] = append(sc.assigns[n.Name], vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Range variables are never constant; record a nil assign
+			// so constExpr sees them as multiply-assigned unknowns.
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					sc.assigns[id.Name] = append(sc.assigns[id.Name], nil, nil)
+				}
+			}
+		}
+		return true
+	})
+	return sc
+}
+
+// constExpr reports whether e is a provably-constant string expression:
+// a string literal, a named constant, a concatenation of such, or one
+// of the tracked constructors (core.NewString, core.Concat,
+// core.Format) applied to provably-constant arguments. A local
+// variable is constant iff it is assigned exactly once from a
+// provably-constant expression. depth bounds indirection.
+func (sc *scope) constExpr(e ast.Expr, depth int) bool {
+	if depth > 8 || e == nil {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.STRING
+	case *ast.ParenExpr:
+		return sc.constExpr(x.X, depth)
+	case *ast.BinaryExpr:
+		return x.Op == token.ADD && sc.constExpr(x.X, depth+1) && sc.constExpr(x.Y, depth+1)
+	case *ast.Ident:
+		if sc.pkg.consts[x.Name] {
+			return true
+		}
+		assigns := sc.assigns[x.Name]
+		if len(assigns) != 1 {
+			return false
+		}
+		return sc.constExpr(assigns[0], depth+1)
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "core" || sc.typeOf(id) != "" {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "NewString", "Concat", "Format":
+			for _, a := range x.Args {
+				if !sc.constExpr(a, depth+1) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// displaySafe reports whether e is provably safe to emit through
+// Response.WriteRaw: provably-constant text, formatted integers, the
+// raw form of a sanitize.HTMLEscape result, or concatenations of
+// those. Everything else must flow through Response.Write so the
+// channel filter chain can inspect it.
+func (sc *scope) displaySafe(e ast.Expr, depth int) bool {
+	if depth > 8 || e == nil {
+		return false
+	}
+	if sc.constExpr(e, depth) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return sc.displaySafe(x.X, depth)
+	case *ast.BinaryExpr:
+		return x.Op == token.ADD && sc.displaySafe(x.X, depth+1) && sc.displaySafe(x.Y, depth+1)
+	case *ast.Ident:
+		assigns := sc.assigns[x.Name]
+		if len(assigns) != 1 {
+			return false
+		}
+		return sc.displaySafe(assigns[0], depth+1)
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && sc.typeOf(id) == "" {
+			switch id.Name + "." + sel.Sel.Name {
+			case "strconv.Itoa", "strconv.FormatInt", "strconv.FormatUint", "strconv.Quote":
+				return true
+			}
+			return false
+		}
+		// sanitize.HTMLEscape(...).Raw()
+		if sel.Sel.Name == "Raw" {
+			if inner, ok := sel.X.(*ast.CallExpr); ok {
+				if isel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := isel.X.(*ast.Ident); ok && id.Name == "sanitize" &&
+						sc.typeOf(id) == "" && isel.Sel.Name == "HTMLEscape" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,322 @@
+// Package vet is the static pre-flight boundary checker behind
+// cmd/resin-vet: a dependency-free go/ast scanner that proves, at build
+// time, that every application package keeps its data inside the RESIN
+// boundaries the runtime enforces dynamically. The runtime catches a
+// missing filter only when an attack reaches it; vet catches the
+// boundary *bypass* — the code shape that would keep an attack from
+// ever meeting a filter — before the code ships.
+//
+// Three rules (docs/VET.md is the normative spec):
+//
+//   - sql-concat: every SQL call site must bind through prepared
+//     statements or pass provably-constant dialect text; dialect
+//     strings assembled from non-constant parts (raw Go concatenation,
+//     fmt.Sprintf, core.Concat over request parameters) are findings,
+//     because raw assembly either strips taint before the SQL filter
+//     can see it or relies on the runtime check alone.
+//
+//   - raw-output: every HTTP response write must flow through the
+//     channel filter chain (Response.Write); Response.WriteRaw is
+//     allowed only for provably display-safe values — constants,
+//     formatted integers, and sanitize.HTMLEscape results — because
+//     WriteRaw wraps its argument as untracked text, so the XSS
+//     assertions have nothing to inspect.
+//
+//   - core-boundary: application packages reach internal/core only
+//     through its public boundary API (values, policies, contexts);
+//     minting channels, replacing filter chains, or importing
+//     non-boundary internals would bypass the filters the other two
+//     rules assume.
+//
+// Deliberate vulnerabilities — the admissions app's three Table 4
+// evaluation bugs — stay in the tree as *suppressed* findings via a
+//
+//	//resin:vet-allow <rule> <reason>
+//
+// comment on (or immediately above) the offending line, and the
+// committed certificate (docs/vet-certificate.json) records them, so
+// they are documented exceptions rather than silent passes. CI re-runs
+// the scan against the certificate and fails on any drift.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule names. Each finding carries exactly one.
+const (
+	// RuleSQLConcat flags SQL call sites whose dialect text is not
+	// provably constant (and not a prepared-statement execution).
+	RuleSQLConcat = "sql-concat"
+	// RuleRawOutput flags Response.WriteRaw arguments that are not
+	// provably display-safe.
+	RuleRawOutput = "raw-output"
+	// RuleCoreBoundary flags uses of internal/core (or imports of
+	// module internals) outside the public boundary API.
+	RuleCoreBoundary = "core-boundary"
+	// RuleUnresolved flags a SQL- or output-shaped call whose receiver
+	// the scanner cannot type: unanalyzable code is a finding, not a
+	// silent pass.
+	RuleUnresolved = "unresolved"
+	// RuleUnusedAllow flags a //resin:vet-allow comment that matched no
+	// finding — a stale suppression in the source itself. Not itself
+	// suppressible.
+	RuleUnusedAllow = "unused-allow"
+)
+
+// Rules lists every rule name, in report order.
+var Rules = []string{RuleSQLConcat, RuleRawOutput, RuleCoreBoundary, RuleUnresolved, RuleUnusedAllow}
+
+// Finding is one boundary violation at one source position.
+type Finding struct {
+	// ID is the stable identifier: "<rule>/<file>:<line>".
+	ID string `json:"id"`
+	// Rule is the violated rule name.
+	Rule string `json:"rule"`
+	// File is the repo-relative path (forward slashes).
+	File string `json:"file"`
+	// Line is the 1-based source line of the violating call or import.
+	Line int `json:"line"`
+	// Detail describes the violation.
+	Detail string `json:"detail,omitempty"`
+	// Suppressed reports whether a //resin:vet-allow comment covers
+	// this finding.
+	Suppressed bool `json:"-"`
+	// Reason is the suppression's free-text justification.
+	Reason string `json:"reason,omitempty"`
+}
+
+// AllowMarker is the suppression comment prefix:
+//
+//	//resin:vet-allow <rule> <reason...>
+//
+// placed at the end of the offending line or on the line immediately
+// above it.
+const AllowMarker = "resin:vet-allow"
+
+// suppression is one parsed //resin:vet-allow comment.
+type suppression struct {
+	rule   string
+	reason string
+	line   int // line the comment starts on
+	used   bool
+}
+
+// ScanApps scans every package directory under internal/apps of the
+// repository rooted at root and returns the merged, sorted findings.
+func ScanApps(root string) ([]Finding, error) {
+	appsDir := filepath.Join(root, "internal", "apps")
+	entries, err := os.ReadDir(appsDir)
+	if err != nil {
+		return nil, fmt.Errorf("vet: read %s: %w", appsDir, err)
+	}
+	var all []Finding
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		fs, err := ScanDir(root, filepath.ToSlash(filepath.Join("internal", "apps", e.Name())))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// ScanDir scans one package directory (rel, repo-relative) under root.
+// Test files (_test.go) are outside the certificate's scope: they run
+// inside the trust boundary and never serve requests.
+func ScanDir(root, rel string) ([]Finding, error) {
+	dir := filepath.Join(root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vet: read %s: %w", dir, err)
+	}
+	p := &pkg{
+		fset:    token.NewFileSet(),
+		rel:     rel,
+		structs: make(map[string]map[string]string),
+		consts:  make(map[string]bool),
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(p.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: parse %s: %w", n, err)
+		}
+		p.files = append(p.files, f)
+		p.fileRel = append(p.fileRel, rel+"/"+n)
+	}
+	p.collectDecls()
+	p.collectSuppressions()
+	var findings []Finding
+	for i, f := range p.files {
+		findings = append(findings, p.scanFile(f, p.fileRel[i])...)
+	}
+	findings = append(findings, p.unusedSuppressions()...)
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].Rule < fs[j].Rule
+	})
+}
+
+// pkg is the per-package scan state.
+type pkg struct {
+	fset    *token.FileSet
+	files   []*ast.File
+	fileRel []string
+	rel     string
+
+	// structs maps a package-local struct type name to its fields'
+	// rendered types ("sqldb.DB", "sqldb.Stmt", "httpd.Server", ...).
+	structs map[string]map[string]string
+	// consts holds package-level identifiers declared in const blocks.
+	consts map[string]bool
+
+	// suppressions per file (parallel to files/fileRel).
+	sups [][]*suppression
+}
+
+// collectDecls indexes package-level struct fields and constants.
+func (p *pkg) collectDecls() {
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					fields := make(map[string]string)
+					for _, fl := range st.Fields.List {
+						t := renderType(fl.Type)
+						for _, n := range fl.Names {
+							fields[n.Name] = t
+						}
+					}
+					p.structs[ts.Name.Name] = fields
+				}
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, n := range vs.Names {
+						p.consts[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectSuppressions parses //resin:vet-allow comments in every file.
+func (p *pkg) collectSuppressions() {
+	p.sups = make([][]*suppression, len(p.files))
+	for i, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowMarker))
+				rule, reason, _ := strings.Cut(rest, " ")
+				p.sups[i] = append(p.sups[i], &suppression{
+					rule:   rule,
+					reason: strings.TrimSpace(reason),
+					line:   p.fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+}
+
+// suppressionFor finds an unconsumed-or-not suppression covering (file
+// index, line, rule): a trailing comment on the same line, or a comment
+// on the line immediately above.
+func (p *pkg) suppressionFor(fileIdx, line int, rule string) *suppression {
+	for _, s := range p.sups[fileIdx] {
+		if s.rule == rule && (s.line == line || s.line == line-1) {
+			return s
+		}
+	}
+	return nil
+}
+
+// unusedSuppressions reports every vet-allow comment no finding
+// consumed: a suppression that suppresses nothing is itself drift.
+func (p *pkg) unusedSuppressions() []Finding {
+	var out []Finding
+	for i := range p.files {
+		for _, s := range p.sups[i] {
+			if s.used {
+				continue
+			}
+			out = append(out, Finding{
+				Rule:   RuleUnusedAllow,
+				File:   p.fileRel[i],
+				Line:   s.line,
+				Detail: fmt.Sprintf("vet-allow comment for rule %q matches no finding", s.rule),
+			})
+		}
+	}
+	for i := range out {
+		out[i].ID = findingID(out[i].Rule, out[i].File, out[i].Line)
+	}
+	return out
+}
+
+func findingID(rule, file string, line int) string {
+	return fmt.Sprintf("%s/%s:%d", rule, file, line)
+}
+
+// report files a finding, resolving suppression state.
+func (p *pkg) report(fileIdx int, pos token.Pos, rule, detail string) Finding {
+	line := p.fset.Position(pos).Line
+	f := Finding{
+		ID:     findingID(rule, p.fileRel[fileIdx], line),
+		Rule:   rule,
+		File:   p.fileRel[fileIdx],
+		Line:   line,
+		Detail: detail,
+	}
+	if s := p.suppressionFor(fileIdx, line, rule); s != nil {
+		s.used = true
+		f.Suppressed = true
+		f.Reason = s.reason
+	}
+	return f
+}

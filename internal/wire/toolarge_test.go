@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"resin/internal/core"
+	"resin/internal/sqldb"
+)
+
+// TestServerOversizedResultFailsOnlyTheRequest pins the codeTooLarge
+// contract of session.reply: a result payload above MaxFrame is refused
+// before any byte hits the socket, the client surfaces a typed
+// ErrFrameTooLarge without poisoning the connection, and the same
+// connection serves the next query.
+func TestServerOversizedResultFailsOnlyTheRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a >64MiB result set")
+	}
+	rt := core.NewRuntime()
+	db := sqldb.Open(rt)
+	db.MustExec("CREATE TABLE blobs (id INT, body TEXT)")
+	ins := db.MustPrepare("INSERT INTO blobs (id, body) VALUES (?, ?)")
+	// 5 × 13MiB rows: comfortably over the 64MiB frame cap as one
+	// result, comfortably under it per row.
+	big := core.NewString(strings.Repeat("x", 13<<20))
+	for i := 0; i < 5; i++ {
+		if _, err := ins.Exec(int64(i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, _ := startServer(t, db, Config{})
+	c := dialT(t, addr)
+
+	_, err := c.QueryRaw("SELECT id, body FROM blobs")
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized result: err = %v, want ErrFrameTooLarge", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("oversized result should surface as a typed *RemoteError, got %T", err)
+	}
+	if c.Closed() {
+		t.Fatal("codeTooLarge must fail the request, not the connection")
+	}
+
+	// The same connection keeps working: a row-sized query succeeds.
+	res, err := c.QueryRaw("SELECT id FROM blobs WHERE id = ?", 3)
+	if err != nil {
+		t.Fatalf("follow-up query on the same connection: %v", err)
+	}
+	if res.Len() != 1 || res.Get(0, "id").Int.Value() != 3 {
+		t.Fatalf("follow-up query returned wrong rows: %d", res.Len())
+	}
+}
